@@ -1,0 +1,538 @@
+package sidr
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation (§4), plus ablation benchmarks for the design
+// choices called out in DESIGN.md. Figure benchmarks drive the
+// paper-scale discrete-event simulation; Table 2 and the §4.5 micro
+// benchmark do real work (file IO, partitioning). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/sidrbench for the human-readable rows each experiment
+// regenerates.
+
+import (
+	"fmt"
+	"testing"
+
+	"sidr/internal/coords"
+	"sidr/internal/core"
+	"sidr/internal/datagen"
+	"sidr/internal/experiments"
+	"sidr/internal/mapreduce"
+	"sidr/internal/ncfile"
+	"sidr/internal/partition"
+	"sidr/internal/sched"
+)
+
+// BenchmarkFigure9 regenerates Figure 9: Query 1 under Hadoop, SciHadoop
+// and SIDR at 22 Reduce tasks on the simulated 24-node testbed.
+func BenchmarkFigure9(b *testing.B) {
+	cfg := experiments.TestbedConfig(1)
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, cr := range rs {
+				b.Log(cr.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: the SIDR reduce-count sweep.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := experiments.TestbedConfig(1)
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, cr := range rs {
+				b.Log(cr.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11: the Query 2 filter sweep.
+func BenchmarkFigure11(b *testing.B) {
+	cfg := experiments.TestbedConfig(1)
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Figure11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, cr := range rs {
+				b.Log(cr.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12: completion-time variance at 22
+// vs 88 Reduce tasks over 4 seeded runs.
+func BenchmarkFigure12(b *testing.B) {
+	cfg := experiments.TestbedConfig(1)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure12(cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Log(r.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates Figure 13: the intermediate-key-skew
+// pathology, stock modulo vs partition+.
+func BenchmarkFigure13(b *testing.B) {
+	cfg := experiments.TestbedConfig(1)
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Figure13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			gain := (rs[0].Makespan - rs[1].Makespan) / rs[0].Makespan * 100
+			b.Logf("%s | %s | SIDR %.0f%% faster", rs[0].Format(), rs[1].Format(), gain)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 with real file IO: per-Reduce
+// output write cost under the sentinel strategy as the total output
+// scales, against SIDR's constant dense write.
+func BenchmarkTable2(b *testing.B) {
+	for _, reduces := range []int{20, 40, 80} {
+		b.Run(fmt.Sprintf("sentinel-%d", reduces), func(b *testing.B) {
+			cfg := experiments.Table2Config{
+				Dir:           b.TempDir(),
+				PointsPerTask: 1 << 14,
+				ReduceCounts:  []int{reduces},
+				Runs:          1,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table2(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("dense", func(b *testing.B) {
+		dir := b.TempDir()
+		kb := coords.MustSlab(coords.NewCoord(0), coords.NewShape(1<<14))
+		vals := make([]float64, kb.Size())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			path := fmt.Sprintf("%s/d-%d.ncf", dir, i)
+			if _, err := ncfile.WriteDense(path, "out", kb, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pairs", func(b *testing.B) {
+		dir := b.TempDir()
+		n := 1 << 14
+		keys := make([]coords.Coord, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = coords.NewCoord(int64(i) * 20)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			path := fmt.Sprintf("%s/p-%d.ncfp", dir, i)
+			if _, err := ncfile.WritePairs(path, 1, keys, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable3 regenerates Table 3: shuffle-connection scaling
+// computed from real paper-scale dependency graphs.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Log(r.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkPartitionDefault measures Hadoop's modulo partitioner on the
+// §4.5 workload shape (per-pair cost; the paper partitioned 6.48M pairs
+// in ~200 ms).
+func BenchmarkPartitionDefault(b *testing.B) {
+	benchPartition(b, false)
+}
+
+// BenchmarkPartitionPlus measures partition+ on the same workload (the
+// paper saw 223 ms for 6.48M pairs — a negligible ~10% penalty).
+func BenchmarkPartitionPlus(b *testing.B) {
+	benchPartition(b, true)
+}
+
+func benchPartition(b *testing.B, plus bool) {
+	space := coords.Slab{Corner: coords.NewCoord(0, 0), Shape: coords.NewShape(6480, 1000)}
+	var p partition.Partitioner
+	var err error
+	if plus {
+		p, err = partition.NewPartitionPlus(space, 22, 0)
+	} else {
+		p, err = partition.NewModulo(22, partition.TileIndexEncoding{Space: space})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]coords.Coord, 10000)
+	for i := range keys {
+		kp, err := space.Delinearize(int64(i) * 647)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = kp
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunLocal measures real end-to-end query execution through the
+// in-process engine for each engine mode (laptop-scale Query 1
+// analogue).
+func BenchmarkRunLocal(b *testing.B) {
+	gen := datagen.Windspeed(1)
+	ds, err := Synthetic([]int64{24, 36, 36, 10}, func(k []int64) float64 {
+		return gen(coords.Coord(k))
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	q, err := ParseQuery("median windspeed[0,0,0,0 : 24,36,36,10] es {2,36,36,10}")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []Engine{Hadoop, SciHadoop, SIDR} {
+		b.Run(engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(ds, q, RunOptions{Engine: engine, Reducers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblationDependencyStoreVsRecompute compares precomputing I_ℓ
+// at plan time (store) against each Reduce task re-deriving its source
+// range on demand (re-compute) — the paper's §3.2.1 trade-off.
+func BenchmarkAblationDependencyStoreVsRecompute(b *testing.B) {
+	q := experiments.Query1()
+	b.Run("store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := experiments.PaperPlan(q, core.EngineSIDR, 22)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = p.Graph.SIDRConnections()
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		p, err := experiments.PaperPlan(q, core.EngineSIDR, 22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Each of the 22 Reduce tasks derives its input range from
+			// its keyblock alone.
+			for l := 0; l < 22; l++ {
+				slab, ok := p.KeyblockSlab(l)
+				if !ok {
+					b.Fatal("keyblock not rectangular")
+				}
+				if _, err := q.Extraction.SourceRange(slab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBarrierMethod compares the two correctness barriers of
+// §3.2.1 on real executions: method 1 (I_ℓ dependency sets only) vs
+// method 2 validation on top (kv-count annotations).
+func BenchmarkAblationBarrierMethod(b *testing.B) {
+	gen := datagen.Windspeed(3)
+	q, err := ParseQuery("avg w[0,0 : 256,16] es {4,4}")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Synthetic([]int64{256, 16}, func(k []int64) float64 { return gen(coords.Coord(k)) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, validate bool) {
+		plan, err := core.NewPlan(q.q, core.EngineSIDR, core.Options{Reducers: 4, SplitPoints: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			_, err := plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
+				cfg.ValidateCounts = validate
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("deps-only", func(b *testing.B) { run(b, false) })
+	b.Run("deps+annotations", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationCombiner compares Map-side combining on and off for a
+// filter query (uncombined runs ship one pair per source sample).
+func BenchmarkAblationCombiner(b *testing.B) {
+	gen := datagen.Gaussian(5, 0, 1)
+	q, err := ParseQuery("filter_gt g[0,0 : 128,16] es {4,4} param 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Synthetic([]int64{128, 16}, func(k []int64) float64 { return gen(coords.Coord(k)) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, combine bool) {
+		plan, err := core.NewPlan(q.q, core.EngineSIDR, core.Options{Reducers: 4, SplitPoints: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			_, err := plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
+				cfg.Combine = combine
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("combine", func(b *testing.B) { run(b, true) })
+	b.Run("no-combine", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationFailureRecovery compares the two Reduce-failure
+// recovery strategies (§6 future work): refetching persisted
+// intermediate data vs re-executing the failed task's Map dependencies.
+func BenchmarkAblationFailureRecovery(b *testing.B) {
+	gen := datagen.Windspeed(9)
+	q, err := ParseQuery("median w[0,0 : 128,16] es {4,4}")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Synthetic([]int64{128, 16}, func(k []int64) float64 { return gen(coords.Coord(k)) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, recompute bool) {
+		for i := 0; i < b.N; i++ {
+			plan, err := core.NewPlan(q.q, core.EngineSIDR, core.Options{Reducers: 4, SplitPoints: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
+				cfg.FailReduceOnce = map[int]bool{1: true}
+				cfg.RecoverByRecompute = recompute
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("refetch", func(b *testing.B) { run(b, false) })
+	b.Run("recompute", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationSkewBound sweeps partition+'s permissible-skew bound
+// (the Figure 7 tile size): finer tiles balance keyblocks more exactly
+// but fragment them, which widens dependency sets and shuffle fan-in —
+// the paper's footnote 1 trade-off ("accepting a small amount of skew
+// ... can result in more efficient communications and reduced data
+// dependencies").
+func BenchmarkAblationSkewBound(b *testing.B) {
+	q := experiments.Query1()
+	space, err := q.IntermediateSpace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bound := range []int64{1000, 10_000, 65_536, 500_000} {
+		b.Run(fmt.Sprintf("maxskew-%d", bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pp, err := partition.NewPartitionPlus(space, 22, bound)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("tile=%v tileCountSkew=%d", pp.TileShape, pp.TileCountSkew())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpill compares in-memory intermediate data against
+// on-disk spill files with annotated headers (Hadoop's real shuffle
+// path): the cost of serialising, persisting and re-reading every
+// intermediate pair.
+func BenchmarkAblationSpill(b *testing.B) {
+	gen := datagen.Windspeed(4)
+	q, err := ParseQuery("median w[0,0 : 128,16] es {4,4}")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Synthetic([]int64{128, 16}, func(k []int64) float64 { return gen(coords.Coord(k)) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, spillDir string) {
+		plan, err := core.NewPlan(q.q, core.EngineSIDR, core.Options{Reducers: 4, SplitPoints: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			_, err := plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
+				cfg.SpillDir = spillDir
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("in-memory", func(b *testing.B) { run(b, "") })
+	b.Run("spill-to-disk", func(b *testing.B) { run(b, b.TempDir()) })
+}
+
+// BenchmarkFailureStudy runs the §6 recovery study: persist-and-refetch
+// vs no-persist-and-recompute across failure probabilities at paper
+// scale.
+func BenchmarkFailureStudy(b *testing.B) {
+	cfg := experiments.TestbedConfig(1)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FailureStudy(cfg, 176, []float64{0, 0.05, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Log(r.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSpeculation measures Hadoop-style speculative
+// execution against an injected straggler population at paper scale —
+// the long-tail mitigation that interacts with Figure 12's variance.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	q := experiments.Query1()
+	p, err := experiments.PaperPlan(q, core.EngineSIDR, 88)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := experiments.PaperWorkload(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range []bool{false, true} {
+		name := "no-speculation"
+		if spec {
+			name = "speculation"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.TestbedConfig(1)
+			cfg.StragglerProb = 0.02
+			cfg.StragglerFactor = 6
+			cfg.Speculation = spec
+			for i := 0; i < b.N; i++ {
+				res, err := p.Simulate(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("makespan=%.1fs stragglers=%d specWins=%d",
+						res.Stats.Makespan, res.Stats.Stragglers, res.Stats.SpeculativeWins)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSchedulerPolicy compares the pure scheduling state
+// machines: stock Hadoop dispensing vs SIDR's gated, reduce-first policy
+// at paper-scale task counts.
+func BenchmarkAblationSchedulerPolicy(b *testing.B) {
+	q := experiments.Query1()
+	p, err := experiments.PaperPlan(q, core.EngineSIDR, 528)
+	if err != nil {
+		b.Fatal(err)
+	}
+	maps := make([]sched.MapInfo, len(p.Splits))
+	hosts := make([]string, 24)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("node%02d", i)
+	}
+	for i := range maps {
+		maps[i] = sched.MapInfo{Hosts: []string{hosts[i%24]}}
+	}
+	b.Run("hadoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sched.NewHadoop(maps, 528)
+			drainScheduler(b, s, hosts)
+		}
+	})
+	b.Run("sidr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := sched.NewSIDR(maps, p.Graph, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			drainScheduler(b, s, hosts)
+		}
+	})
+}
+
+func drainScheduler(b *testing.B, s sched.Scheduler, hosts []string) {
+	b.Helper()
+	for s.PendingReduces() > 0 {
+		if s.NextReduce() < 0 {
+			b.Fatal("reduce starvation")
+		}
+		// Interleave map dispensing the way slot churn does.
+		for j := 0; j < 5; j++ {
+			s.NextMap(hosts[j%len(hosts)])
+		}
+	}
+	for s.PendingMaps() > 0 {
+		if s.NextMap(hosts[0]) < 0 {
+			b.Fatal("map starvation")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command ncdump prints an ncfile container's structural metadata in the
+// NetCDF notation of the paper's Figure 1, and optionally a slice of the
+// data.
+//
+// Usage:
+//
+//	ncdump file.ncf
+//	ncdump -var temperature -corner 0,0,0 -shape 1,2,3 file.ncf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sidr/internal/coords"
+	"sidr/internal/ncfile"
+)
+
+func main() {
+	var (
+		varName = flag.String("var", "", "variable to dump data from (metadata only when empty)")
+		cornerS = flag.String("corner", "", "slab corner, e.g. 0,0,0")
+		shapeS  = flag.String("shape", "", "slab shape, e.g. 1,2,3")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ncdump [flags] FILE")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := ncfile.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	fmt.Print(f.Header().Describe())
+	if *varName == "" {
+		return
+	}
+	if *cornerS == "" || *shapeS == "" {
+		fmt.Fprintln(os.Stderr, "ncdump: -var needs -corner and -shape")
+		os.Exit(2)
+	}
+	corner, err := coords.ParseCoord(*cornerS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	shape, err := coords.ParseShape(*shapeS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	slab, err := coords.NewSlab(corner, shape)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	vals, err := f.ReadSlab(*varName, slab)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncdump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("data: %s %s =\n", *varName, slab)
+	i := 0
+	slab.Each(func(k coords.Coord) bool {
+		fmt.Printf("\t%v = %g\n", k, vals[i])
+		i++
+		return true
+	})
+}

@@ -1,0 +1,93 @@
+// Command sidrquery runs a structural query over an ncfile dataset with
+// any of the three engines, streaming early partial results as keyblocks
+// commit.
+//
+// Usage:
+//
+//	sidrquery -data wind.ncf -engine sidr -reducers 4 \
+//	    'median windspeed[0,0,0,0 : 144,36,36,10] es {2,36,36,10}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sidr"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "input .ncf path (required)")
+		engineS  = flag.String("engine", "sidr", "engine: hadoop, scihadoop, sidr")
+		reducers = flag.Int("reducers", 4, "reduce task count")
+		workers  = flag.Int("workers", 0, "map/reduce worker bound (0 = default)")
+		quiet    = flag.Bool("quiet", false, "suppress per-keyblock progress")
+		maxRows  = flag.Int("n", 10, "output rows to print (0 = all)")
+		outDir   = flag.String("output", "", "directory for dense per-keyblock output files (SIDR engine only)")
+	)
+	flag.Parse()
+	if *data == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sidrquery -data FILE [flags] 'QUERY'")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var engine sidr.Engine
+	switch strings.ToLower(*engineS) {
+	case "hadoop":
+		engine = sidr.Hadoop
+	case "scihadoop":
+		engine = sidr.SciHadoop
+	case "sidr":
+		engine = sidr.SIDR
+	default:
+		fmt.Fprintf(os.Stderr, "sidrquery: unknown engine %q\n", *engineS)
+		os.Exit(1)
+	}
+
+	q, err := sidr.ParseQuery(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidrquery: %v\n", err)
+		os.Exit(1)
+	}
+	ds, err := sidr.Open(*data, q.Variable())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidrquery: %v\n", err)
+		os.Exit(1)
+	}
+	defer ds.Close()
+
+	start := time.Now()
+	opts := sidr.RunOptions{Engine: engine, Reducers: *reducers, Workers: *workers}
+	if !*quiet {
+		opts.OnPartial = func(pr sidr.PartialResult) {
+			fmt.Fprintf(os.Stderr, "  +%v keyblock %d: %d keys\n",
+				time.Since(start).Round(time.Millisecond), pr.Keyblock, len(pr.Keys))
+		}
+	}
+	res, err := sidr.Run(ds, q, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidrquery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s engine=%v reducers=%d elapsed=%v first=%v connections=%d keys=%d\n",
+		q, engine, *reducers, res.Elapsed.Round(time.Millisecond),
+		res.FirstResult.Round(time.Millisecond), res.Connections, len(res.Keys))
+	for i, k := range res.Keys {
+		if *maxRows > 0 && i >= *maxRows {
+			fmt.Printf("... %d more rows\n", len(res.Keys)-i)
+			break
+		}
+		fmt.Printf("%v\t%v\n", k, res.Values[i])
+	}
+	if *outDir != "" {
+		paths, err := sidr.WriteDense(*outDir, ds, q, opts, res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidrquery: writing dense output: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d dense keyblock files under %s\n", len(paths), *outDir)
+	}
+}

@@ -1,0 +1,3 @@
+module sidr
+
+go 1.22

@@ -1,0 +1,51 @@
+package coords
+
+import "testing"
+
+func BenchmarkLinearize(b *testing.B) {
+	s := NewShape(7200, 360, 720, 50)
+	c := NewCoord(3600, 180, 360, 25)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Linearize(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapKey(b *testing.B) {
+	e := MustExtraction(NewShape(2, 36, 36, 10), nil)
+	k := NewCoord(157, 34, 82, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.MapKey(k); !ok {
+			b.Fatal("unmapped")
+		}
+	}
+}
+
+func BenchmarkTileRange(b *testing.B) {
+	e := MustExtraction(NewShape(2, 36, 36, 10), nil)
+	in := MustSlab(NewCoord(100, 0, 0, 0), NewShape(3, 360, 720, 50))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.TileRange(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlabEach(b *testing.B) {
+	s := MustSlab(NewCoord(0, 0, 0), NewShape(16, 16, 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Each(func(Coord) bool {
+			n++
+			return true
+		})
+		if n != 4096 {
+			b.Fatal("wrong count")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package coords
+
+import (
+	"fmt"
+)
+
+// Extraction is the paper's extraction shape (§2.4.2): a tiling of the
+// input keyspace K where each tile instance corresponds to one key in the
+// intermediate keyspace K'. An optional Stride (≥ Shape elementwise)
+// describes strided access — regularly spaced tiles with gaps between
+// them; a zero-value Stride means dense tiling (stride == shape).
+type Extraction struct {
+	Shape  Shape
+	Stride Shape // optional; nil means Stride == Shape
+}
+
+// NewExtraction validates and builds an extraction shape. stride may be
+// nil for dense tiling; when given it must match rank and be >= shape in
+// every dimension.
+func NewExtraction(shape, stride Shape) (Extraction, error) {
+	if err := shape.Validate(); err != nil {
+		return Extraction{}, err
+	}
+	if stride != nil {
+		if len(stride) != len(shape) {
+			return Extraction{}, ErrRankMismatch
+		}
+		if err := stride.Validate(); err != nil {
+			return Extraction{}, err
+		}
+		for i := range stride {
+			if stride[i] < shape[i] {
+				return Extraction{}, fmt.Errorf("coords: stride %v smaller than shape %v in dim %d", stride, shape, i)
+			}
+		}
+	}
+	e := Extraction{Shape: shape.Clone()}
+	if stride != nil {
+		e.Stride = stride.Clone()
+	}
+	return e, nil
+}
+
+// MustExtraction is NewExtraction that panics on error.
+func MustExtraction(shape, stride Shape) Extraction {
+	e, err := NewExtraction(shape, stride)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Rank returns the extraction shape's dimensionality.
+func (e Extraction) Rank() int { return len(e.Shape) }
+
+// EffectiveStride returns the stride actually used for tiling: the
+// explicit stride when present, otherwise the shape itself.
+func (e Extraction) EffectiveStride() Shape {
+	if e.Stride != nil {
+		return e.Stride
+	}
+	return e.Shape
+}
+
+// MapKey maps a key k in the input keyspace K to its key in the
+// intermediate keyspace K' (SIDR §3, Area 2): each coordinate is divided
+// by the corresponding stride extent. For strided extractions a point may
+// fall in the gap between tiles; ok is false in that case.
+func (e Extraction) MapKey(k Coord) (kp Coord, ok bool) {
+	st := e.EffectiveStride()
+	if len(k) != len(st) {
+		return nil, false
+	}
+	kp = make(Coord, len(k))
+	for i := range k {
+		if k[i] < 0 {
+			return nil, false
+		}
+		kp[i] = k[i] / st[i]
+		if k[i]%st[i] >= e.Shape[i] {
+			return nil, false // in the inter-tile gap of a strided access
+		}
+	}
+	return kp, true
+}
+
+// Tile returns the slab in K covered by the tile for intermediate key kp.
+func (e Extraction) Tile(kp Coord) (Slab, error) {
+	st := e.EffectiveStride()
+	if len(kp) != len(st) {
+		return Slab{}, ErrRankMismatch
+	}
+	corner := make(Coord, len(kp))
+	for i := range kp {
+		if kp[i] < 0 {
+			return Slab{}, fmt.Errorf("coords: negative intermediate key %v", kp)
+		}
+		corner[i] = kp[i] * st[i]
+	}
+	return Slab{Corner: corner, Shape: e.Shape.Clone()}, nil
+}
+
+// IntermediateSpace computes the shape of the intermediate keyspace K'^T
+// for a query whose input keyspace (origin-rooted) has shape ks
+// (SIDR §3, Area 3). Partial trailing tiles are included (ceil division)
+// when keepPartial is true, discarded (floor division) otherwise.
+func (e Extraction) IntermediateSpace(ks Shape, keepPartial bool) (Shape, error) {
+	st := e.EffectiveStride()
+	if len(ks) != len(st) {
+		return nil, ErrRankMismatch
+	}
+	if keepPartial {
+		return ks.CeilDiv(st)
+	}
+	return ks.FloorDiv(st)
+}
+
+// TileRange returns the slab of intermediate keys (in K') whose tiles
+// overlap the input-space slab in (in K). This is the core of SIDR's
+// split→keyblock dependency computation: the set of K' keys an input
+// split contributes to is exactly TileRange(split).
+//
+// For strided extractions a tile overlapping `in` only through its gap is
+// still included when the slab's extent covers the tile's data region;
+// tiles whose data region lies wholly outside `in` are excluded.
+func (e Extraction) TileRange(in Slab) (Slab, error) {
+	st := e.EffectiveStride()
+	if in.Rank() != len(st) {
+		return Slab{}, ErrRankMismatch
+	}
+	corner := make(Coord, in.Rank())
+	shape := make(Shape, in.Rank())
+	for i := range corner {
+		lo := in.Corner[i]
+		hi := in.Corner[i] + in.Shape[i] - 1 // inclusive
+		first := lo / st[i]
+		if lo%st[i] >= e.Shape[i] {
+			// The slab starts inside a gap: the first overlapping tile
+			// is the next one.
+			first++
+		}
+		// Tile hi/st always overlaps: its data region starts at or below
+		// hi, and the `first` adjustment already excluded tiles whose data
+		// region lies entirely below lo.
+		last := hi / st[i]
+		if last < first {
+			return Slab{}, fmt.Errorf("coords: slab %v overlaps no tiles of %v", in, e)
+		}
+		corner[i] = first
+		shape[i] = last - first + 1
+	}
+	return Slab{Corner: corner, Shape: shape}, nil
+}
+
+// SourceRange returns the slab in the input space K whose points map to
+// intermediate keys within kpSlab (in K'). It is the inverse of TileRange
+// used when a Reduce task re-derives its input dependencies on demand
+// (the paper's "store vs re-compute" alternative, §3.2.1).
+func (e Extraction) SourceRange(kpSlab Slab) (Slab, error) {
+	st := e.EffectiveStride()
+	if kpSlab.Rank() != len(st) {
+		return Slab{}, ErrRankMismatch
+	}
+	corner := make(Coord, kpSlab.Rank())
+	shape := make(Shape, kpSlab.Rank())
+	for i := range corner {
+		corner[i] = kpSlab.Corner[i] * st[i]
+		// Last tile's data region ends at (corner+shape-1)*st + e.Shape.
+		end := (kpSlab.Corner[i]+kpSlab.Shape[i]-1)*st[i] + e.Shape[i]
+		shape[i] = end - corner[i]
+	}
+	return Slab{Corner: corner, Shape: shape}, nil
+}
+
+// String renders the extraction shape (with stride when present).
+func (e Extraction) String() string {
+	if e.Stride == nil {
+		return fmt.Sprintf("es%s", e.Shape)
+	}
+	return fmt.Sprintf("es%s stride%s", e.Shape, e.Stride)
+}

@@ -1,0 +1,316 @@
+// Package core implements the SIDR planner — the paper's primary
+// contribution assembled from the substrate packages. Given a structural
+// query, an execution engine (Hadoop, SciHadoop, or SIDR) and a reducer
+// count, the planner derives everything SIDR needs before a single task
+// runs: the input splits, the intermediate keyspace K'^T, the
+// partitioner, the keyblocks, and the Map↔Reduce dependency graph.
+//
+// A Plan can then execute two ways:
+//
+//   - RunLocal: on the real in-process MapReduce engine, with the barrier
+//     mode, shuffle pattern, kv-count validation and Map order the chosen
+//     engine implies.
+//   - Simulate: on the discrete-event cluster model at paper scale, with
+//     the same scheduler policies and the plan's real dependency graph.
+package core
+
+import (
+	"fmt"
+
+	"sidr/internal/coords"
+	"sidr/internal/depgraph"
+	"sidr/internal/hdfs"
+	"sidr/internal/mapreduce"
+	"sidr/internal/partition"
+	"sidr/internal/query"
+	"sidr/internal/sched"
+	"sidr/internal/simcluster"
+)
+
+// Engine selects the execution semantics being compared in the paper.
+type Engine int
+
+const (
+	// EngineHadoop models stock Hadoop: byte-oriented splits (slow,
+	// poorly localised Map tasks), modulo partitioning, global barrier,
+	// all-to-all shuffle.
+	EngineHadoop Engine = iota
+	// EngineSciHadoop models SciHadoop: logical-coordinate splits with
+	// good locality, but stock partitioning, barrier and shuffle.
+	EngineSciHadoop
+	// EngineSIDR models SIDR: SciHadoop's input handling plus
+	// partition+, the dependency barrier, dependency-only shuffle and
+	// reduce-first scheduling.
+	EngineSIDR
+)
+
+// String names the engine the way the paper's figures label them.
+func (e Engine) String() string {
+	switch e {
+	case EngineHadoop:
+		return "Hadoop"
+	case EngineSciHadoop:
+		return "SciHadoop"
+	case EngineSIDR:
+		return "SIDR"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// MapCostFactor returns the Map-phase slowdown relative to SciHadoop.
+// Stock Hadoop's byte-oriented splits force whole-file scans and poor
+// locality; the factor is calibrated to the ~2.4× Map-phase gap between
+// the Hadoop and SciHadoop curves of Figure 9.
+func (e Engine) MapCostFactor() float64 {
+	if e == EngineHadoop {
+		return 2.4
+	}
+	return 1.0
+}
+
+// Options tunes plan construction.
+type Options struct {
+	// Reducers is the Reduce task count (required, >= 1).
+	Reducers int
+	// SplitPoints is the target number of source points per input split;
+	// <= 0 derives it from a 128 MB block of 8-byte values.
+	SplitPoints int64
+	// MaxSkew bounds partition+ keyblock skew in K' keys; <= 0 uses
+	// partition.DefaultMaxSkew.
+	MaxSkew int64
+	// KeyEncoding overrides the modulo partitioner's key encoding for
+	// Hadoop/SciHadoop plans; nil uses the benign tile-index encoding.
+	// Supplying partition.CornerInKEncoding reproduces the §4.3 skew
+	// pathology.
+	KeyEncoding partition.KeyEncoding
+	// Priority optionally orders SIDR keyblock scheduling
+	// (computational steering, §3.4); nil means keyblock order.
+	Priority []int
+	// Namespace and File attach HDFS locality hints to splits.
+	Namespace *hdfs.Namespace
+	File      string
+	// BytesPerPoint is the on-disk element size for locality math
+	// (default 8).
+	BytesPerPoint int64
+}
+
+// Plan is a fully derived execution plan.
+type Plan struct {
+	Query    *query.Query
+	Engine   Engine
+	Reducers int
+
+	// Splits are the Map-task work units.
+	Splits []mapreduce.InputSplit
+	// Space is the intermediate keyspace K'^T.
+	Space coords.Slab
+	// Part assigns K' keys to keyblocks.
+	Part partition.Partitioner
+	// Graph is the Map↔Reduce dependency relation (I_ℓ inverted from
+	// split contributions) with expected source counts.
+	Graph *depgraph.Graph
+	// Keyblocks holds partition+'s contiguous keyblocks (SIDR only; nil
+	// for modulo engines).
+	Keyblocks []partition.Keyblock
+	// Priority is the keyblock scheduling order (SIDR only).
+	Priority []int
+}
+
+// NewPlan derives a plan for the query under the given engine.
+func NewPlan(q *query.Query, engine Engine, opts Options) (*Plan, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	if err := q.Validate(nil); err != nil {
+		return nil, err
+	}
+	if opts.Reducers < 1 {
+		return nil, fmt.Errorf("core: need at least one reducer, got %d", opts.Reducers)
+	}
+	bpp := opts.BytesPerPoint
+	if bpp <= 0 {
+		bpp = 8
+	}
+	splitPoints := opts.SplitPoints
+	if splitPoints <= 0 {
+		splitPoints = (128 << 20) / bpp
+	}
+	splits, err := mapreduce.GenerateSplits(q.Input, splitPoints, opts.Namespace, opts.File, bpp)
+	if err != nil {
+		return nil, err
+	}
+	space, err := q.IntermediateSpace()
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{Query: q, Engine: engine, Reducers: opts.Reducers, Splits: splits, Space: space}
+	switch engine {
+	case EngineSIDR:
+		pp, err := partition.NewPartitionPlus(space, opts.Reducers, opts.MaxSkew)
+		if err != nil {
+			return nil, err
+		}
+		p.Part = pp
+		p.Keyblocks = pp.Blocks
+	case EngineHadoop, EngineSciHadoop:
+		enc := opts.KeyEncoding
+		if enc == nil {
+			enc = partition.TileIndexEncoding{Space: space}
+		}
+		m, err := partition.NewModulo(opts.Reducers, enc)
+		if err != nil {
+			return nil, err
+		}
+		p.Part = m
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", engine)
+	}
+
+	p.Graph, err = depgraph.Build(q, mapreduce.Slabs(splits), p.Part)
+	if err != nil {
+		return nil, err
+	}
+	if engine == EngineSIDR {
+		if opts.Priority != nil {
+			if len(opts.Priority) != opts.Reducers {
+				return nil, fmt.Errorf("core: priority has %d entries for %d reducers", len(opts.Priority), opts.Reducers)
+			}
+			p.Priority = append([]int(nil), opts.Priority...)
+		}
+	}
+	return p, nil
+}
+
+// KeyblockSlab returns the rectangular K' extent of keyblock l for dense
+// output writing; ok is false when the keyblock is not rectangular or the
+// plan is not SIDR.
+func (p *Plan) KeyblockSlab(l int) (coords.Slab, bool) {
+	if p.Keyblocks == nil || l < 0 || l >= len(p.Keyblocks) {
+		return coords.Slab{}, false
+	}
+	kb := p.Keyblocks[l]
+	return kb.Slab, kb.Rect && kb.Size() > 0
+}
+
+// RunLocal executes the plan on the in-process engine. For SIDR plans it
+// enables the dependency barrier, dependency-only shuffle, kv-count
+// validation, and dependency-driven Map order; Hadoop/SciHadoop plans run
+// with the global barrier and all-to-all shuffle.
+func (p *Plan) RunLocal(reader mapreduce.RecordReader, tweak func(*mapreduce.Config)) (*mapreduce.Result, error) {
+	cfg := mapreduce.Config{
+		Query:   p.Query,
+		Splits:  p.Splits,
+		Reader:  reader,
+		Part:    p.Part,
+		Graph:   p.Graph,
+		Combine: true,
+	}
+	if p.Engine == EngineSIDR {
+		cfg.Barrier = mapreduce.DependencyBarrier
+		cfg.ValidateCounts = true
+		cfg.MapOrder = sched.DependencyDrivenMapOrder(p.Graph, p.Priority)
+		cfg.ReduceOrder = p.Priority // nil keeps keyblock order
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return mapreduce.Run(cfg)
+}
+
+// SimWorkload carries the per-task data volumes the simulator charges
+// for; Derive computes it from the plan and query.
+type SimWorkload struct {
+	Splits  []simcluster.Split
+	Reduces []simcluster.Reduce
+}
+
+// DeriveWorkload computes simulator workloads from the plan's real
+// geometry: split points from the dependency analysis, per-keyblock pair
+// and byte counts from the expected-count calculation.
+//
+// pairBytes is the serialised size of one intermediate pair; combined
+// controls whether Map-side combining collapses each tile's points into
+// one pair (distributive/holistic queries ship combined pairs in the
+// paper's runs).
+func (p *Plan) DeriveWorkload(pairBytes int64, combined bool) SimWorkload {
+	w := SimWorkload{}
+	for _, s := range p.Splits {
+		w.Splits = append(w.Splits, simcluster.Split{
+			Points: s.Slab.Size(),
+			Bytes:  s.Slab.Size() * 8,
+			Hosts:  s.Hosts,
+		})
+	}
+	r := p.Part.NumKeyblocks()
+	// Keys per keyblock: for partition+ the block sizes are exact; for
+	// modulo we approximate by expected count / points-per-tile.
+	tilePoints := p.Query.Extraction.Shape.Size()
+	for l := 0; l < r; l++ {
+		var pairs int64
+		if combined {
+			// Combining folds each tile's points into roughly one pair
+			// per K' key: exact block sizes for partition+, expected
+			// count divided by tile size for modulo keyblocks.
+			if p.Keyblocks != nil {
+				pairs = p.Keyblocks[l].Size()
+			} else {
+				pairs = p.Graph.ExpectedCount[l] / maxI64(tilePoints, 1)
+			}
+		} else {
+			pairs = p.Graph.ExpectedCount[l]
+		}
+		w.Reduces = append(w.Reduces, simcluster.Reduce{
+			Pairs:    pairs,
+			InBytes:  pairs * pairBytes,
+			OutBytes: pairs * 8,
+			Deps:     p.Graph.KBToSplits[l],
+		})
+	}
+	return w
+}
+
+// Simulate runs the plan on the discrete-event cluster model, using the
+// engine's scheduler policy, barrier mode, shuffle pattern, and Map cost
+// factor.
+func (p *Plan) Simulate(cfg simcluster.Config, w SimWorkload) (*simcluster.Result, error) {
+	return p.SimulateWith(cfg, w, nil)
+}
+
+// SimulateWith is Simulate with an optional Reduce-failure model for the
+// §6 recovery study.
+func (p *Plan) SimulateWith(cfg simcluster.Config, w SimWorkload, failure *simcluster.FailureModel) (*simcluster.Result, error) {
+	maps := make([]sched.MapInfo, len(w.Splits))
+	for i, s := range w.Splits {
+		maps[i] = sched.MapInfo{Hosts: s.Hosts}
+	}
+	job := simcluster.Job{
+		Splits:        w.Splits,
+		Reduces:       w.Reduces,
+		MapCostFactor: p.Engine.MapCostFactor(),
+		Failure:       failure,
+	}
+	switch p.Engine {
+	case EngineSIDR:
+		s, err := sched.NewSIDR(maps, p.Graph, p.Priority)
+		if err != nil {
+			return nil, err
+		}
+		job.Scheduler = s
+		job.GlobalBarrier = false
+		job.FetchAll = false
+	default:
+		job.Scheduler = sched.NewHadoop(maps, p.Reducers)
+		job.GlobalBarrier = true
+		job.FetchAll = true
+	}
+	return simcluster.Simulate(cfg, job)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"testing"
+
+	"sidr/internal/coords"
+	"sidr/internal/datagen"
+	"sidr/internal/hdfs"
+	"sidr/internal/mapreduce"
+	"sidr/internal/partition"
+	"sidr/internal/query"
+	"sidr/internal/simcluster"
+)
+
+func mustParse(t *testing.T, s string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	q := mustParse(t, "avg t[0,0 : 16,4] es {4,4}")
+	if _, err := NewPlan(nil, EngineSIDR, Options{Reducers: 2}); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if _, err := NewPlan(q, EngineSIDR, Options{}); err == nil {
+		t.Fatal("zero reducers accepted")
+	}
+	if _, err := NewPlan(q, Engine(99), Options{Reducers: 2}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := NewPlan(q, EngineSIDR, Options{Reducers: 2, Priority: []int{0}}); err == nil {
+		t.Fatal("short priority accepted")
+	}
+}
+
+func TestPlanPartitionerPerEngine(t *testing.T) {
+	q := mustParse(t, "avg t[0,0 : 16,4] es {4,4}")
+	sidr, err := NewPlan(q, EngineSIDR, Options{Reducers: 2, SplitPoints: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sidr.Part.(*partition.PartitionPlus); !ok {
+		t.Fatalf("SIDR partitioner = %T", sidr.Part)
+	}
+	if sidr.Keyblocks == nil {
+		t.Fatal("SIDR plan missing keyblocks")
+	}
+	for _, e := range []Engine{EngineHadoop, EngineSciHadoop} {
+		p, err := NewPlan(q, e, Options{Reducers: 2, SplitPoints: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.Part.(*partition.Modulo); !ok {
+			t.Fatalf("%v partitioner = %T", e, p.Part)
+		}
+		if p.Keyblocks != nil {
+			t.Fatalf("%v plan has keyblocks", e)
+		}
+	}
+}
+
+func TestEngineStringsAndFactors(t *testing.T) {
+	if EngineHadoop.String() != "Hadoop" || EngineSciHadoop.String() != "SciHadoop" || EngineSIDR.String() != "SIDR" {
+		t.Fatal("engine names changed")
+	}
+	if EngineHadoop.MapCostFactor() <= 1 {
+		t.Fatal("Hadoop map cost factor must exceed SciHadoop's")
+	}
+	if EngineSIDR.MapCostFactor() != 1 || EngineSciHadoop.MapCostFactor() != 1 {
+		t.Fatal("SciHadoop/SIDR factors changed")
+	}
+}
+
+func TestKeyblockSlab(t *testing.T) {
+	q := mustParse(t, "avg t[0,0 : 16,4] es {4,4}")
+	p, err := NewPlan(q, EngineSIDR, Options{Reducers: 2, SplitPoints: 16, MaxSkew: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, ok := p.KeyblockSlab(0)
+	if !ok {
+		t.Fatal("keyblock 0 not rectangular")
+	}
+	if slab.Size() != 2 {
+		t.Fatalf("keyblock 0 slab = %v", slab)
+	}
+	if _, ok := p.KeyblockSlab(99); ok {
+		t.Fatal("out-of-range keyblock accepted")
+	}
+	h, _ := NewPlan(q, EngineHadoop, Options{Reducers: 2, SplitPoints: 16})
+	if _, ok := h.KeyblockSlab(0); ok {
+		t.Fatal("modulo plan returned a keyblock slab")
+	}
+}
+
+func TestRunLocalAllEnginesAgree(t *testing.T) {
+	q := mustParse(t, "median w[0,0 : 24,8] es {4,4}")
+	gen := datagen.Windspeed(11)
+	reader := &mapreduce.FuncReader{Fn: gen}
+	var outputs []map[string][]float64
+	for _, e := range []Engine{EngineHadoop, EngineSciHadoop, EngineSIDR} {
+		p, err := NewPlan(q, e, Options{Reducers: 3, SplitPoints: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.RunLocal(reader, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		m := map[string][]float64{}
+		for _, out := range res.Outputs {
+			for i, k := range out.Keys {
+				m[k.String()] = out.Values[i]
+			}
+		}
+		outputs = append(outputs, m)
+	}
+	if len(outputs[0]) == 0 {
+		t.Fatal("no outputs")
+	}
+	for k, v := range outputs[0] {
+		for e := 1; e < 3; e++ {
+			got, ok := outputs[e][k]
+			if !ok || len(got) != len(v) {
+				t.Fatalf("engines disagree on key %s", k)
+			}
+			for i := range v {
+				if got[i] != v[i] {
+					t.Fatalf("engines disagree on key %s: %v vs %v", k, got[i], v[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunLocalSIDRPriority(t *testing.T) {
+	q := mustParse(t, "avg w[0,0 : 16,4] es {4,4}")
+	p, err := NewPlan(q, EngineSIDR, Options{Reducers: 4, SplitPoints: 16, MaxSkew: 1, Priority: []int{3, 2, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mapStarts []int
+	res, err := p.RunLocal(&mapreduce.FuncReader{Fn: datagen.Windspeed(1)}, func(cfg *mapreduce.Config) {
+		cfg.MapWorkers = 1
+		cfg.OnEvent = func(e mapreduce.Event) {
+			if e.Kind == mapreduce.MapStart {
+				mapStarts = append(mapStarts, e.Detail)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 4 {
+		t.Fatalf("%d outputs", len(res.Outputs))
+	}
+	// Priority {3,2,1,0} with aligned splits runs maps in reverse order.
+	if len(mapStarts) == 0 || mapStarts[0] != 3 {
+		t.Fatalf("map starts = %v, want prioritised split 3 first", mapStarts)
+	}
+}
+
+func TestPlanWithHDFSLocality(t *testing.T) {
+	q := mustParse(t, "avg w[0,0 : 64,8] es {4,4}")
+	ns, err := hdfs.NewNamespace(simcluster.Nodes(4), hdfs.Config{BlockSize: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.AddFile("w.ncf", 64*8*8); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(q, EngineSIDR, Options{
+		Reducers: 2, SplitPoints: 64, Namespace: ns, File: "w.ncf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHosts := 0
+	for _, s := range p.Splits {
+		if len(s.Hosts) > 0 {
+			withHosts++
+		}
+	}
+	if withHosts != len(p.Splits) {
+		t.Fatalf("%d of %d splits have locality hints", withHosts, len(p.Splits))
+	}
+}
+
+func TestDeriveWorkloadAndSimulate(t *testing.T) {
+	q := mustParse(t, "avg w[0,0 : 128,8] es {4,4}")
+	cfg := simcluster.DefaultConfig()
+	cfg.Workers = 2 // 8 map slots for 32 splits: four Map waves
+	cfg.JitterFrac = 0
+
+	var results []*simcluster.Result
+	for _, e := range []Engine{EngineHadoop, EngineSciHadoop, EngineSIDR} {
+		p, err := NewPlan(q, e, Options{Reducers: 4, SplitPoints: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := p.DeriveWorkload(48, true)
+		if len(w.Splits) != len(p.Splits) || len(w.Reduces) != 4 {
+			t.Fatalf("workload %d/%d", len(w.Splits), len(w.Reduces))
+		}
+		res, err := p.Simulate(cfg, w)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		results = append(results, res)
+	}
+	hadoop, sci, sidr := results[0], results[1], results[2]
+	// The paper's headline ordering: SIDR first result << SciHadoop <<
+	// Hadoop; Hadoop slowest overall.
+	if !(sidr.Stats.FirstResult < sci.Stats.FirstResult) {
+		t.Fatalf("SIDR first result %v not before SciHadoop %v", sidr.Stats.FirstResult, sci.Stats.FirstResult)
+	}
+	if !(sci.Stats.FirstResult < hadoop.Stats.FirstResult) {
+		t.Fatalf("SciHadoop first result %v not before Hadoop %v", sci.Stats.FirstResult, hadoop.Stats.FirstResult)
+	}
+	if !(sci.Stats.Makespan < hadoop.Stats.Makespan) {
+		t.Fatalf("SciHadoop %v not faster than Hadoop %v", sci.Stats.Makespan, hadoop.Stats.Makespan)
+	}
+	// Connection accounting: SIDR ≪ Hadoop-mode.
+	if !(sidr.Stats.Connections < hadoop.Stats.Connections) {
+		t.Fatalf("connections: SIDR %d vs Hadoop %d", sidr.Stats.Connections, hadoop.Stats.Connections)
+	}
+}
+
+func TestDeriveWorkloadUncombined(t *testing.T) {
+	q := mustParse(t, "avg w[0,0 : 16,4] es {4,4}")
+	p, err := NewPlan(q, EngineSIDR, Options{Reducers: 2, SplitPoints: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := p.DeriveWorkload(48, true)
+	raw := p.DeriveWorkload(48, false)
+	var cPairs, rPairs int64
+	for i := range combined.Reduces {
+		cPairs += combined.Reduces[i].Pairs
+		rPairs += raw.Reduces[i].Pairs
+	}
+	if !(cPairs < rPairs) {
+		t.Fatalf("combined pairs %d not below raw %d", cPairs, rPairs)
+	}
+	if rPairs != q.Input.Size() {
+		t.Fatalf("raw pairs = %d, want input size %d", rPairs, q.Input.Size())
+	}
+}
+
+func TestSkewEncodingOption(t *testing.T) {
+	// Supplying the corner-in-K encoding reproduces §4.3: with an even
+	// extraction stride and even reducer count, half the keyblocks
+	// receive nothing.
+	q := mustParse(t, "avg w[0,0 : 32,8] es {2,2}")
+	p, err := NewPlan(q, EngineSciHadoop, Options{
+		Reducers:    2,
+		SplitPoints: 32,
+		KeyEncoding: partition.CornerInKEncoding{
+			InputSpace: coords.NewShape(32, 8),
+			Extraction: q.Extraction,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.ExpectedCount[1] != 0 {
+		t.Fatalf("expected starved keyblock, got counts %v", p.Graph.ExpectedCount)
+	}
+	if p.Graph.ExpectedCount[0] != q.Input.Size() {
+		t.Fatalf("keyblock 0 count = %d", p.Graph.ExpectedCount[0])
+	}
+}

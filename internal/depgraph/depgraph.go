@@ -1,0 +1,174 @@
+// Package depgraph computes the Map↔Reduce data-dependency relation SIDR
+// schedules with (§3.2): which keyblocks each input split contributes
+// intermediate data to, and — inverted — the set I_ℓ of splits each
+// keyblock ℓ depends on. A Reduce task may start as soon as every split
+// in its I_ℓ has been processed, instead of waiting on the global
+// MapReduce barrier.
+//
+// The package also computes the expected source-pair count per keyblock,
+// backing the kv-count-annotation barrier (the paper's §3.2.1
+// "approach 2", which SIDR implements to validate approach 1).
+package depgraph
+
+import (
+	"fmt"
+
+	"sidr/internal/coords"
+	"sidr/internal/partition"
+	"sidr/internal/query"
+)
+
+// Graph is the dependency relation for one query execution.
+type Graph struct {
+	// SplitToKB[i] lists, in ascending order, the keyblocks split i
+	// produces data for.
+	SplitToKB [][]int
+	// KBToSplits[l] is I_ℓ: the splits keyblock l depends on, ascending.
+	KBToSplits [][]int
+	// ExpectedCount[l] is the number of source ⟨k,v⟩ pairs that map to
+	// keyblock l — the tally target for the annotation barrier.
+	ExpectedCount []int64
+	// SplitPoints[i] is the number of source points in split i that fall
+	// inside the query input (and inside extraction tiles, for strided
+	// queries).
+	SplitPoints []int64
+}
+
+// Build computes the dependency graph for the query over the given
+// splits under the given partitioner. Splits are slabs in the input
+// keyspace K. Splits that fall entirely outside the query input (or
+// entirely in stride gaps) contribute to no keyblock and get an empty
+// dependency list.
+func Build(q *query.Query, splits []coords.Slab, p partition.Partitioner) (*Graph, error) {
+	if q == nil || p == nil {
+		return nil, fmt.Errorf("depgraph: nil query or partitioner")
+	}
+	r := p.NumKeyblocks()
+	g := &Graph{
+		SplitToKB:     make([][]int, len(splits)),
+		KBToSplits:    make([][]int, r),
+		ExpectedCount: make([]int64, r),
+		SplitPoints:   make([]int64, len(splits)),
+	}
+	for i, split := range splits {
+		in, ok := split.Intersect(q.Input)
+		if !ok {
+			continue
+		}
+		tiles, err := q.Extraction.TileRange(in)
+		if err != nil {
+			// The split's live region sits entirely inside stride gaps.
+			continue
+		}
+		touched := make(map[int]int64) // keyblock -> source pairs from this split
+		var iterErr error
+		tiles.Each(func(kp coords.Coord) bool {
+			tile, err := q.Extraction.Tile(kp)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			overlap, ok := tile.Intersect(in)
+			if !ok {
+				return true // strided gap tile grazed by TileRange bounds
+			}
+			kb, err := p.Partition(kp)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			touched[kb] += overlap.Size()
+			return true
+		})
+		if iterErr != nil {
+			return nil, fmt.Errorf("depgraph: split %d: %w", i, iterErr)
+		}
+		kbs := make([]int, 0, len(touched))
+		for kb, n := range touched {
+			kbs = append(kbs, kb)
+			g.ExpectedCount[kb] += n
+			g.SplitPoints[i] += n
+		}
+		sortInts(kbs)
+		g.SplitToKB[i] = kbs
+	}
+	// Invert.
+	for i, kbs := range g.SplitToKB {
+		for _, kb := range kbs {
+			g.KBToSplits[kb] = append(g.KBToSplits[kb], i)
+		}
+	}
+	return g, nil
+}
+
+// NumSplits returns the split count.
+func (g *Graph) NumSplits() int { return len(g.SplitToKB) }
+
+// NumKeyblocks returns the keyblock count.
+func (g *Graph) NumKeyblocks() int { return len(g.KBToSplits) }
+
+// Deps returns I_ℓ for keyblock l.
+func (g *Graph) Deps(l int) []int { return g.KBToSplits[l] }
+
+// SIDRConnections returns the total number of shuffle connections SIDR
+// opens: each Reduce task contacts exactly the Map tasks in its I_ℓ
+// (Table 3, SIDR column).
+func (g *Graph) SIDRConnections() int64 {
+	var n int64
+	for _, deps := range g.KBToSplits {
+		n += int64(len(deps))
+	}
+	return n
+}
+
+// HadoopConnections returns the total number of shuffle connections stock
+// Hadoop opens: every Reduce task contacts every Map task (Table 3,
+// Hadoop column).
+func (g *Graph) HadoopConnections() int64 {
+	return int64(g.NumSplits()) * int64(g.NumKeyblocks())
+}
+
+// MaxDeps returns the largest dependency set size — the worst-case
+// barrier any single Reduce task observes.
+func (g *Graph) MaxDeps() int {
+	m := 0
+	for _, deps := range g.KBToSplits {
+		if len(deps) > m {
+			m = len(deps)
+		}
+	}
+	return m
+}
+
+// TotalPoints returns the total number of source pairs across all
+// keyblocks; it must equal the query input size for dense extractions.
+func (g *Graph) TotalPoints() int64 {
+	var n int64
+	for _, c := range g.ExpectedCount {
+		n += c
+	}
+	return n
+}
+
+// DependencyBarrierMet reports whether keyblock l's data dependencies are
+// satisfied given the set of completed splits — the per-Reduce-task
+// barrier replacing Hadoop's global one (Figure 4b).
+func (g *Graph) DependencyBarrierMet(l int, done func(split int) bool) bool {
+	for _, s := range g.KBToSplits[l] {
+		if !done(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortInts is insertion sort: dependency lists per split are small and
+// nearly sorted (map iteration aside), so this avoids pulling in
+// sort.Ints allocations in the hot planning loop.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

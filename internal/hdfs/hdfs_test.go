@@ -1,0 +1,207 @@
+package hdfs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%02d", i)
+	}
+	return out
+}
+
+func TestNewNamespaceValidation(t *testing.T) {
+	if _, err := NewNamespace(nil, Config{}); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	ns, err := NewNamespace(testNodes(2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Replication() != 2 {
+		t.Fatalf("replication should clamp to node count, got %d", ns.Replication())
+	}
+	if ns.BlockSize() != DefaultBlockSize {
+		t.Fatalf("BlockSize = %d", ns.BlockSize())
+	}
+}
+
+func TestAddFileBlocks(t *testing.T) {
+	ns, err := NewNamespace(testNodes(5), Config{BlockSize: 100, Replication: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.AddFile("data", 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.AddFile("data", 250); err == nil {
+		t.Fatal("duplicate file accepted")
+	}
+	if err := ns.AddFile("neg", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	blocks, err := ns.Blocks("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	var total int64
+	for i, b := range blocks {
+		total += b.Length
+		if b.Index != i {
+			t.Fatalf("block %d has index %d", i, b.Index)
+		}
+		if b.Offset != int64(i)*100 {
+			t.Fatalf("block %d offset %d", i, b.Offset)
+		}
+		if len(b.Hosts) != 3 {
+			t.Fatalf("block %d has %d replicas", i, len(b.Hosts))
+		}
+		seen := map[string]bool{}
+		for _, h := range b.Hosts {
+			if seen[h] {
+				t.Fatalf("block %d replicates twice on %s", i, h)
+			}
+			seen[h] = true
+		}
+	}
+	if total != 250 {
+		t.Fatalf("block lengths sum to %d", total)
+	}
+	if blocks[2].Length != 50 {
+		t.Fatalf("last block length %d, want 50", blocks[2].Length)
+	}
+}
+
+func TestLocateRange(t *testing.T) {
+	ns, _ := NewNamespace(testNodes(4), Config{BlockSize: 100, Seed: 2})
+	if err := ns.AddFile("f", 350); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		off, length int64
+		wantBlocks  int
+	}{
+		{0, 100, 1},
+		{0, 101, 2},
+		{99, 2, 2},
+		{100, 100, 1},
+		{0, 350, 4},
+		{0, 10_000, 4}, // clamped to file size
+		{340, 100, 1},
+		{350, 10, 0}, // past EOF
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		got, err := ns.LocateRange("f", c.off, c.length)
+		if err != nil {
+			t.Fatalf("LocateRange(%d,%d): %v", c.off, c.length, err)
+		}
+		if len(got) != c.wantBlocks {
+			t.Fatalf("LocateRange(%d,%d) = %d blocks, want %d", c.off, c.length, len(got), c.wantBlocks)
+		}
+	}
+	if _, err := ns.LocateRange("f", -1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := ns.LocateRange("missing", 0, 10); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRangeHostsRanked(t *testing.T) {
+	ns, _ := NewNamespace(testNodes(6), Config{BlockSize: 100, Replication: 2, Seed: 3})
+	if err := ns.AddFile("f", 300); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := ns.RangeHosts("f", 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) == 0 {
+		t.Fatal("no hosts returned")
+	}
+	// The top-ranked host must hold at least as many bytes as any other;
+	// verify ranking by recomputing.
+	blocks, _ := ns.Blocks("f")
+	byHost := map[string]int64{}
+	for _, b := range blocks {
+		for _, h := range b.Hosts {
+			byHost[h] += b.Length
+		}
+	}
+	for i := 1; i < len(hosts); i++ {
+		if byHost[hosts[i-1]] < byHost[hosts[i]] {
+			t.Fatalf("hosts not ranked: %v (bytes %v)", hosts, byHost)
+		}
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	mk := func() []BlockLocation {
+		ns, _ := NewNamespace(testNodes(8), Config{BlockSize: 64, Seed: 42})
+		ns.AddFile("f", 1000)
+		b, _ := ns.Blocks("f")
+		return b
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if fmt.Sprint(a[i]) != fmt.Sprint(b[i]) {
+			t.Fatalf("placement not deterministic at block %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRemoveAndFileSize(t *testing.T) {
+	ns, _ := NewNamespace(testNodes(3), Config{BlockSize: 10})
+	ns.AddFile("f", 25)
+	if sz, err := ns.FileSize("f"); err != nil || sz != 25 {
+		t.Fatalf("FileSize = %d, %v", sz, err)
+	}
+	if err := ns.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.FileSize("f"); err == nil {
+		t.Fatal("removed file still present")
+	}
+	if err := ns.Remove("f"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, err := ns.Blocks("f"); err == nil {
+		t.Fatal("Blocks on removed file accepted")
+	}
+}
+
+func TestQuickBlockCoverage(t *testing.T) {
+	// Every byte of a file is covered by exactly one block.
+	f := func(seed int64, sz uint16) bool {
+		size := int64(sz)
+		ns, err := NewNamespace(testNodes(4), Config{BlockSize: 97, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if err := ns.AddFile("f", size); err != nil {
+			return false
+		}
+		blocks, _ := ns.Blocks("f")
+		var covered int64
+		prevEnd := int64(0)
+		for _, b := range blocks {
+			if b.Offset != prevEnd || b.Length <= 0 {
+				return false
+			}
+			prevEnd = b.Offset + b.Length
+			covered += b.Length
+		}
+		return covered == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sidr/internal/coords"
+)
+
+// This file implements the on-disk representation of intermediate data:
+// the Map output "spill" files Reduce tasks fetch during the shuffle.
+// Each file carries a header with the SIDR kv-count annotation — §3.2.1:
+// "the addition of a field to the header for each Map output file that
+// indicates how many ⟨k,v⟩ are represented by the set of all ⟨k',v'⟩ in
+// that file" — so a Reduce task can tally its inputs without parsing
+// pair bodies.
+//
+// Layout (little-endian):
+//
+//	magic "SPIL" | u16 version | u32 rank | i64 sourceCount | u32 nPairs
+//	nPairs × ( rank × i64 key | f64 sum | f64 sumsq | f64 min | f64 max
+//	           | i64 count | u32 nSamples | nSamples × f64 )
+
+var spillMagic = [4]byte{'S', 'P', 'I', 'L'}
+
+const spillVersion uint16 = 1
+
+// Errors reported by the codec.
+var (
+	ErrBadSpillMagic   = errors.New("kv: bad spill magic")
+	ErrBadSpillVersion = errors.New("kv: unsupported spill version")
+)
+
+// SpillHeader is the metadata of one Map output partition file.
+type SpillHeader struct {
+	// Rank is the dimensionality of the intermediate keys.
+	Rank int
+	// SourceCount is the number of source ⟨k,v⟩ pairs the file's
+	// contents represent — the SIDR annotation.
+	SourceCount int64
+	// Pairs is the number of ⟨k',v'⟩ records in the file.
+	Pairs int
+}
+
+// WriteSpill serialises sorted pairs with their source-count annotation.
+func WriteSpill(w io.Writer, rank int, sourceCount int64, pairs []Pair) error {
+	if rank <= 0 || rank > coords.MaxRank {
+		return fmt.Errorf("kv: invalid spill rank %d", rank)
+	}
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	var b8 [8]byte
+	put64 := func(v uint64) error {
+		le.PutUint64(b8[:], v)
+		_, err := bw.Write(b8[:])
+		return err
+	}
+	putF := func(v float64) error { return put64(math.Float64bits(v)) }
+	put32 := func(v uint32) error {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		_, err := bw.Write(b[:])
+		return err
+	}
+
+	if _, err := bw.Write(spillMagic[:]); err != nil {
+		return err
+	}
+	var b2 [2]byte
+	le.PutUint16(b2[:], spillVersion)
+	if _, err := bw.Write(b2[:]); err != nil {
+		return err
+	}
+	if err := put32(uint32(rank)); err != nil {
+		return err
+	}
+	if err := put64(uint64(sourceCount)); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(pairs))); err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if p.Key.Rank() != rank {
+			return fmt.Errorf("kv: pair key %v rank != %d", p.Key, rank)
+		}
+		for _, x := range p.Key {
+			if err := put64(uint64(x)); err != nil {
+				return err
+			}
+		}
+		v := p.Value
+		for _, f := range []float64{v.Sum, v.SumSq, v.Min, v.Max} {
+			if err := putF(f); err != nil {
+				return err
+			}
+		}
+		if err := put64(uint64(v.Count)); err != nil {
+			return err
+		}
+		if err := put32(uint32(len(v.Samples))); err != nil {
+			return err
+		}
+		for _, s := range v.Samples {
+			if err := putF(s); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpillHeader reads only the header — how a Reduce task learns the
+// annotation tally "without having to read and parse those files"
+// (§3.2.1).
+func ReadSpillHeader(r io.Reader) (SpillHeader, error) {
+	br := bufio.NewReaderSize(r, 64)
+	return readSpillHeader(br)
+}
+
+func readSpillHeader(br *bufio.Reader) (SpillHeader, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return SpillHeader{}, err
+	}
+	if magic != spillMagic {
+		return SpillHeader{}, ErrBadSpillMagic
+	}
+	le := binary.LittleEndian
+	var b2 [2]byte
+	if _, err := io.ReadFull(br, b2[:]); err != nil {
+		return SpillHeader{}, err
+	}
+	if le.Uint16(b2[:]) != spillVersion {
+		return SpillHeader{}, ErrBadSpillVersion
+	}
+	var b4 [4]byte
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return SpillHeader{}, err
+	}
+	rank := int(le.Uint32(b4[:]))
+	if rank <= 0 || rank > coords.MaxRank {
+		return SpillHeader{}, fmt.Errorf("kv: implausible spill rank %d", rank)
+	}
+	var b8 [8]byte
+	if _, err := io.ReadFull(br, b8[:]); err != nil {
+		return SpillHeader{}, err
+	}
+	src := int64(le.Uint64(b8[:]))
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return SpillHeader{}, err
+	}
+	return SpillHeader{Rank: rank, SourceCount: src, Pairs: int(le.Uint32(b4[:]))}, nil
+}
+
+// ReadSpill deserialises a full spill file.
+func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
+	br := bufio.NewReader(r)
+	h, err := readSpillHeader(br)
+	if err != nil {
+		return SpillHeader{}, nil, err
+	}
+	le := binary.LittleEndian
+	var b8 [8]byte
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(b8[:]), nil
+	}
+	getF := func() (float64, error) {
+		u, err := get64()
+		return math.Float64frombits(u), err
+	}
+	var b4 [4]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, b4[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(b4[:]), nil
+	}
+
+	pairs := make([]Pair, 0, h.Pairs)
+	for i := 0; i < h.Pairs; i++ {
+		key := make(coords.Coord, h.Rank)
+		for d := 0; d < h.Rank; d++ {
+			u, err := get64()
+			if err != nil {
+				return h, nil, fmt.Errorf("kv: truncated spill pair %d: %w", i, err)
+			}
+			key[d] = int64(u)
+		}
+		var v Value
+		var err error
+		if v.Sum, err = getF(); err != nil {
+			return h, nil, err
+		}
+		if v.SumSq, err = getF(); err != nil {
+			return h, nil, err
+		}
+		if v.Min, err = getF(); err != nil {
+			return h, nil, err
+		}
+		if v.Max, err = getF(); err != nil {
+			return h, nil, err
+		}
+		cu, err := get64()
+		if err != nil {
+			return h, nil, err
+		}
+		v.Count = int64(cu)
+		ns, err := get32()
+		if err != nil {
+			return h, nil, err
+		}
+		if ns > 0 {
+			if int64(ns) > int64(1)<<32 {
+				return h, nil, fmt.Errorf("kv: implausible sample count %d", ns)
+			}
+			v.Samples = make([]float64, ns)
+			for s := range v.Samples {
+				if v.Samples[s], err = getF(); err != nil {
+					return h, nil, err
+				}
+			}
+		}
+		pairs = append(pairs, Pair{Key: key, Value: v})
+	}
+	return h, pairs, nil
+}

@@ -1,0 +1,131 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sidr/internal/coords"
+)
+
+func samplePairs() []Pair {
+	a := NewValue(1.5, true)
+	a.Add(-2, true)
+	b := NewValue(7, false)
+	return []Pair{
+		{Key: coords.NewCoord(0, 3), Value: a},
+		{Key: coords.NewCoord(1, 0), Value: b},
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pairs := samplePairs()
+	if err := WriteSpill(&buf, 2, 3, pairs); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ReadSpill(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 2 || h.SourceCount != 3 || h.Pairs != 2 {
+		t.Fatalf("header = %+v", h)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d pairs", len(got))
+	}
+	if !got[0].Key.Equal(pairs[0].Key) || got[0].Value.Sum != pairs[0].Value.Sum {
+		t.Fatalf("pair 0 = %+v", got[0])
+	}
+	if len(got[0].Value.Samples) != 2 || got[0].Value.Samples[1] != -2 {
+		t.Fatalf("samples = %v", got[0].Value.Samples)
+	}
+	if got[1].Value.Samples != nil {
+		t.Fatal("sampleless value grew samples")
+	}
+}
+
+func TestSpillHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, 2, 42, samplePairs()); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadSpillHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The annotation is readable from the header alone (§3.2.1).
+	if h.SourceCount != 42 {
+		t.Fatalf("SourceCount = %d", h.SourceCount)
+	}
+}
+
+func TestSpillValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, 0, 0, nil); err == nil {
+		t.Fatal("zero rank accepted")
+	}
+	if err := WriteSpill(&buf, 1, 0, samplePairs()); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := ReadSpillHeader(bytes.NewReader([]byte("XXXXxxxxxxxx"))); !errors.Is(err, ErrBadSpillMagic) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := []byte{'S', 'P', 'I', 'L', 9, 9}
+	if _, err := ReadSpillHeader(bytes.NewReader(bad)); !errors.Is(err, ErrBadSpillVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Truncated body.
+	var full bytes.Buffer
+	if err := WriteSpill(&full, 2, 3, samplePairs()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := full.Bytes()[:full.Len()-4]
+	if _, _, err := ReadSpill(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated spill accepted")
+	}
+}
+
+func TestQuickSpillRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rank := 1 + r.Intn(4)
+		n := r.Intn(20)
+		src := int64(0)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			key := make(coords.Coord, rank)
+			for d := range key {
+				key[d] = r.Int63n(1000)
+			}
+			var v Value
+			k := 1 + r.Intn(4)
+			for j := 0; j < k; j++ {
+				v.Add(r.NormFloat64(), r.Intn(2) == 0)
+			}
+			src += int64(k)
+			pairs[i] = Pair{Key: key, Value: v}
+		}
+		var buf bytes.Buffer
+		if err := WriteSpill(&buf, rank, src, pairs); err != nil {
+			return false
+		}
+		h, got, err := ReadSpill(&buf)
+		if err != nil || h.SourceCount != src || len(got) != n {
+			return false
+		}
+		for i := range pairs {
+			a, b := pairs[i], got[i]
+			if !a.Key.Equal(b.Key) || a.Value.Count != b.Value.Count ||
+				a.Value.Sum != b.Value.Sum || len(a.Value.Samples) != len(b.Value.Samples) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package kv defines the intermediate key/value representation flowing
+// between Map and Reduce tasks. Keys are coordinates in the intermediate
+// keyspace K'; values carry either pre-aggregated state (distributive
+// operators), raw samples (holistic operators), or filtered samples.
+//
+// Every Value carries Count — the number of source ⟨k,v⟩ pairs it
+// represents. This is exactly the annotation SIDR's §3.2.1 "approach 2"
+// adds to intermediate data so a Reduce task can verify it has received
+// all inputs for a key before processing, even after combiners folded an
+// unknown number of source pairs together.
+package kv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sidr/internal/coords"
+)
+
+// Value is the intermediate value for one (key, map-task) contribution.
+// The zero Value is an empty aggregate ready for Add.
+type Value struct {
+	// Aggregate state for distributive operators.
+	Sum   float64
+	SumSq float64
+	Min   float64
+	Max   float64
+
+	// Count is the number of source ⟨k,v⟩ pairs this value represents
+	// (the SIDR correctness annotation). It is maintained by Add and
+	// Merge regardless of operator kind.
+	Count int64
+
+	// Samples holds raw values for holistic operators and matching
+	// values for filters. Nil when the operator runs in aggregate-only
+	// mode.
+	Samples []float64
+}
+
+// NewValue returns a Value seeded with a single observation, keeping the
+// raw sample only when keepSample is true.
+func NewValue(v float64, keepSample bool) Value {
+	val := Value{Sum: v, SumSq: v * v, Min: v, Max: v, Count: 1}
+	if keepSample {
+		val.Samples = []float64{v}
+	}
+	return val
+}
+
+// Add folds a single observation into the value.
+func (v *Value) Add(x float64, keepSample bool) {
+	if v.Count == 0 {
+		v.Min, v.Max = x, x
+	} else {
+		if x < v.Min {
+			v.Min = x
+		}
+		if x > v.Max {
+			v.Max = x
+		}
+	}
+	v.Sum += x
+	v.SumSq += x * x
+	v.Count++
+	if keepSample {
+		v.Samples = append(v.Samples, x)
+	}
+}
+
+// Merge folds another value into v (the combiner/reducer merge step).
+func (v *Value) Merge(o Value) {
+	if o.Count == 0 {
+		return
+	}
+	if v.Count == 0 {
+		v.Min, v.Max = o.Min, o.Max
+	} else {
+		if o.Min < v.Min {
+			v.Min = o.Min
+		}
+		if o.Max > v.Max {
+			v.Max = o.Max
+		}
+	}
+	v.Sum += o.Sum
+	v.SumSq += o.SumSq
+	v.Count += o.Count
+	if o.Samples != nil {
+		v.Samples = append(v.Samples, o.Samples...)
+	}
+}
+
+// Mean returns the running mean; 0 for an empty value.
+func (v *Value) Mean() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return v.Sum / float64(v.Count)
+}
+
+// StdDev returns the population standard deviation; 0 for fewer than one
+// observation.
+func (v *Value) StdDev() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	m := v.Mean()
+	variance := v.SumSq/float64(v.Count) - m*m
+	if variance < 0 {
+		variance = 0 // numeric noise
+	}
+	return math.Sqrt(variance)
+}
+
+// SortedSamples returns the samples in ascending order without mutating
+// the receiver.
+func (v *Value) SortedSamples() []float64 {
+	out := append([]float64(nil), v.Samples...)
+	sort.Float64s(out)
+	return out
+}
+
+// Clone returns a deep copy of the value.
+func (v Value) Clone() Value {
+	out := v
+	if v.Samples != nil {
+		out.Samples = append([]float64(nil), v.Samples...)
+	}
+	return out
+}
+
+// ApproxBytes estimates the serialised size of the value, used by the
+// shuffle accounting and the cluster simulator's data models.
+func (v Value) ApproxBytes() int64 {
+	return 5*8 + int64(len(v.Samples))*8
+}
+
+// Pair is one intermediate ⟨k', v'⟩ record.
+type Pair struct {
+	Key   coords.Coord
+	Value Value
+}
+
+// String renders a pair compactly for diagnostics.
+func (p Pair) String() string {
+	return fmt.Sprintf("<%v: n=%d sum=%g>", p.Key, p.Value.Count, p.Value.Sum)
+}
+
+// SortPairs orders pairs by key in row-major order — the sort phase every
+// Reduce task applies before merging (§2.3).
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Key.Less(ps[j].Key) })
+}
+
+// MergePairs collapses sorted pairs with equal keys into one pair per key
+// (the Reduce-side merge producing ⟨k', list-of-v'⟩; here the list is
+// folded through Value.Merge). ps must already be sorted.
+func MergePairs(ps []Pair) []Pair {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, len(ps))
+	cur := Pair{Key: ps[0].Key, Value: ps[0].Value.Clone()}
+	for _, p := range ps[1:] {
+		if p.Key.Equal(cur.Key) {
+			cur.Value.Merge(p.Value)
+			continue
+		}
+		out = append(out, cur)
+		cur = Pair{Key: p.Key, Value: p.Value.Clone()}
+	}
+	return append(out, cur)
+}
+
+// TotalCount sums the Count annotations of a pair set — the tally a
+// Reduce task keeps to know when all source ⟨k,v⟩ pairs have arrived.
+func TotalCount(ps []Pair) int64 {
+	var n int64
+	for _, p := range ps {
+		n += p.Value.Count
+	}
+	return n
+}
+
+// MergeSorted performs the Reduce-side k-way merge: each stream is one
+// Map task's already-sorted output for this keyblock; the result is the
+// fully merged ⟨k', folded-value⟩ list in row-major key order — without
+// re-sorting the concatenation. Streams must individually be sorted by
+// key (as Map tasks emit them); values of equal keys are folded through
+// Value.Merge. Input streams are not modified.
+func MergeSorted(streams [][]Pair) []Pair {
+	// Heap of stream heads ordered by key, ties by stream index for
+	// determinism.
+	type head struct {
+		stream int
+		idx    int
+	}
+	heads := make([]head, 0, len(streams))
+	total := 0
+	for s, ps := range streams {
+		total += len(ps)
+		if len(ps) > 0 {
+			heads = append(heads, head{stream: s})
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	less := func(a, b head) bool {
+		c := streams[a.stream][a.idx].Key.Compare(streams[b.stream][b.idx].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return a.stream < b.stream
+	}
+	// Sift-based binary heap over heads.
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heads) && less(heads[l], heads[m]) {
+				m = l
+			}
+			if r < len(heads) && less(heads[r], heads[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heads[i], heads[m] = heads[m], heads[i]
+			i = m
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+
+	out := make([]Pair, 0, total)
+	for len(heads) > 0 {
+		h := heads[0]
+		p := streams[h.stream][h.idx]
+		if n := len(out); n > 0 && out[n-1].Key.Equal(p.Key) {
+			out[n-1].Value.Merge(p.Value)
+		} else {
+			out = append(out, Pair{Key: p.Key, Value: p.Value.Clone()})
+		}
+		if h.idx+1 < len(streams[h.stream]) {
+			heads[0].idx++
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		down(0)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package kv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sidr/internal/coords"
+)
+
+func TestMergeSortedEmpty(t *testing.T) {
+	if got := MergeSorted(nil); got != nil {
+		t.Fatalf("MergeSorted(nil) = %v", got)
+	}
+	if got := MergeSorted([][]Pair{{}, {}}); got != nil {
+		t.Fatalf("MergeSorted(empties) = %v", got)
+	}
+}
+
+func TestMergeSortedSingleStream(t *testing.T) {
+	s := []Pair{
+		{Key: coords.NewCoord(0), Value: NewValue(1, false)},
+		{Key: coords.NewCoord(2), Value: NewValue(2, false)},
+	}
+	got := MergeSorted([][]Pair{s})
+	if len(got) != 2 || !got[1].Key.Equal(coords.NewCoord(2)) {
+		t.Fatalf("got %v", got)
+	}
+	// Must not alias inputs.
+	got[0].Value.Add(99, false)
+	if s[0].Value.Count != 1 {
+		t.Fatal("MergeSorted aliased stream values")
+	}
+}
+
+func TestMergeSortedInterleavedAndDuplicateKeys(t *testing.T) {
+	a := []Pair{
+		{Key: coords.NewCoord(0), Value: NewValue(1, false)},
+		{Key: coords.NewCoord(4), Value: NewValue(4, false)},
+	}
+	b := []Pair{
+		{Key: coords.NewCoord(0), Value: NewValue(10, false)},
+		{Key: coords.NewCoord(2), Value: NewValue(2, false)},
+		{Key: coords.NewCoord(4), Value: NewValue(40, false)},
+	}
+	got := MergeSorted([][]Pair{a, b})
+	if len(got) != 3 {
+		t.Fatalf("merged to %d keys: %v", len(got), got)
+	}
+	if got[0].Value.Sum != 11 || got[0].Value.Count != 2 {
+		t.Fatalf("key 0 = %+v", got[0].Value)
+	}
+	if got[1].Value.Sum != 2 {
+		t.Fatalf("key 2 = %+v", got[1].Value)
+	}
+	if got[2].Value.Sum != 44 {
+		t.Fatalf("key 4 = %+v", got[2].Value)
+	}
+}
+
+// TestQuickMergeSortedEqualsSortMerge: the k-way merge agrees with the
+// naive concatenate→sort→merge pipeline for random sorted streams.
+func TestQuickMergeSortedEqualsSortMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nStreams := r.Intn(6)
+		streams := make([][]Pair, nStreams)
+		var all []Pair
+		for s := range streams {
+			n := r.Intn(15)
+			ps := make([]Pair, 0, n)
+			for i := 0; i < n; i++ {
+				key := coords.NewCoord(r.Int63n(8), r.Int63n(4))
+				v := NewValue(r.NormFloat64(), r.Intn(2) == 0)
+				ps = append(ps, Pair{Key: key, Value: v})
+			}
+			SortPairs(ps)
+			streams[s] = ps
+			for _, p := range ps {
+				all = append(all, Pair{Key: p.Key, Value: p.Value.Clone()})
+			}
+		}
+		got := MergeSorted(streams)
+		SortPairs(all)
+		want := MergePairs(all)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			// Sum is compared with a tolerance: float addition order
+			// differs between the two merge strategies.
+			if !got[i].Key.Equal(want[i].Key) ||
+				got[i].Value.Count != want[i].Value.Count ||
+				abs(got[i].Value.Sum-want[i].Value.Sum) > 1e-9 ||
+				got[i].Value.Min != want[i].Value.Min ||
+				got[i].Value.Max != want[i].Value.Max ||
+				len(got[i].Value.Samples) != len(want[i].Value.Samples) {
+				return false
+			}
+			// Sample multisets must match (merge order may differ).
+			a := append([]float64(nil), got[i].Value.Samples...)
+			b := append([]float64(nil), want[i].Value.Samples...)
+			sort.Float64s(a)
+			sort.Float64s(b)
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestQuickMergeSortedOutputSorted: output keys are strictly ascending.
+func TestQuickMergeSortedOutputSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		streams := make([][]Pair, 1+r.Intn(4))
+		for s := range streams {
+			n := 1 + r.Intn(10)
+			ps := make([]Pair, 0, n)
+			for i := 0; i < n; i++ {
+				ps = append(ps, Pair{Key: coords.NewCoord(r.Int63n(6)), Value: NewValue(1, false)})
+			}
+			SortPairs(ps)
+			streams[s] = ps
+		}
+		got := MergeSorted(streams)
+		for i := 1; i < len(got); i++ {
+			if !got[i-1].Key.Less(got[i].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+// Package mapreduce implements an in-process MapReduce runtime for
+// structural queries — the repository's stand-in for Hadoop 1.0. Map
+// tasks read logical-coordinate input splits (SciHadoop-style), emit
+// intermediate ⟨k',v'⟩ pairs keyed by extraction-shape tile, optionally
+// combine them, and partition them into keyblocks; Reduce tasks wait on a
+// barrier (global, as stock Hadoop, or per-keyblock data dependencies, as
+// SIDR), fetch and merge their pairs, validate kv-count annotations, and
+// apply the query operator.
+//
+// Tasks run on real goroutine worker pools over real data, so barrier
+// semantics, shuffle connection counts, early results and the count
+// annotations are all exercised end-to-end rather than simulated.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sidr/internal/coords"
+	"sidr/internal/depgraph"
+	"sidr/internal/kv"
+	"sidr/internal/ops"
+	"sidr/internal/partition"
+	"sidr/internal/query"
+)
+
+// InputSplit is a unit of Map work: a logical-coordinate slab of the
+// dataset plus the hosts holding it (locality hints).
+type InputSplit struct {
+	ID    int
+	Slab  coords.Slab
+	Hosts []string
+}
+
+// RecordReader produces the ⟨k, v⟩ pairs of one input split. Readers
+// must be safe for concurrent calls on distinct splits.
+type RecordReader interface {
+	// ReadSplit invokes emit for every point of the slab, in row-major
+	// order, stopping on the first error.
+	ReadSplit(slab coords.Slab, emit func(k coords.Coord, v float64) error) error
+}
+
+// BarrierMode selects how Reduce tasks synchronise with Map tasks.
+type BarrierMode int
+
+const (
+	// GlobalBarrier makes every Reduce task wait for all Map tasks —
+	// stock Hadoop semantics (Figure 4a).
+	GlobalBarrier BarrierMode = iota
+	// DependencyBarrier lets each Reduce task start once the splits in
+	// its I_ℓ are processed — SIDR semantics (Figure 4b). Requires
+	// Config.Graph.
+	DependencyBarrier
+)
+
+// String names the mode.
+func (b BarrierMode) String() string {
+	if b == GlobalBarrier {
+		return "global"
+	}
+	return "dependency"
+}
+
+// EventKind enumerates trace events.
+type EventKind int
+
+const (
+	// MapStart and MapEnd bracket a Map task (Detail = split id).
+	MapStart EventKind = iota
+	MapEnd
+	// ReduceStart marks a Reduce task's barrier being satisfied and
+	// processing beginning; ReduceEnd marks its output being committed
+	// (Detail = keyblock id).
+	ReduceStart
+	ReduceEnd
+	// ReduceRecovered marks a Reduce attempt that failed and was
+	// re-executed (Detail = keyblock id).
+	ReduceRecovered
+)
+
+// Event is one timestamped runtime event.
+type Event struct {
+	Kind   EventKind
+	Detail int
+	At     time.Time
+}
+
+// Counters aggregates runtime statistics.
+type Counters struct {
+	MapRecordsIn   int64 // source points read by Map tasks
+	MapPairsOut    int64 // intermediate pairs after combining
+	ReducePairsIn  int64 // pairs fetched by Reduce tasks
+	ShuffleBytes   int64 // approximate bytes crossing the shuffle
+	OutputValues   int64 // values emitted by Reduce tasks
+	Connections    int64 // shuffle fetches (Table 3's metric)
+	RecomputedMaps int64 // Map tasks re-executed for failure recovery
+}
+
+// ReduceOutput is the committed output of one Reduce task: the keys of
+// its keyblock in row-major order with the operator's values for each.
+type ReduceOutput struct {
+	Keyblock int
+	Keys     []coords.Coord
+	Values   [][]float64
+}
+
+// Result is a completed job.
+type Result struct {
+	Outputs  []ReduceOutput // indexed by keyblock
+	Counters Counters
+	Events   []Event
+	Started  time.Time
+	Finished time.Time
+}
+
+// Config parametrises a job.
+type Config struct {
+	Query  *query.Query
+	Splits []InputSplit
+	Reader RecordReader
+	Part   partition.Partitioner
+
+	// Graph supplies I_ℓ and expected counts; required for
+	// DependencyBarrier and for count validation.
+	Graph   *depgraph.Graph
+	Barrier BarrierMode
+
+	// ValidateCounts makes each Reduce task verify the kv-count annotation
+	// tally against the expected source count before applying the
+	// operator (§3.2.1 approach 2). Requires Graph.
+	ValidateCounts bool
+
+	// Combine runs map-side combining (lossless for distributive and
+	// filter operators; skipped automatically for holistic ones).
+	Combine bool
+
+	// MapWorkers and ReduceWorkers bound task concurrency; both default
+	// to 4.
+	MapWorkers    int
+	ReduceWorkers int
+
+	// MapOrder optionally reorders Map task execution (SIDR's scheduler
+	// feeds dependency-driven order); nil runs splits in slice order.
+	MapOrder []int
+
+	// ReduceOrder optionally reorders Reduce task dispatch (SIDR's
+	// keyblock prioritisation, §3.4); nil dispatches by ascending
+	// keyblock id, Hadoop's policy.
+	ReduceOrder []int
+
+	// FailReduceOnce lists keyblocks whose Reduce task fails on its
+	// first attempt, exercising the failure-recovery path. With
+	// RecoverByRecompute the engine re-runs the Map tasks in I_ℓ instead
+	// of refetching persisted intermediate data.
+	FailReduceOnce     map[int]bool
+	RecoverByRecompute bool
+
+	// OnEvent, when set, receives every event as it happens (in addition
+	// to Result.Events).
+	OnEvent func(Event)
+
+	// OnReduceOutput, when set, receives each Reduce task's committed
+	// output the moment it is available — SIDR's early, correct,
+	// partial results. Callbacks may arrive concurrently from multiple
+	// Reduce workers.
+	OnReduceOutput func(ReduceOutput)
+
+	// SpillDir, when set, materialises Map outputs as on-disk spill
+	// files (one per Map task and keyblock, with the §3.2.1 kv-count
+	// annotation in the file header) that Reduce tasks read back during
+	// the shuffle — Hadoop's real intermediate-data path. Empty keeps
+	// intermediate data in memory.
+	SpillDir string
+
+	// SortBufferRecords bounds the Map-side accumulation buffer,
+	// modelling Hadoop's io.sort.mb: when a Map task has buffered this
+	// many source records it seals the buffer into a sorted segment and
+	// starts a new one; segments are k-way merged map-side before the
+	// output is published. Zero means unbounded (a single segment).
+	SortBufferRecords int64
+}
+
+// Errors reported by Run.
+var (
+	ErrNoQuery       = errors.New("mapreduce: config needs a query")
+	ErrNoReader      = errors.New("mapreduce: config needs a record reader")
+	ErrNoPartitioner = errors.New("mapreduce: config needs a partitioner")
+	ErrNeedsGraph    = errors.New("mapreduce: dependency barrier and count validation need a dependency graph")
+	ErrCountMismatch = errors.New("mapreduce: kv-count annotation mismatch")
+	ErrBadMapOrder   = errors.New("mapreduce: MapOrder must permute split indices")
+)
+
+// mapOutput is the materialised output of one Map task for one keyblock —
+// one partition of a Map output file. sourceCount is the file-header
+// annotation of §3.2.1: the number of source ⟨k,v⟩ pairs the (possibly
+// combined) pairs represent. In spill mode pairs is nil and path names
+// the on-disk spill file.
+type mapOutput struct {
+	pairs       []kv.Pair
+	path        string
+	sourceCount int64
+}
+
+// job carries the shared state of one run.
+type job struct {
+	cfg   Config
+	op    ops.Operator
+	space coords.Slab // K'^T
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	mapDone  []bool
+	nDone    int
+	outputs  [][]mapOutput // [split][keyblock]
+	events   []Event
+	counters Counters
+	failed   error
+}
+
+// Run executes the job and blocks until completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Query == nil {
+		return nil, ErrNoQuery
+	}
+	if cfg.Reader == nil {
+		return nil, ErrNoReader
+	}
+	if cfg.Part == nil {
+		return nil, ErrNoPartitioner
+	}
+	if (cfg.Barrier == DependencyBarrier || cfg.ValidateCounts || cfg.RecoverByRecompute) && cfg.Graph == nil {
+		return nil, ErrNeedsGraph
+	}
+	if cfg.MapWorkers <= 0 {
+		cfg.MapWorkers = 4
+	}
+	if cfg.ReduceWorkers <= 0 {
+		cfg.ReduceWorkers = 4
+	}
+	op, err := cfg.Query.Op()
+	if err != nil {
+		return nil, err
+	}
+	space, err := cfg.Query.IntermediateSpace()
+	if err != nil {
+		return nil, err
+	}
+	order := cfg.MapOrder
+	if order == nil {
+		order = make([]int, len(cfg.Splits))
+		for i := range order {
+			order[i] = i
+		}
+	} else if err := checkPermutation(order, len(cfg.Splits)); err != nil {
+		return nil, err
+	}
+	rOrder := cfg.ReduceOrder
+	if rOrder == nil {
+		rOrder = make([]int, cfg.Part.NumKeyblocks())
+		for i := range rOrder {
+			rOrder[i] = i
+		}
+	} else if err := checkPermutation(rOrder, cfg.Part.NumKeyblocks()); err != nil {
+		return nil, err
+	}
+
+	j := &job{
+		cfg:     cfg,
+		op:      op,
+		space:   space,
+		mapDone: make([]bool, len(cfg.Splits)),
+		outputs: make([][]mapOutput, len(cfg.Splits)),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	started := time.Now()
+
+	r := cfg.Part.NumKeyblocks()
+	results := make([]ReduceOutput, r)
+	reduceErrs := make([]error, r)
+
+	var wg sync.WaitGroup
+	// Reduce workers start first — under SIDR scheduling Reduce tasks are
+	// scheduled before the Map tasks they depend on (§3.3).
+	reduceCh := make(chan int)
+	for w := 0; w < cfg.ReduceWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := range reduceCh {
+				out, err := j.runReduce(l)
+				if err != nil {
+					j.fail(err)
+				}
+				results[l] = out
+				reduceErrs[l] = err
+			}
+		}()
+	}
+	mapCh := make(chan int)
+	for w := 0; w < cfg.MapWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range mapCh {
+				if err := j.runMap(i); err != nil {
+					j.fail(err)
+				}
+			}
+		}()
+	}
+
+	go func() {
+		for _, l := range rOrder {
+			reduceCh <- l
+		}
+		close(reduceCh)
+	}()
+	for _, i := range order {
+		mapCh <- i
+	}
+	close(mapCh)
+	wg.Wait()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return nil, j.failed
+	}
+	for _, err := range reduceErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Outputs:  results,
+		Counters: j.counters,
+		Events:   j.events,
+		Started:  started,
+		Finished: time.Now(),
+	}, nil
+}
+
+// fail records the first error and wakes all waiters.
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed == nil {
+		j.failed = err
+	}
+	j.cond.Broadcast()
+}
+
+func (j *job) emit(e Event) {
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	cb := j.cfg.OnEvent
+	j.mu.Unlock()
+	if cb != nil {
+		cb(e)
+	}
+}
+
+func checkPermutation(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("%w: %d entries for %d splits", ErrBadMapOrder, len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("%w: bad entry %d", ErrBadMapOrder, i)
+		}
+		seen[i] = true
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package mapreduce
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpillModeMatchesInMemory(t *testing.T) {
+	queries := []string{
+		"median temp[0,0 : 28,10] es {7,5}",
+		"avg temp[0,0 : 28,10] es {7,5}",
+		"filter_gt temp[0,0 : 20,20] es {4,4} param 30",
+	}
+	for _, qs := range queries {
+		q := mustParse(t, qs)
+		ref := referenceResults(t, q, synthValue)
+		cfg := buildJob(t, q, 3, true, true)
+		cfg.SpillDir = t.TempDir()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		checkAgainstReference(t, res, ref)
+		// Spill files must actually exist on disk.
+		entries, err := os.ReadDir(cfg.SpillDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "spill-") {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s: no spill files written", qs)
+		}
+	}
+}
+
+func TestSpillModeCountValidationStillWorks(t *testing.T) {
+	q := mustParse(t, "avg temp[0,0 : 28,10] es {7,5}")
+	cfg := buildJob(t, q, 2, true, true)
+	cfg.SpillDir = t.TempDir()
+	cfg.Graph.ExpectedCount[0]++ // poison the expectation
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("count mismatch undetected in spill mode")
+	}
+}
+
+func TestSpillModeGlobalBarrier(t *testing.T) {
+	q := mustParse(t, "median temp[0,0 : 28,10] es {7,5}")
+	ref := referenceResults(t, q, synthValue)
+	cfg := buildJob(t, q, 3, false, false)
+	cfg.SpillDir = t.TempDir()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, res, ref)
+}
+
+func TestSpillCorruptionDetected(t *testing.T) {
+	q := mustParse(t, "avg temp[0,0 : 28,10] es {7,5}")
+	cfg := buildJob(t, q, 2, true, true)
+	dir := t.TempDir()
+	cfg.SpillDir = dir
+	// Corrupt every spill file as soon as its map finishes, before the
+	// reduces consume them: truncate to garbage via an event hook.
+	cfg.OnEvent = func(e Event) {
+		if e.Kind != MapEnd {
+			return
+		}
+		entries, _ := os.ReadDir(dir)
+		for _, ent := range entries {
+			os.WriteFile(filepath.Join(dir, ent.Name()), []byte("junk"), 0o644)
+		}
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("corrupted spill files accepted")
+	}
+}
+
+func TestSpillFailureRecoveryRefetch(t *testing.T) {
+	// Persisted spills survive a Reduce failure: recovery refetches them
+	// without re-running maps.
+	q := mustParse(t, "median temp[0,0 : 28,10] es {7,5}")
+	ref := referenceResults(t, q, synthValue)
+	cfg := buildJob(t, q, 2, true, true)
+	cfg.SpillDir = t.TempDir()
+	cfg.FailReduceOnce = map[int]bool{0: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, res, ref)
+	if res.Counters.RecomputedMaps != 0 {
+		t.Fatalf("refetch recovery recomputed %d maps", res.Counters.RecomputedMaps)
+	}
+}

@@ -1,0 +1,331 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"sidr/internal/coords"
+	"sidr/internal/kv"
+	"sidr/internal/ops"
+)
+
+// runMap executes Map task i: read the split's live region, map every
+// source key into K' via the extraction shape, accumulate per-keyblock
+// intermediate pairs (combining when configured), and publish the outputs
+// with their source-count annotations.
+func (j *job) runMap(i int) error {
+	j.emit(Event{Kind: MapStart, Detail: i, At: time.Now()})
+	outs, records, err := j.execMap(i)
+	if err != nil {
+		return err
+	}
+	var pairsOut int64
+	for _, o := range outs {
+		pairsOut += int64(len(o.pairs))
+	}
+	if j.cfg.SpillDir != "" {
+		if err := j.spill(i, outs); err != nil {
+			return err
+		}
+	}
+	j.mu.Lock()
+	j.outputs[i] = outs
+	if !j.mapDone[i] {
+		j.mapDone[i] = true
+		j.nDone++
+	}
+	j.counters.MapRecordsIn += records
+	j.counters.MapPairsOut += pairsOut
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	j.emit(Event{Kind: MapEnd, Detail: i, At: time.Now()})
+	return nil
+}
+
+// execMap is the side-effect-free body of a Map task, shared by normal
+// execution and failure-recovery re-execution.
+func (j *job) execMap(i int) ([]mapOutput, int64, error) {
+	split := j.cfg.Splits[i]
+	q := j.cfg.Query
+	live, ok := split.Slab.Intersect(q.Input)
+	if !ok {
+		return make([]mapOutput, j.cfg.Part.NumKeyblocks()), 0, nil
+	}
+	needSamples := j.op.NeedsSamples()
+	combine := j.cfg.Combine && ops.CombinerLossless(j.op)
+
+	r := j.cfg.Part.NumKeyblocks()
+	outs := make([]mapOutput, r)
+	// Per-keyblock accumulation keyed by the K' key's row-major offset.
+	// When SortBufferRecords bounds the buffer, full buffers are sealed
+	// into sorted segments (Hadoop's io.sort.mb spills) and merged
+	// map-side after the split is consumed.
+	accums := make([]map[int64]*kv.Value, r)
+	segments := make([][][]kv.Pair, r)
+	var records, buffered int64
+
+	// sealSegment converts one keyblock's accumulated buffer into a
+	// sorted pair segment.
+	sealSegment := func(kb int) error {
+		m := accums[kb]
+		if len(m) == 0 {
+			return nil
+		}
+		pairs := make([]kv.Pair, 0, len(m))
+		for off, val := range m {
+			kp, err := j.space.Delinearize(off)
+			if err != nil {
+				return err
+			}
+			out := *val
+			if combine && j.op.Kind() == ops.Filter {
+				out = ops.PreFilter(j.op, out, q.Param)
+			}
+			if !combine && out.Count > 1 && out.Samples != nil {
+				// Without a combiner each source pair ships separately;
+				// emit one pair per sample to model the uncombined byte
+				// volume. Aggregate-only operators still fold (their
+				// values are indistinguishable), matching Hadoop jobs
+				// that always configure combiners for such operators.
+				for _, s := range out.Samples {
+					pairs = append(pairs, kv.Pair{Key: kp, Value: kv.NewValue(s, true)})
+				}
+				continue
+			}
+			pairs = append(pairs, kv.Pair{Key: kp, Value: out})
+		}
+		kv.SortPairs(pairs)
+		segments[kb] = append(segments[kb], pairs)
+		accums[kb] = nil
+		return nil
+	}
+	sealAll := func() error {
+		for kb := range accums {
+			if err := sealSegment(kb); err != nil {
+				return err
+			}
+		}
+		buffered = 0
+		return nil
+	}
+
+	err := j.cfg.Reader.ReadSplit(live, func(k coords.Coord, v float64) error {
+		kp, mapped := q.Extraction.MapKey(k)
+		if !mapped {
+			return nil // stride gap
+		}
+		if !j.space.Contains(kp) {
+			return nil // discarded partial tile (KeepPartial == false semantics)
+		}
+		records++
+		kb, err := j.cfg.Part.Partition(kp)
+		if err != nil {
+			return err
+		}
+		off, err := j.space.Linearize(kp)
+		if err != nil {
+			return err
+		}
+		m := accums[kb]
+		if m == nil {
+			m = make(map[int64]*kv.Value)
+			accums[kb] = m
+		}
+		val := m[off]
+		if val == nil {
+			val = &kv.Value{}
+			m[off] = val
+		}
+		val.Add(v, needSamples)
+		outs[kb].sourceCount++
+		buffered++
+		if j.cfg.SortBufferRecords > 0 && buffered >= j.cfg.SortBufferRecords {
+			return sealAll()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("mapreduce: map task %d: %w", i, err)
+	}
+	if err := sealAll(); err != nil {
+		return nil, 0, err
+	}
+
+	for kb, segs := range segments {
+		switch {
+		case len(segs) == 0:
+			// No data for this keyblock.
+		case len(segs) == 1:
+			outs[kb].pairs = segs[0]
+		case combine:
+			// Map-side merge folds equal keys across segments — the
+			// combiner applied during Hadoop's spill merge.
+			outs[kb].pairs = kv.MergeSorted(segs)
+		default:
+			// Without a combiner segments are concatenated and re-sorted
+			// so downstream streams stay key-ordered but unfolded.
+			var all []kv.Pair
+			for _, s := range segs {
+				all = append(all, s...)
+			}
+			kv.SortPairs(all)
+			outs[kb].pairs = all
+		}
+	}
+	return outs, records, nil
+}
+
+// barrierMet reports whether Reduce task l may begin processing under the
+// configured barrier mode. Caller holds j.mu.
+func (j *job) barrierMet(l int) bool {
+	if j.cfg.Barrier == GlobalBarrier {
+		return j.nDone == len(j.cfg.Splits)
+	}
+	for _, s := range j.cfg.Graph.KBToSplits[l] {
+		if !j.mapDone[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// runReduce executes Reduce task l: wait for its barrier, fetch and merge
+// its intermediate data, validate the kv-count annotation tally, apply
+// the operator per key, and commit the output.
+func (j *job) runReduce(l int) (ReduceOutput, error) {
+	j.mu.Lock()
+	for !j.barrierMet(l) && j.failed == nil {
+		j.cond.Wait()
+	}
+	if j.failed != nil {
+		j.mu.Unlock()
+		return ReduceOutput{Keyblock: l}, j.failed
+	}
+	j.mu.Unlock()
+	j.emit(Event{Kind: ReduceStart, Detail: l, At: time.Now()})
+
+	out, err := j.execReduce(l)
+	if err != nil {
+		return ReduceOutput{Keyblock: l}, err
+	}
+
+	// Failure injection: the first attempt is discarded and the task
+	// re-executed, optionally re-running its dependent Map tasks instead
+	// of relying on persisted intermediate data (paper §6 future work).
+	j.mu.Lock()
+	shouldFail := j.cfg.FailReduceOnce[l]
+	if shouldFail {
+		delete(j.cfg.FailReduceOnce, l)
+	}
+	j.mu.Unlock()
+	if shouldFail {
+		if j.cfg.RecoverByRecompute {
+			for _, s := range j.cfg.Graph.KBToSplits[l] {
+				outs, _, err := j.execMap(s)
+				if err != nil {
+					return ReduceOutput{Keyblock: l}, err
+				}
+				j.mu.Lock()
+				j.outputs[s] = outs
+				j.counters.RecomputedMaps++
+				j.mu.Unlock()
+			}
+		}
+		j.emit(Event{Kind: ReduceRecovered, Detail: l, At: time.Now()})
+		out, err = j.execReduce(l)
+		if err != nil {
+			return ReduceOutput{Keyblock: l}, err
+		}
+	}
+
+	if j.cfg.OnReduceOutput != nil {
+		j.cfg.OnReduceOutput(out)
+	}
+	j.emit(Event{Kind: ReduceEnd, Detail: l, At: time.Now()})
+	return out, nil
+}
+
+// execReduce fetches, merges and reduces keyblock l's data.
+func (j *job) execReduce(l int) (ReduceOutput, error) {
+	// Shuffle: under the dependency barrier only the Map tasks in I_ℓ
+	// are contacted; under the global barrier every Map task is (stock
+	// Hadoop's all-to-all fetch), which is what Table 3 counts.
+	var sources []int
+	if j.cfg.Barrier == DependencyBarrier {
+		sources = j.cfg.Graph.KBToSplits[l]
+	} else {
+		sources = make([]int, len(j.cfg.Splits))
+		for i := range sources {
+			sources[i] = i
+		}
+	}
+
+	// Each Map task's output for this keyblock is an independently
+	// sorted stream; collect them for the k-way merge.
+	var streams [][]kv.Pair
+	var tally, pairsIn, bytesIn int64
+	var spills []string
+	j.mu.Lock()
+	for _, s := range sources {
+		j.counters.Connections++
+		o := j.outputs[s]
+		if l >= len(o) {
+			continue
+		}
+		if o[l].path != "" {
+			spills = append(spills, o[l].path)
+			continue
+		}
+		if len(o[l].pairs) == 0 && o[l].sourceCount == 0 {
+			continue
+		}
+		streams = append(streams, o[l].pairs)
+		tally += o[l].sourceCount
+		pairsIn += int64(len(o[l].pairs))
+		for _, p := range o[l].pairs {
+			bytesIn += p.Value.ApproxBytes()
+		}
+	}
+	j.mu.Unlock()
+	for _, path := range spills {
+		filePairs, src, err := readSpillFile(path)
+		if err != nil {
+			return ReduceOutput{}, err
+		}
+		streams = append(streams, filePairs)
+		tally += src
+		pairsIn += int64(len(filePairs))
+		for _, p := range filePairs {
+			bytesIn += p.Value.ApproxBytes()
+		}
+	}
+	j.mu.Lock()
+	j.counters.ReducePairsIn += pairsIn
+	j.counters.ShuffleBytes += bytesIn
+	j.mu.Unlock()
+
+	if j.cfg.ValidateCounts {
+		want := j.cfg.Graph.ExpectedCount[l]
+		if tally != want {
+			return ReduceOutput{}, fmt.Errorf("%w: keyblock %d received %d source pairs, expected %d",
+				ErrCountMismatch, l, tally, want)
+		}
+	}
+
+	// The Reduce-side sort/merge (§2.3): Map outputs arrive as sorted
+	// streams, so a k-way merge yields the ⟨k', merged-value⟩ list
+	// without a global re-sort — Hadoop's actual merge structure.
+	merged := kv.MergeSorted(streams)
+	out := ReduceOutput{Keyblock: l, Keys: make([]coords.Coord, 0, len(merged)), Values: make([][]float64, 0, len(merged))}
+	var produced int64
+	for _, p := range merged {
+		vals := j.op.Apply(p.Value, j.cfg.Query.Param)
+		out.Keys = append(out.Keys, p.Key)
+		out.Values = append(out.Values, vals)
+		produced += int64(len(vals))
+	}
+	j.mu.Lock()
+	j.counters.OutputValues += produced
+	j.mu.Unlock()
+	return out, nil
+}

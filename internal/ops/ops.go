@@ -1,0 +1,226 @@
+// Package ops implements the operator library applied by structural
+// queries: the function each Reduce task evaluates over the values of one
+// intermediate key (one extraction-shape tile of input).
+//
+// Operators are classified the way the MapReduce-Online comparison in the
+// paper requires (§5): distributive operators admit combiners and
+// constant-size intermediate state; holistic operators (median, sort)
+// need every raw sample; filters emit variable-length results and admit
+// combiners that pre-filter.
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sidr/internal/kv"
+)
+
+// Kind classifies an operator's aggregation structure.
+type Kind int
+
+const (
+	// Distributive operators (sum, min, ...) can be computed from
+	// partial aggregates; combiners are lossless.
+	Distributive Kind = iota
+	// Holistic operators (median, sort) need all raw samples at the
+	// Reduce task; combiners may only concatenate.
+	Holistic
+	// Filter operators emit the subset of samples satisfying a
+	// predicate; combiners may pre-filter.
+	Filter
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Distributive:
+		return "distributive"
+	case Holistic:
+		return "holistic"
+	case Filter:
+		return "filter"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Operator evaluates a structural query's function over one intermediate
+// key's merged value.
+type Operator interface {
+	// Name is the operator's query-language name.
+	Name() string
+	// Kind classifies the operator.
+	Kind() Kind
+	// NeedsSamples reports whether Map tasks must retain raw samples in
+	// intermediate values for this operator.
+	NeedsSamples() bool
+	// Apply computes the outputs for one intermediate key from its fully
+	// merged value. param carries the operator parameter (e.g. a filter
+	// threshold); most operators ignore it. Distributive and holistic
+	// operators return exactly one value; filters return zero or more.
+	Apply(v kv.Value, param float64) []float64
+}
+
+// fn is a table-driven operator implementation.
+type fn struct {
+	name    string
+	kind    Kind
+	samples bool
+	apply   func(v kv.Value, param float64) []float64
+}
+
+func (f fn) Name() string                          { return f.name }
+func (f fn) Kind() Kind                            { return f.kind }
+func (f fn) NeedsSamples() bool                    { return f.samples }
+func (f fn) Apply(v kv.Value, p float64) []float64 { return f.apply(v, p) }
+
+var registry = map[string]Operator{}
+
+func register(op Operator) {
+	if _, dup := registry[op.Name()]; dup {
+		panic("ops: duplicate operator " + op.Name())
+	}
+	registry[op.Name()] = op
+}
+
+func init() {
+	register(fn{name: "sum", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		return []float64{v.Sum}
+	}})
+	register(fn{name: "count", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		return []float64{float64(v.Count)}
+	}})
+	register(fn{name: "avg", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		return []float64{v.Mean()}
+	}})
+	register(fn{name: "min", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		return []float64{v.Min}
+	}})
+	register(fn{name: "max", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		return []float64{v.Max}
+	}})
+	register(fn{name: "stddev", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		return []float64{v.StdDev()}
+	}})
+	register(fn{name: "median", kind: Holistic, samples: true, apply: func(v kv.Value, _ float64) []float64 {
+		s := v.SortedSamples()
+		if len(s) == 0 {
+			return []float64{0}
+		}
+		if len(s)%2 == 1 {
+			return []float64{s[len(s)/2]}
+		}
+		return []float64{(s[len(s)/2-1] + s[len(s)/2]) / 2}
+	}})
+	register(fn{name: "sort", kind: Holistic, samples: true, apply: func(v kv.Value, _ float64) []float64 {
+		return v.SortedSamples()
+	}})
+	register(fn{name: "filter_gt", kind: Filter, samples: true, apply: func(v kv.Value, p float64) []float64 {
+		var out []float64
+		for _, s := range v.Samples {
+			if s > p {
+				out = append(out, s)
+			}
+		}
+		sort.Float64s(out)
+		return out
+	}})
+	register(fn{name: "filter_lt", kind: Filter, samples: true, apply: func(v kv.Value, p float64) []float64 {
+		var out []float64
+		for _, s := range v.Samples {
+			if s < p {
+				out = append(out, s)
+			}
+		}
+		sort.Float64s(out)
+		return out
+	}})
+	register(fn{name: "range", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		if v.Count == 0 {
+			return []float64{0}
+		}
+		return []float64{v.Max - v.Min}
+	}})
+	register(fn{name: "absmax", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
+		a, b := v.Min, v.Max
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			return []float64{a}
+		}
+		return []float64{b}
+	}})
+	// percentile returns the p-th percentile (param in [0, 100]) using
+	// nearest-rank; param 50 matches median for odd sample counts.
+	register(fn{name: "percentile", kind: Holistic, samples: true, apply: func(v kv.Value, p float64) []float64 {
+		s := v.SortedSamples()
+		if len(s) == 0 {
+			return []float64{0}
+		}
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		return []float64{s[rank-1]}
+	}})
+}
+
+// Lookup resolves an operator by its query-language name.
+func Lookup(name string) (Operator, error) {
+	op, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ops: unknown operator %q", name)
+	}
+	return op, nil
+}
+
+// Names returns all registered operator names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CombinerLossless reports whether running a combiner preserves the
+// operator's exact result. Distributive operators aggregate losslessly;
+// filters pre-filter losslessly; holistic operators only concatenate, so
+// a combiner is legal but pointless and the engine skips it.
+func CombinerLossless(op Operator) bool {
+	return op.Kind() != Holistic
+}
+
+// PreFilter applies a filter operator's predicate inside a combiner,
+// discarding non-matching samples early. For non-filter operators it
+// returns the value unchanged.
+func PreFilter(op Operator, v kv.Value, param float64) kv.Value {
+	if op.Kind() != Filter {
+		return v
+	}
+	kept := op.Apply(v, param)
+	var out kv.Value
+	for _, s := range kept {
+		out.Add(s, true)
+	}
+	// The Count annotation keeps tracking SOURCE pairs (not survivors) so
+	// the Reduce barrier tally stays correct after pre-filtering.
+	out.Count = v.Count
+	if out.Samples == nil {
+		out.Samples = []float64{} // distinguish "pre-filtered empty" from "no samples kept"
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sidr/internal/kv"
+)
+
+func valueOf(samples bool, xs ...float64) kv.Value {
+	var v kv.Value
+	for _, x := range xs {
+		v.Add(x, samples)
+	}
+	return v
+}
+
+func apply(t *testing.T, name string, param float64, xs ...float64) []float64 {
+	t.Helper()
+	op, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op.Apply(valueOf(op.NeedsSamples(), xs...), param)
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("frobnicate"); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	want := []string{"absmax", "avg", "count", "filter_gt", "filter_lt", "max", "median", "min", "percentile", "range", "sort", "stddev", "sum"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRangeAbsmax(t *testing.T) {
+	if got := apply(t, "range", 0, 4, -1, 7, 2); got[0] != 8 {
+		t.Fatalf("range = %v", got)
+	}
+	op, _ := Lookup("range")
+	if got := op.Apply(kv.Value{}, 0); got[0] != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+	if got := apply(t, "absmax", 0, -9, 3); got[0] != 9 {
+		t.Fatalf("absmax = %v", got)
+	}
+	if got := apply(t, "absmax", 0, -2, 7); got[0] != 7 {
+		t.Fatalf("absmax = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7} // sorted: 1 3 5 7 9
+	cases := map[float64]float64{0: 1, 20: 1, 50: 5, 100: 9, 150: 9, -5: 1}
+	for p, want := range cases {
+		if got := apply(t, "percentile", p, xs...); got[0] != want {
+			t.Errorf("percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	op, _ := Lookup("percentile")
+	if got := op.Apply(kv.Value{}, 50); got[0] != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Median equivalence for odd sample counts.
+	if apply(t, "percentile", 50, xs...)[0] != apply(t, "median", 0, xs...)[0] {
+		t.Fatal("percentile(50) != median on odd count")
+	}
+}
+
+func TestDistributiveOps(t *testing.T) {
+	xs := []float64{4, -1, 7, 2}
+	cases := map[string]float64{
+		"sum":   12,
+		"count": 4,
+		"avg":   3,
+		"min":   -1,
+		"max":   7,
+	}
+	for name, want := range cases {
+		got := apply(t, name, 0, xs...)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	sd := apply(t, "stddev", 0, 2, 4, 4, 4, 5, 5, 7, 9)
+	if math.Abs(sd[0]-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := apply(t, "median", 0, 5, 1, 9); got[0] != 5 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := apply(t, "median", 0, 1, 2, 3, 4); got[0] != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	op, _ := Lookup("median")
+	if got := op.Apply(kv.Value{}, 0); got[0] != 0 {
+		t.Fatalf("empty median = %v", got)
+	}
+}
+
+func TestSortOp(t *testing.T) {
+	got := apply(t, "sort", 0, 3, 1, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sort = %v", got)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	gt := apply(t, "filter_gt", 5, 1, 9, 5, 6)
+	if len(gt) != 2 || gt[0] != 6 || gt[1] != 9 {
+		t.Fatalf("filter_gt = %v", gt)
+	}
+	lt := apply(t, "filter_lt", 5, 1, 9, 5, 6)
+	if len(lt) != 1 || lt[0] != 1 {
+		t.Fatalf("filter_lt = %v", lt)
+	}
+	if got := apply(t, "filter_gt", 100, 1, 2); len(got) != 0 {
+		t.Fatalf("filter_gt none = %v", got)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	kinds := map[string]Kind{
+		"sum": Distributive, "avg": Distributive, "stddev": Distributive,
+		"median": Holistic, "sort": Holistic,
+		"filter_gt": Filter, "filter_lt": Filter,
+	}
+	for name, want := range kinds {
+		op, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Kind() != want {
+			t.Errorf("%s kind = %v, want %v", name, op.Kind(), want)
+		}
+	}
+	if Distributive.String() != "distributive" || Holistic.String() != "holistic" || Filter.String() != "filter" {
+		t.Fatal("Kind names changed")
+	}
+}
+
+func TestNeedsSamples(t *testing.T) {
+	for _, name := range []string{"median", "sort", "filter_gt", "percentile"} {
+		op, _ := Lookup(name)
+		if !op.NeedsSamples() {
+			t.Errorf("%s should need samples", name)
+		}
+	}
+	for _, name := range []string{"sum", "avg", "min", "max", "count", "stddev", "range", "absmax"} {
+		op, _ := Lookup(name)
+		if op.NeedsSamples() {
+			t.Errorf("%s should not need samples", name)
+		}
+	}
+}
+
+func TestCombinerLossless(t *testing.T) {
+	sum, _ := Lookup("sum")
+	med, _ := Lookup("median")
+	flt, _ := Lookup("filter_gt")
+	if !CombinerLossless(sum) || CombinerLossless(med) || !CombinerLossless(flt) {
+		t.Fatal("combiner legality wrong")
+	}
+}
+
+func TestPreFilter(t *testing.T) {
+	flt, _ := Lookup("filter_gt")
+	v := valueOf(true, 1, 9, 5, 6)
+	out := PreFilter(flt, v, 5)
+	if out.Count != 4 {
+		t.Fatalf("PreFilter lost the source-count annotation: %d", out.Count)
+	}
+	if len(out.Samples) != 2 {
+		t.Fatalf("PreFilter samples = %v", out.Samples)
+	}
+	// Pre-filtering to nothing must still carry Count and a non-nil
+	// samples slice.
+	none := PreFilter(flt, v, 100)
+	if none.Count != 4 || none.Samples == nil || len(none.Samples) != 0 {
+		t.Fatalf("PreFilter empty = %+v", none)
+	}
+	// Non-filter operators pass through untouched.
+	sum, _ := Lookup("sum")
+	same := PreFilter(sum, v, 5)
+	if same.Sum != v.Sum || same.Count != v.Count {
+		t.Fatal("PreFilter modified non-filter value")
+	}
+}
+
+// TestQuickDistributiveCombinerEquivalence: applying a distributive
+// operator to merged partial aggregates equals applying it to the full
+// sample set — the exact property that makes SIDR's combiner-folded
+// counts safe for distributive operators.
+func TestQuickDistributiveCombinerEquivalence(t *testing.T) {
+	names := []string{"sum", "count", "avg", "min", "max", "stddev", "range", "absmax"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 50
+		}
+		parts := 1 + r.Intn(5)
+		partials := make([]kv.Value, parts)
+		var full kv.Value
+		for i, x := range xs {
+			partials[i%parts].Add(x, false)
+			full.Add(x, false)
+		}
+		var merged kv.Value
+		for _, p := range partials {
+			merged.Merge(p)
+		}
+		for _, name := range names {
+			op, err := Lookup(name)
+			if err != nil {
+				return false
+			}
+			a := op.Apply(merged, 0)
+			b := op.Apply(full, 0)
+			if len(a) != 1 || len(b) != 1 || math.Abs(a[0]-b[0]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFilterPreFilterEquivalence: pre-filtering in a combiner then
+// filtering again at the reducer yields the same survivors as filtering
+// once at the reducer.
+func TestQuickFilterPreFilterEquivalence(t *testing.T) {
+	flt, _ := Lookup("filter_gt")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		thresh := r.NormFloat64()
+		var full kv.Value
+		parts := make([]kv.Value, 1+r.Intn(4))
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()
+			full.Add(x, true)
+			parts[i%len(parts)].Add(x, true)
+		}
+		var merged kv.Value
+		for _, p := range parts {
+			pf := PreFilter(flt, p, thresh)
+			merged.Merge(pf)
+		}
+		a := flt.Apply(merged, thresh)
+		b := flt.Apply(full, thresh)
+		if merged.Count != full.Count || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

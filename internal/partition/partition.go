@@ -1,0 +1,338 @@
+// Package partition implements the two intermediate-data partitioners the
+// paper compares:
+//
+//   - Modulo — Hadoop's default: the modulo of the key's binary
+//     representation by the number of Reduce tasks (§3.1). It partitions
+//     the whole representable keyspace, so patterned coordinate keys
+//     produce skewed keyblocks (§4.3) and its keyblocks are scattered
+//     across K', creating global Map→Reduce dependencies (§3.4).
+//   - PartitionPlus — SIDR's partitioner: computes the actual
+//     intermediate keyspace K'^T, tiles it with an n-dimensional shape
+//     bounded by a permissible skew, and assigns contiguous runs of tiles
+//     to keyblocks (Figure 7). Keyblocks are balanced to within one tile
+//     and contiguous in row-major K' order.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"sidr/internal/coords"
+)
+
+// Partitioner deterministically maps an intermediate key in K' to a
+// keyblock index in [0, NumKeyblocks).
+type Partitioner interface {
+	// Name identifies the partitioner in traces and benchmarks.
+	Name() string
+	// NumKeyblocks returns the keyblock (Reduce task) count.
+	NumKeyblocks() int
+	// Partition maps an intermediate key to its keyblock.
+	Partition(kp coords.Coord) (int, error)
+}
+
+// KeyEncoding converts an intermediate coordinate key into the integer
+// "binary representation" Hadoop's modulo partitioner operates on. The
+// choice of encoding is exactly what makes stock Hadoop vulnerable to the
+// patterned-key skew of §4.3.
+type KeyEncoding interface {
+	// Name identifies the encoding.
+	Name() string
+	// Encode converts a key to its integer representation.
+	Encode(kp coords.Coord) (int64, error)
+}
+
+// TileIndexEncoding linearises the key within the actual intermediate
+// keyspace K'^T (dense, gap-free): the benign encoding.
+type TileIndexEncoding struct {
+	// Space is the intermediate keyspace K'^T.
+	Space coords.Slab
+}
+
+// Name implements KeyEncoding.
+func (e TileIndexEncoding) Name() string { return "tile-index" }
+
+// Encode implements KeyEncoding.
+func (e TileIndexEncoding) Encode(kp coords.Coord) (int64, error) {
+	return e.Space.Linearize(kp)
+}
+
+// CornerInKEncoding represents the key as the row-major linearisation of
+// its tile's *corner coordinate in the input space K* — how SciHadoop
+// materialises intermediate keys. Because tile corners sit at multiples
+// of the extraction shape, the encoded integers share common factors:
+// with an even extraction stride every encoded key is even, and an even
+// Reduce count leaves half the Reduce tasks without data (Figure 13).
+type CornerInKEncoding struct {
+	// InputSpace is the full input keyspace shape (K).
+	InputSpace coords.Shape
+	// Extraction maps K' keys back to their tile corners in K.
+	Extraction coords.Extraction
+}
+
+// Name implements KeyEncoding.
+func (e CornerInKEncoding) Name() string { return "corner-in-K" }
+
+// Encode implements KeyEncoding.
+func (e CornerInKEncoding) Encode(kp coords.Coord) (int64, error) {
+	tile, err := e.Extraction.Tile(kp)
+	if err != nil {
+		return 0, err
+	}
+	return e.InputSpace.Linearize(tile.Corner)
+}
+
+// Modulo is Hadoop's default partitioner: encoded key modulo the Reduce
+// task count.
+type Modulo struct {
+	R   int
+	Enc KeyEncoding
+}
+
+// NewModulo builds a modulo partitioner over r keyblocks.
+func NewModulo(r int, enc KeyEncoding) (*Modulo, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("partition: reducer count %d must be positive", r)
+	}
+	if enc == nil {
+		return nil, fmt.Errorf("partition: nil key encoding")
+	}
+	return &Modulo{R: r, Enc: enc}, nil
+}
+
+// Name implements Partitioner.
+func (m *Modulo) Name() string { return "modulo/" + m.Enc.Name() }
+
+// NumKeyblocks implements Partitioner.
+func (m *Modulo) NumKeyblocks() int { return m.R }
+
+// Partition implements Partitioner.
+func (m *Modulo) Partition(kp coords.Coord) (int, error) {
+	v, err := m.Enc.Encode(kp)
+	if err != nil {
+		return 0, err
+	}
+	idx := int(v % int64(m.R))
+	if idx < 0 {
+		idx += m.R
+	}
+	return idx, nil
+}
+
+// Keyblock is one PartitionPlus keyblock: a contiguous run of row-major
+// linear positions within K'^T, with its rectangular slab when the run is
+// a rectangle (which holds whenever the run is whole tiles stacked along
+// the leading dimension — the common case, including every paper query).
+type Keyblock struct {
+	// Index is the keyblock id (== Reduce task id).
+	Index int
+	// Lo and Hi bound the row-major linear range [Lo, Hi) within K'^T.
+	Lo, Hi int64
+	// Slab is the rectangular extent when the range is rectangular;
+	// Rect reports whether it is.
+	Slab coords.Slab
+	Rect bool
+}
+
+// Size returns the number of K' keys in the keyblock.
+func (k Keyblock) Size() int64 { return k.Hi - k.Lo }
+
+// PartitionPlus is SIDR's structure-aware partitioner.
+type PartitionPlus struct {
+	// Space is the intermediate keyspace K'^T.
+	Space coords.Slab
+	// TileShape is the skew-bounding shape chosen per Figure 7 step A.
+	TileShape coords.Shape
+	// Blocks are the keyblocks, contiguous and in row-major order.
+	Blocks []Keyblock
+
+	r int
+}
+
+// DefaultMaxSkew is the permissible-skew bound used when the query does
+// not specify one: keyblock sizes may differ by at most this many K'
+// keys.
+const DefaultMaxSkew = 1 << 16
+
+// NewPartitionPlus partitions the intermediate keyspace `space` (K'^T)
+// into r contiguous, balanced keyblocks whose sizes differ by at most
+// maxSkew keys (Figure 7). maxSkew <= 0 selects DefaultMaxSkew.
+func NewPartitionPlus(space coords.Slab, r int, maxSkew int64) (*PartitionPlus, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("partition: reducer count %d must be positive", r)
+	}
+	if err := space.Shape.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: intermediate space: %w", err)
+	}
+	if maxSkew <= 0 {
+		maxSkew = DefaultMaxSkew
+	}
+	total := space.Shape.Size()
+
+	// The effective skew bound is tightened to the per-reducer share when
+	// the user bound is coarser, so a tile never spans more than one
+	// reducer's worth of keys (the "chosen by the system based on the
+	// query" case of §3.1).
+	eff := maxSkew
+	if share := total / int64(r); share < eff {
+		eff = share
+		if eff < 1 {
+			eff = 1
+		}
+	}
+
+	// Step A: choose an n-dimensional tile no larger than the bound.
+	// Greedily take full trailing extents while they fit, then a partial
+	// extent of the next dimension. The tile always spans full extents of
+	// every dimension after its partial one, so whole tiles stack
+	// contiguously in row-major order.
+	tile := space.Shape.Clone()
+	rowSize := int64(1)
+	dim := 0
+	for dim = len(tile) - 1; dim >= 0; dim-- {
+		if rowSize*tile[dim] > eff {
+			break
+		}
+		rowSize *= tile[dim]
+	}
+	if dim >= 0 {
+		// Partial extent in dimension dim; everything before it is 1.
+		t := eff / rowSize
+		if t < 1 {
+			t = 1
+		}
+		if t > tile[dim] {
+			t = tile[dim]
+		}
+		tile[dim] = t
+		for i := 0; i < dim; i++ {
+			tile[i] = 1
+		}
+	}
+	tileSize := tile.Size()
+
+	// Step B: count tile instances and split them across r keyblocks.
+	// Instances tile the space in row-major order; treat them as a linear
+	// sequence and give each keyblock floor(instances/r) of them, with the
+	// first (instances mod r) keyblocks taking one extra — keyblocks
+	// differ by at most one instance of the chosen shape (§3.1, Figure 7).
+	instances := (total + tileSize - 1) / tileSize
+	per := instances / int64(r)
+	rem := instances % int64(r)
+
+	pp := &PartitionPlus{Space: space.Clone(), TileShape: tile, r: r}
+	startTile := int64(0)
+	for i := 0; i < r; i++ {
+		n := per
+		if int64(i) < rem {
+			n++
+		}
+		lo := startTile * tileSize
+		hi := (startTile + n) * tileSize
+		startTile += n
+		if lo > total {
+			lo = total
+		}
+		if hi > total {
+			hi = total
+		}
+		kb := Keyblock{Index: i, Lo: lo, Hi: hi}
+		if hi > lo {
+			kb.Slab, kb.Rect = rangeToSlab(space, lo, hi)
+		}
+		pp.Blocks = append(pp.Blocks, kb)
+	}
+	return pp, nil
+}
+
+// rangeToSlab converts a row-major linear range of the space into a
+// rectangular slab when possible.
+func rangeToSlab(space coords.Slab, lo, hi int64) (coords.Slab, bool) {
+	if hi <= lo {
+		return coords.Slab{}, false
+	}
+	rowSize := int64(1)
+	for i := 1; i < space.Rank(); i++ {
+		rowSize *= space.Shape[i]
+	}
+	if space.Rank() == 1 {
+		rowSize = 1
+	}
+	// Rectangular iff the range is whole leading-dimension rows.
+	if rowSize > 0 && lo%rowSize == 0 && hi%rowSize == 0 {
+		loC, err1 := space.Delinearize(lo)
+		if err1 != nil {
+			return coords.Slab{}, false
+		}
+		sh := space.Shape.Clone()
+		sh[0] = (hi - lo) / rowSize
+		return coords.Slab{Corner: loC, Shape: sh}, true
+	}
+	// A range within a single row of a rank-1 space is trivially a slab.
+	if space.Rank() == 1 {
+		loC, err := space.Delinearize(lo)
+		if err != nil {
+			return coords.Slab{}, false
+		}
+		return coords.Slab{Corner: loC, Shape: coords.NewShape(hi - lo)}, true
+	}
+	return coords.Slab{}, false
+}
+
+// Name implements Partitioner.
+func (p *PartitionPlus) Name() string { return "partition+" }
+
+// NumKeyblocks implements Partitioner.
+func (p *PartitionPlus) NumKeyblocks() int { return p.r }
+
+// Partition implements Partitioner. Keyblock spans are sorted and
+// contiguous, so a binary search over block lower bounds resolves the
+// lookup.
+func (p *PartitionPlus) Partition(kp coords.Coord) (int, error) {
+	off, err := p.Space.Linearize(kp)
+	if err != nil {
+		return 0, err
+	}
+	if len(p.Blocks) == 0 {
+		return 0, fmt.Errorf("partition: no keyblocks")
+	}
+	idx := sort.Search(len(p.Blocks), func(i int) bool { return p.Blocks[i].Hi > off })
+	if idx >= len(p.Blocks) || off < p.Blocks[idx].Lo {
+		return 0, fmt.Errorf("partition: key %v (offset %d) outside all keyblocks", kp, off)
+	}
+	return idx, nil
+}
+
+// BlockSizes returns the number of K' keys in each keyblock, in order —
+// the key-distribution guarantee the skew experiments measure.
+func (p *PartitionPlus) BlockSizes() []int64 {
+	out := make([]int64, len(p.Blocks))
+	for i, b := range p.Blocks {
+		out[i] = b.Size()
+	}
+	return out
+}
+
+// TileCountSkew returns the difference in tile-instance counts between
+// the largest and smallest non-empty keyblock; §3.1 guarantees this is at
+// most one.
+func (p *PartitionPlus) TileCountSkew() int64 {
+	tileSize := p.TileShape.Size()
+	var lo, hi int64 = -1, 0
+	for _, b := range p.Blocks {
+		if b.Size() == 0 {
+			continue
+		}
+		n := (b.Size() + tileSize - 1) / tileSize
+		if lo < 0 || n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo < 0 {
+		return 0
+	}
+	return hi - lo
+}

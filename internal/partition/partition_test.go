@@ -1,0 +1,284 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sidr/internal/coords"
+)
+
+func originSlab(shape ...int64) coords.Slab {
+	s := coords.NewShape(shape...)
+	return coords.Slab{Corner: make(coords.Coord, s.Rank()), Shape: s}
+}
+
+func TestModuloValidation(t *testing.T) {
+	enc := TileIndexEncoding{Space: originSlab(10)}
+	if _, err := NewModulo(0, enc); err == nil {
+		t.Fatal("zero reducers accepted")
+	}
+	if _, err := NewModulo(2, nil); err == nil {
+		t.Fatal("nil encoding accepted")
+	}
+}
+
+func TestModuloTileIndex(t *testing.T) {
+	space := originSlab(4, 5)
+	m, err := NewModulo(3, TileIndexEncoding{Space: space})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumKeyblocks() != 3 {
+		t.Fatalf("NumKeyblocks = %d", m.NumKeyblocks())
+	}
+	counts := make([]int, 3)
+	space.Each(func(kp coords.Coord) bool {
+		idx, err := m.Partition(kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+		return true
+	})
+	// 20 keys across 3 blocks: 7/7/6.
+	if counts[0]+counts[1]+counts[2] != 20 {
+		t.Fatalf("counts = %v", counts)
+	}
+	for _, c := range counts {
+		if c < 6 || c > 7 {
+			t.Fatalf("modulo over dense index should balance: %v", counts)
+		}
+	}
+	if _, err := m.Partition(coords.NewCoord(99, 0)); err == nil {
+		t.Fatal("out-of-space key accepted")
+	}
+}
+
+func TestCornerInKEncodingSkewPathology(t *testing.T) {
+	// §4.3: with the corner-in-K encoding and an even extraction stride,
+	// every encoded key is even, so an even Reduce count starves all
+	// odd-numbered Reduce tasks.
+	input := coords.NewShape(16, 16)
+	ex := coords.MustExtraction(coords.NewShape(2, 2), nil)
+	enc := CornerInKEncoding{InputSpace: input, Extraction: ex}
+	m, err := NewModulo(2, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kspace := originSlab(8, 8)
+	counts := make([]int, 2)
+	kspace.Each(func(kp coords.Coord) bool {
+		idx, err := m.Partition(kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+		return true
+	})
+	if counts[1] != 0 {
+		t.Fatalf("expected all keys on even reducer, got %v", counts)
+	}
+	if counts[0] != 64 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestCornerInKEncodingName(t *testing.T) {
+	enc := CornerInKEncoding{}
+	if enc.Name() != "corner-in-K" {
+		t.Fatal("encoding name changed")
+	}
+	if (TileIndexEncoding{}).Name() != "tile-index" {
+		t.Fatal("encoding name changed")
+	}
+}
+
+func TestPartitionPlusValidation(t *testing.T) {
+	if _, err := NewPartitionPlus(originSlab(10), 0, 0); err == nil {
+		t.Fatal("zero reducers accepted")
+	}
+	if _, err := NewPartitionPlus(coords.Slab{}, 2, 0); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}
+
+func TestPartitionPlusPaperGeometry(t *testing.T) {
+	// Query 1: K'^T = {3600, 10, 20, 5}, 22 reducers, skew bound 10000.
+	space := originSlab(3600, 10, 20, 5)
+	pp, err := NewPartitionPlus(space, 22, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.Blocks) != 22 {
+		t.Fatalf("%d blocks", len(pp.Blocks))
+	}
+	// Tile should be {10,10,20,5}: one K' row is 1000 keys, 10 rows fit
+	// in the 10000 bound.
+	if !pp.TileShape.Equal(coords.NewShape(10, 10, 20, 5)) {
+		t.Fatalf("tile = %v", pp.TileShape)
+	}
+	var total int64
+	for i, b := range pp.Blocks {
+		total += b.Size()
+		if i > 0 && b.Lo != pp.Blocks[i-1].Hi {
+			t.Fatalf("blocks %d and %d not contiguous", i-1, i)
+		}
+		if !b.Rect && b.Size() > 0 {
+			t.Fatalf("block %d not rectangular", i)
+		}
+	}
+	if total != space.Size() {
+		t.Fatalf("blocks cover %d keys of %d", total, space.Size())
+	}
+	// §3.1: keyblocks differ by at most one instance of the chosen shape.
+	if skew := pp.TileCountSkew(); skew > 1 {
+		t.Fatalf("tile-count skew %d exceeds 1", skew)
+	}
+	// 360 instances across 22 reducers: 8 blocks of 17 tiles then 14 of
+	// 16 tiles.
+	sizes := pp.BlockSizes()
+	for i, want := range []int64{170000, 170000, 160000} {
+		idx := []int{0, 7, 8}[i]
+		if sizes[idx] != want {
+			t.Fatalf("block %d size %d, want %d (all: %v)", idx, sizes[idx], want, sizes)
+		}
+	}
+}
+
+func TestPartitionPlusLookupMatchesBlocks(t *testing.T) {
+	space := originSlab(37, 7)
+	pp, err := NewPartitionPlus(space, 5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space.Each(func(kp coords.Coord) bool {
+		idx, err := pp.Partition(kp)
+		if err != nil {
+			t.Fatalf("Partition(%v): %v", kp, err)
+		}
+		off, _ := space.Linearize(kp)
+		b := pp.Blocks[idx]
+		if off < b.Lo || off >= b.Hi {
+			t.Fatalf("key %v (off %d) assigned to block %d [%d,%d)", kp, off, idx, b.Lo, b.Hi)
+		}
+		return true
+	})
+	if _, err := pp.Partition(coords.NewCoord(99, 0)); err == nil {
+		t.Fatal("out-of-space key accepted")
+	}
+}
+
+func TestPartitionPlusMoreReducersThanKeys(t *testing.T) {
+	space := originSlab(3)
+	pp, err := NewPartitionPlus(space, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, b := range pp.Blocks {
+		if b.Size() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 3 {
+		t.Fatalf("%d non-empty blocks for 3 keys", nonEmpty)
+	}
+	for _, kp := range []coords.Coord{coords.NewCoord(0), coords.NewCoord(1), coords.NewCoord(2)} {
+		if _, err := pp.Partition(kp); err != nil {
+			t.Fatalf("Partition(%v): %v", kp, err)
+		}
+	}
+}
+
+func TestPartitionPlusContiguousOrderPreserving(t *testing.T) {
+	// §3.4: partition+ preserves row-major order — keyblock indices are
+	// monotone in the linearised key.
+	space := originSlab(52, 50)
+	pp, err := NewPartitionPlus(space, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for off := int64(0); off < space.Size(); off++ {
+		kp, _ := space.Delinearize(off)
+		idx, err := pp.Partition(kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx < prev {
+			t.Fatalf("keyblock index decreased at offset %d", off)
+		}
+		prev = idx
+	}
+}
+
+func TestQuickPartitionPlusInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rank := 1 + r.Intn(3)
+		sh := make(coords.Shape, rank)
+		for i := range sh {
+			sh[i] = 1 + r.Int63n(20)
+		}
+		space := coords.Slab{Corner: make(coords.Coord, rank), Shape: sh}
+		reducers := 1 + r.Intn(10)
+		maxSkew := 1 + r.Int63n(50)
+		pp, err := NewPartitionPlus(space, reducers, maxSkew)
+		if err != nil {
+			return false
+		}
+		// Coverage, contiguity, balance.
+		var total int64
+		prevHi := int64(0)
+		for _, b := range pp.Blocks {
+			if b.Lo != prevHi && b.Size() > 0 {
+				// Empty trailing blocks may repeat [total,total).
+				if !(b.Lo >= prevHi) {
+					return false
+				}
+			}
+			if b.Size() > 0 {
+				if b.Lo != prevHi {
+					return false
+				}
+				prevHi = b.Hi
+			}
+			total += b.Size()
+		}
+		if total != space.Size() || prevHi != space.Size() {
+			return false
+		}
+		// Keyblocks differ by at most one tile instance.
+		if pp.TileCountSkew() > 1 {
+			return false
+		}
+		// Every key maps into the block containing its offset.
+		for i := 0; i < 20; i++ {
+			off := r.Int63n(space.Size())
+			kp, _ := space.Delinearize(off)
+			idx, err := pp.Partition(kp)
+			if err != nil {
+				return false
+			}
+			if off < pp.Blocks[idx].Lo || off >= pp.Blocks[idx].Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	pp, _ := NewPartitionPlus(originSlab(4), 2, 0)
+	if pp.Name() != "partition+" {
+		t.Fatal("name changed")
+	}
+	m, _ := NewModulo(2, TileIndexEncoding{Space: originSlab(4)})
+	if m.Name() != "modulo/tile-index" {
+		t.Fatal("name changed")
+	}
+}

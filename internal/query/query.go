@@ -1,0 +1,236 @@
+// Package query defines the structural-query model of SciHadoop/SIDR: an
+// operator applied to every extraction-shape tile of a coordinate subset
+// of one variable. A small text syntax makes queries expressible on a
+// command line:
+//
+//	median windspeed[0,0,0,0 : 7200,360,720,50] es {2,36,36,10}
+//	filter_gt temp[0,0,0 : 365,250,200] es {1,1,1} param 40
+//	avg temp[0,0,0 : 364,250,200] es {7,5,1} stride {7,5,1} keep-partial
+//
+// The bracket holds "corner : shape". The extraction shape follows `es`;
+// `stride`, `param` and `keep-partial` are optional.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sidr/internal/coords"
+	"sidr/internal/ops"
+)
+
+// Query is a validated structural query.
+type Query struct {
+	// Operator is the registered operator name (see package ops).
+	Operator string
+	// Param is the operator parameter (e.g. filter threshold).
+	Param float64
+	// Variable names the dataset variable the query reads.
+	Variable string
+	// Input is the coordinate subset of the variable forming the query
+	// input set T.
+	Input coords.Slab
+	// Extraction is the extraction shape tiling Input; each tile is one
+	// intermediate key.
+	Extraction coords.Extraction
+	// KeepPartial keeps trailing partial tiles instead of discarding
+	// them (the paper discards the 365th day in its example).
+	KeepPartial bool
+}
+
+// Validate checks the query against itself and, if varShape is non-nil,
+// against the variable's declared shape.
+func (q *Query) Validate(varShape coords.Shape) error {
+	if q.Variable == "" {
+		return fmt.Errorf("query: missing variable name")
+	}
+	if _, err := ops.Lookup(q.Operator); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if err := q.Input.Shape.Validate(); err != nil {
+		return fmt.Errorf("query: input slab: %w", err)
+	}
+	if q.Input.Rank() != q.Extraction.Rank() {
+		return fmt.Errorf("query: input rank %d != extraction rank %d", q.Input.Rank(), q.Extraction.Rank())
+	}
+	for i, c := range q.Input.Corner {
+		if c < 0 {
+			return fmt.Errorf("query: negative input corner in dim %d", i)
+		}
+	}
+	if varShape != nil {
+		full := coords.Slab{Corner: make(coords.Coord, varShape.Rank()), Shape: varShape}
+		if varShape.Rank() != q.Input.Rank() {
+			return fmt.Errorf("query: input rank %d != variable rank %d", q.Input.Rank(), varShape.Rank())
+		}
+		if !full.ContainsSlab(q.Input) {
+			return fmt.Errorf("query: input %v exceeds variable shape %v", q.Input, varShape)
+		}
+	}
+	return nil
+}
+
+// Op resolves the query's operator.
+func (q *Query) Op() (ops.Operator, error) {
+	return ops.Lookup(q.Operator)
+}
+
+// IntermediateSpace returns the query's intermediate keyspace K'^T as a
+// slab in K' (SIDR §3, Area 3). The slab's corner is the tile index of
+// the input corner; its shape is the tiled extent of the input.
+func (q *Query) IntermediateSpace() (coords.Slab, error) {
+	return q.Extraction.TileRange(q.Input)
+}
+
+// String renders the query in the package's text syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s[%s : %s] es %s",
+		q.Operator, q.Variable,
+		joinInts(q.Input.Corner), joinInts(coords.Coord(q.Input.Shape)),
+		"{"+joinInts(coords.Coord(q.Extraction.Shape))+"}")
+	if q.Extraction.Stride != nil {
+		fmt.Fprintf(&b, " stride {%s}", joinInts(coords.Coord(q.Extraction.Stride)))
+	}
+	if q.Param != 0 {
+		fmt.Fprintf(&b, " param %g", q.Param)
+	}
+	if q.KeepPartial {
+		b.WriteString(" keep-partial")
+	}
+	return b.String()
+}
+
+func joinInts(xs coords.Coord) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatInt(x, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse parses the text syntax described in the package comment.
+func Parse(s string) (*Query, error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) < 3 {
+		return nil, fmt.Errorf("query: too few tokens in %q", s)
+	}
+	q := &Query{Operator: toks[0]}
+	// Second token: var[corner : shape]
+	varTok := toks[1]
+	open := strings.IndexByte(varTok, '[')
+	if open <= 0 || !strings.HasSuffix(varTok, "]") {
+		return nil, fmt.Errorf("query: expected var[corner : shape], got %q", varTok)
+	}
+	q.Variable = varTok[:open]
+	inner := varTok[open+1 : len(varTok)-1]
+	halves := strings.Split(inner, ":")
+	if len(halves) != 2 {
+		return nil, fmt.Errorf("query: expected corner : shape inside brackets, got %q", inner)
+	}
+	corner, err := coords.ParseCoord(halves[0])
+	if err != nil {
+		return nil, err
+	}
+	shape, err := coords.ParseShape(halves[1])
+	if err != nil {
+		return nil, err
+	}
+	q.Input, err = coords.NewSlab(corner, shape)
+	if err != nil {
+		return nil, fmt.Errorf("query: input slab: %w", err)
+	}
+
+	var esShape, esStride coords.Shape
+	i := 2
+	for i < len(toks) {
+		switch toks[i] {
+		case "es":
+			if i+1 >= len(toks) {
+				return nil, fmt.Errorf("query: es needs a shape")
+			}
+			esShape, err = coords.ParseShape(toks[i+1])
+			if err != nil {
+				return nil, err
+			}
+			i += 2
+		case "stride":
+			if i+1 >= len(toks) {
+				return nil, fmt.Errorf("query: stride needs a shape")
+			}
+			esStride, err = coords.ParseShape(toks[i+1])
+			if err != nil {
+				return nil, err
+			}
+			i += 2
+		case "param":
+			if i+1 >= len(toks) {
+				return nil, fmt.Errorf("query: param needs a number")
+			}
+			q.Param, err = strconv.ParseFloat(toks[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad param %q: %w", toks[i+1], err)
+			}
+			i += 2
+		case "keep-partial":
+			q.KeepPartial = true
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected token %q", toks[i])
+		}
+	}
+	if esShape == nil {
+		return nil, fmt.Errorf("query: missing extraction shape (es {...})")
+	}
+	q.Extraction, err = coords.NewExtraction(esShape, esStride)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(nil); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// tokenize splits on whitespace but keeps {...} and [...] groups (which
+// may contain spaces) attached to a single token.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch r {
+		case '{', '[':
+			depth++
+			cur.WriteRune(r)
+		case '}', ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("query: unbalanced brackets in %q", s)
+			}
+			cur.WriteRune(r)
+		case ' ', '\t', '\n':
+			if depth > 0 {
+				continue // drop spaces inside groups
+			}
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("query: unbalanced brackets in %q", s)
+	}
+	flush()
+	return toks, nil
+}

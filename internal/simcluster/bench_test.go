@@ -1,0 +1,25 @@
+package simcluster
+
+import (
+	"testing"
+
+	"sidr/internal/sched"
+)
+
+// BenchmarkSimulate measures the discrete-event engine on a mid-size
+// job: 512 Map and 64 Reduce tasks on the default 24-node testbed.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := alignedDepGraph(512, 64)
+		s, err := sched.NewSIDR(noHosts(512), g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job := alignedJob(512, 64, s, false)
+		if _, err := Simulate(cfg, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

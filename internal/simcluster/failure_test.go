@@ -1,0 +1,127 @@
+package simcluster
+
+import (
+	"testing"
+
+	"sidr/internal/sched"
+)
+
+func TestConnSetupSerialisation(t *testing.T) {
+	// §4.6: with a per-connection cost and a concurrency cap, a Reduce
+	// task that must contact every Map pays for ceil(M/10) serial
+	// batches; a dependency-only fetch pays almost nothing.
+	cfg := tinyConfig()
+	cfg.ConnSetup = 1.0
+	cfg.MaxFetchConcurrency = 10
+
+	mk := func(fetchAll bool) float64 {
+		var job Job
+		if fetchAll {
+			job = alignedJob(40, 2, sched.NewHadoop(noHosts(40), 2), true)
+			job.FetchAll = true
+		} else {
+			g := alignedDepGraph(40, 2)
+			s, err := sched.NewSIDR(noHosts(40), g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			job = alignedJob(40, 2, s, false)
+		}
+		res, err := Simulate(cfg, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Makespan
+	}
+	all := mk(true)
+	deps := mk(false)
+	// FetchAll pays ceil(40/10)=4s of setup per reduce; deps pay
+	// ceil(20/10)=2s — and the dependency barrier saves more on top.
+	if !(deps < all) {
+		t.Fatalf("connection setup had no effect: deps %v vs all %v", deps, all)
+	}
+}
+
+func TestFailureModelPersistOverheadSlowsMaps(t *testing.T) {
+	cfg := tinyConfig()
+	base := alignedJob(8, 2, sched.NewHadoop(noHosts(8), 2), true)
+	base.FetchAll = true
+	r0, err := Simulate(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := alignedJob(8, 2, sched.NewHadoop(noHosts(8), 2), true)
+	persisted.FetchAll = true
+	persisted.Failure = &FailureModel{Prob: 0, Recompute: false, PersistOverhead: 0.5}
+	r1, err := Simulate(cfg, persisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r1.Stats.MapsDone / r0.Stats.MapsDone
+	if ratio < 1.49 || ratio > 1.51 {
+		t.Fatalf("persist overhead ratio = %v, want 1.5", ratio)
+	}
+	// Recompute mode pays no persistence overhead.
+	recomp := alignedJob(8, 2, sched.NewHadoop(noHosts(8), 2), true)
+	recomp.FetchAll = true
+	recomp.Failure = &FailureModel{Prob: 0, Recompute: true, PersistOverhead: 0.5}
+	r2, err := Simulate(cfg, recomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.MapsDone != r0.Stats.MapsDone {
+		t.Fatalf("recompute mode paid persistence: %v vs %v", r2.Stats.MapsDone, r0.Stats.MapsDone)
+	}
+}
+
+func TestFailureRecoveryCosts(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.JitterFrac = 0
+	run := func(recompute bool) *Result {
+		g := alignedDepGraph(8, 2)
+		s, err := sched.NewSIDR(noHosts(8), g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := alignedJob(8, 2, s, false)
+		job.Failure = &FailureModel{Prob: 1.0, Recompute: recompute, PersistOverhead: 0.1}
+		res, err := Simulate(cfg, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	refetch := run(false)
+	recompute := run(true)
+	if refetch.Stats.FailedReduces != 2 || recompute.Stats.FailedReduces != 2 {
+		t.Fatalf("failures = %d / %d, want 2 each", refetch.Stats.FailedReduces, recompute.Stats.FailedReduces)
+	}
+	// With every task failing, recompute pays re-executed Map work on
+	// top of the refetch cost; it must be strictly slower.
+	if !(recompute.Stats.Makespan > refetch.Stats.Makespan) {
+		t.Fatalf("recompute %v not slower than refetch %v at 100%% failures",
+			recompute.Stats.Makespan, refetch.Stats.Makespan)
+	}
+}
+
+func TestFailureFreeRunsUnaffected(t *testing.T) {
+	cfg := tinyConfig()
+	g := alignedDepGraph(8, 2)
+	s, _ := sched.NewSIDR(noHosts(8), g, nil)
+	plain, err := Simulate(cfg, alignedJob(8, 2, s, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := alignedDepGraph(8, 2)
+	s2, _ := sched.NewSIDR(noHosts(8), g2, nil)
+	job := alignedJob(8, 2, s2, false)
+	job.Failure = &FailureModel{Prob: 0, Recompute: true}
+	withModel, err := Simulate(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Makespan != withModel.Stats.Makespan {
+		t.Fatalf("zero-probability failure model changed the run: %v vs %v",
+			plain.Stats.Makespan, withModel.Stats.Makespan)
+	}
+}

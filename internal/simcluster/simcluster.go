@@ -1,0 +1,470 @@
+// Package simcluster is a deterministic discrete-event model of the
+// paper's evaluation testbed: 24 worker nodes with 4 Map and 3 Reduce
+// slots each, single-GigE networking, and HDFS-style data locality. It
+// executes a job's *real* scheduling and dependency structure — the same
+// sched.Scheduler policies and depgraph output the in-process engine uses
+// — while advancing virtual time, so cluster-scale completion curves
+// (Figures 9-13) can be regenerated on one machine.
+//
+// The duration model is intentionally simple and fully documented:
+//
+//	mapTime    = (MapBase + MapPerPoint·points) · costFactor · locality · jitter
+//	reduceTime = shuffleTail + ReduceBase + ReducePerPair·pairs + output
+//
+// where shuffleTail is the fetch work that could not be overlapped with
+// waiting: one dependency's worth of bytes when the Reduce task was
+// assigned before its barrier cleared (prefetching hid the rest), or all
+// of its bytes when it was assigned late (nothing could be prefetched).
+package simcluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sidr/internal/sched"
+	"sidr/internal/simevent"
+	"sidr/internal/trace"
+)
+
+// Config describes the cluster and its cost model.
+type Config struct {
+	// Workers is the number of DataNode/TaskTracker nodes (paper: 24).
+	Workers int
+	// MapSlots and ReduceSlots are per-node task slots (paper: 4 and 3).
+	MapSlots    int
+	ReduceSlots int
+
+	// MapBase and MapPerPoint set Map task duration (seconds,
+	// seconds/point).
+	MapBase     float64
+	MapPerPoint float64
+	// LocalityPenalty multiplies Map duration when the split is not
+	// node-local (remote HDFS read).
+	LocalityPenalty float64
+	// JitterFrac is the +/- fractional duration noise applied per task
+	// (straggler model); 0 disables noise.
+	JitterFrac float64
+	// StragglerProb makes a Map task a straggler with this probability,
+	// running StragglerFactor× slower — the long-tail behaviour Hadoop's
+	// speculative execution targets. 0 disables stragglers.
+	StragglerProb float64
+	// StragglerFactor is the straggler slowdown multiple (default 4 when
+	// StragglerProb > 0).
+	StragglerFactor float64
+	// Speculation enables Hadoop-style speculative execution: when the
+	// Map phase is nearly drained and a running Map task has taken
+	// longer than SpeculationThreshold× the typical duration, a backup
+	// copy runs and the earliest finisher wins. SIDR inherits this
+	// unchanged; it is orthogonal to the dependency barrier.
+	Speculation bool
+	// SpeculationThreshold is the slowdown multiple that triggers a
+	// backup copy (default 1.5).
+	SpeculationThreshold float64
+
+	// ShuffleBandwidth is bytes/second a Reduce task fetches at.
+	ShuffleBandwidth float64
+	// ConnSetup is the per-shuffle-connection setup cost in seconds;
+	// with MaxFetchConcurrency it models §4.6's serialisation of
+	// communication when a Reduce task must contact thousands of Map
+	// tasks. Zero disables connection costs.
+	ConnSetup float64
+	// MaxFetchConcurrency bounds a Reduce task's concurrent fetch
+	// streams (Hadoop's default is 10); <= 0 means unbounded.
+	MaxFetchConcurrency int
+	// ReduceBase and ReducePerPair set Reduce processing time.
+	ReduceBase    float64
+	ReducePerPair float64
+	// OutputTime converts output bytes to commit time; nil means free.
+	OutputTime func(bytes int64) float64
+
+	// Seed drives the deterministic jitter.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-testbed topology with a cost model
+// calibrated so Query 1's curves land in the same regime as Figure 9
+// (map phase ~1,100 s for SciHadoop-style execution at 22 reducers).
+func DefaultConfig() Config {
+	return Config{
+		Workers:          24,
+		MapSlots:         4,
+		ReduceSlots:      3,
+		MapBase:          2.0,
+		MapPerPoint:      8.0e-7,
+		LocalityPenalty:  1.3,
+		JitterFrac:       0.08,
+		ShuffleBandwidth: 80e6,
+		ReduceBase:       1.0,
+		ReducePerPair:    1.2e-6,
+		Seed:             1,
+	}
+}
+
+// Split is one Map task's workload.
+type Split struct {
+	// Points is the number of source points the task reads.
+	Points int64
+	// Bytes is the split's on-disk size (locality/shuffle accounting).
+	Bytes int64
+	// Hosts lists nodes holding the split's blocks.
+	Hosts []string
+}
+
+// Reduce is one Reduce task's workload.
+type Reduce struct {
+	// Pairs is the number of intermediate pairs the task merges.
+	Pairs int64
+	// InBytes is the shuffled input volume.
+	InBytes int64
+	// OutBytes is the committed output volume.
+	OutBytes int64
+	// Deps lists the Map tasks the keyblock depends on (I_ℓ). Under a
+	// global barrier it is ignored: the barrier is all Map tasks.
+	Deps []int
+}
+
+// Job binds workloads to a scheduling policy and barrier mode.
+type Job struct {
+	Splits  []Split
+	Reduces []Reduce
+	// Scheduler dispenses tasks (sched.Hadoop or sched.SIDR).
+	Scheduler sched.Scheduler
+	// GlobalBarrier makes every Reduce wait for all Maps (stock
+	// semantics); false uses each Reduce's Deps.
+	GlobalBarrier bool
+	// MapCostFactor scales Map durations — >1 models stock Hadoop's
+	// byte-oriented splits reading data it cannot align to records
+	// (SciHadoop's headline improvement).
+	MapCostFactor float64
+	// FetchAll makes every Reduce contact every Map during shuffle
+	// (stock Hadoop); false contacts only Deps (SIDR). Affects
+	// connection accounting and, with Config.ConnSetup, shuffle time.
+	FetchAll bool
+
+	// Failure optionally injects Reduce-task failures to study the §6
+	// recovery trade-off.
+	Failure *FailureModel
+}
+
+// FailureModel parametrises the §6 failure-recovery study: stock Hadoop
+// persists all intermediate data (slowing every Map task) so a failed
+// Reduce task just refetches; SIDR's proposed alternative skips
+// persistence and re-executes only the failed task's I_ℓ Map subset.
+type FailureModel struct {
+	// Prob is the per-Reduce-task failure probability.
+	Prob float64
+	// Recompute selects the no-persist strategy: Map tasks run without
+	// the persistence overhead, and recovery re-executes the failed
+	// task's dependencies (charged to the recovering node's Map slots).
+	// False models stock persist-and-refetch.
+	Recompute bool
+	// PersistOverhead is the fractional Map slowdown paid for persisting
+	// intermediate data (applied only when Recompute is false).
+	PersistOverhead float64
+}
+
+// Stats aggregates a simulated run.
+type Stats struct {
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// FirstResult is the first Reduce commit time.
+	FirstResult float64
+	// MapsDone is when the last Map task finished.
+	MapsDone float64
+	// Connections counts shuffle fetches (Table 3's metric).
+	Connections int64
+	// LocalMaps counts node-local Map executions.
+	LocalMaps int
+	// FailedReduces counts Reduce tasks that failed and recovered.
+	FailedReduces int
+	// Stragglers counts Map tasks that ran at the straggler slowdown.
+	Stragglers int
+	// SpeculativeWins counts stragglers whose backup copy finished
+	// first under speculative execution.
+	SpeculativeWins int
+}
+
+// Result carries the trace and stats of one simulated run.
+type Result struct {
+	Trace trace.Trace
+	Stats Stats
+}
+
+// NodeName returns the canonical name of worker i, shared with the HDFS
+// namespace so locality hints resolve.
+func NodeName(i int) string { return fmt.Sprintf("node%02d", i) }
+
+// Nodes returns the canonical node names for a worker count.
+func Nodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = NodeName(i)
+	}
+	return out
+}
+
+// reduceState tracks one Reduce task's lifecycle in the simulator.
+type reduceState struct {
+	assigned   bool
+	assignedAt float64
+	node       int
+	remaining  int  // unmet dependencies
+	processing bool // barrier met, completion scheduled
+	done       bool
+}
+
+// Simulate runs the job to completion and returns its trace and stats.
+func Simulate(cfg Config, job Job) (*Result, error) {
+	if cfg.Workers <= 0 || cfg.MapSlots <= 0 || cfg.ReduceSlots <= 0 {
+		return nil, fmt.Errorf("simcluster: invalid topology %d/%d/%d", cfg.Workers, cfg.MapSlots, cfg.ReduceSlots)
+	}
+	if job.Scheduler == nil {
+		return nil, fmt.Errorf("simcluster: job needs a scheduler")
+	}
+	if job.MapCostFactor <= 0 {
+		job.MapCostFactor = 1
+	}
+	eng := simevent.New()
+	res := &Result{}
+	res.Stats.FirstResult = math.NaN()
+
+	nMaps := len(job.Splits)
+	nReduces := len(job.Reduces)
+	freeMap := make([]int, cfg.Workers)
+	freeReduce := make([]int, cfg.Workers)
+	for i := range freeMap {
+		freeMap[i] = cfg.MapSlots
+		freeReduce[i] = cfg.ReduceSlots
+	}
+	mapDone := make([]bool, nMaps)
+	mapsRemaining := nMaps
+	reduces := make([]reduceState, nReduces)
+	// dependents[m] lists reduces whose barrier includes map m.
+	dependents := make([][]int, nMaps)
+	for r, rd := range job.Reduces {
+		if job.GlobalBarrier {
+			reduces[r].remaining = nMaps
+			continue
+		}
+		reduces[r].remaining = len(rd.Deps)
+		for _, m := range rd.Deps {
+			dependents[m] = append(dependents[m], r)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jitter := func() float64 {
+		if cfg.JitterFrac <= 0 {
+			return 1
+		}
+		return 1 + cfg.JitterFrac*(2*rng.Float64()-1)
+	}
+
+	var scheduleNode func(node int)
+
+	// startReduceProcessing schedules the post-barrier phase of reduce r.
+	startReduceProcessing := func(r int) {
+		st := &reduces[r]
+		if st.processing || st.done || !st.assigned || st.remaining > 0 {
+			return
+		}
+		st.processing = true
+		rd := job.Reduces[r]
+		deps := int64(len(rd.Deps))
+		conns := deps
+		if job.GlobalBarrier {
+			deps = int64(nMaps)
+		}
+		if job.FetchAll {
+			conns = int64(nMaps)
+		}
+		if deps == 0 {
+			deps = 1
+		}
+		// Shuffle tail: prefetching while waiting hides all but the last
+		// dependency's bytes; a late-assigned task prefetched nothing.
+		tailBytes := rd.InBytes / deps
+		if st.assignedAt >= eng.Now() {
+			tailBytes = rd.InBytes
+		}
+		var shuffle float64
+		if cfg.ShuffleBandwidth > 0 {
+			shuffle = float64(tailBytes) / cfg.ShuffleBandwidth
+		}
+		// Connection setup, serialised in MaxFetchConcurrency batches
+		// (§4.6's "undesirable serialization of communication").
+		if cfg.ConnSetup > 0 && conns > 0 {
+			batches := conns
+			if cfg.MaxFetchConcurrency > 0 {
+				batches = (conns + int64(cfg.MaxFetchConcurrency) - 1) / int64(cfg.MaxFetchConcurrency)
+			}
+			shuffle += float64(batches) * cfg.ConnSetup
+		}
+		processing := cfg.ReduceBase + cfg.ReducePerPair*float64(rd.Pairs)
+		dur := shuffle + processing
+		if cfg.OutputTime != nil {
+			dur += cfg.OutputTime(rd.OutBytes)
+		}
+		dur *= jitter()
+		// Failure injection: the task fails once and recovers, either by
+		// refetching persisted intermediate data or by re-executing its
+		// Map dependencies on this node's Map slots (§6).
+		if fm := job.Failure; fm != nil && rng.Float64() < fm.Prob {
+			res.Stats.FailedReduces++
+			var recovery float64
+			if cfg.ShuffleBandwidth > 0 {
+				recovery += float64(rd.InBytes) / cfg.ShuffleBandwidth
+			}
+			recovery += processing
+			if fm.Recompute {
+				var remap float64
+				for _, m := range rd.Deps {
+					sp := job.Splits[m]
+					remap += (cfg.MapBase + cfg.MapPerPoint*float64(sp.Points)) * job.MapCostFactor
+				}
+				recovery += remap / float64(cfg.MapSlots)
+			}
+			dur += recovery
+		}
+		node := st.node
+		eng.After(dur, func() {
+			st.done = true
+			res.Trace.Add(trace.Reduce, r, eng.Now())
+			if math.IsNaN(res.Stats.FirstResult) {
+				res.Stats.FirstResult = eng.Now()
+			}
+			freeReduce[node]++
+			scheduleNode(node)
+			// Dispensing the next reduce may unlock maps on any node.
+			for n := 0; n < cfg.Workers; n++ {
+				scheduleNode(n)
+			}
+		})
+	}
+
+	finishMap := func(m, node int) {
+		mapDone[m] = true
+		mapsRemaining--
+		res.Trace.Add(trace.Map, m, eng.Now())
+		if mapsRemaining == 0 {
+			res.Stats.MapsDone = eng.Now()
+		}
+		if job.GlobalBarrier {
+			if mapsRemaining == 0 {
+				for r := range reduces {
+					reduces[r].remaining = 0
+					startReduceProcessing(r)
+				}
+			} else {
+				// remaining counts are bulk-resolved above.
+			}
+		} else {
+			for _, r := range dependents[m] {
+				reduces[r].remaining--
+				startReduceProcessing(r)
+			}
+		}
+		freeMap[node]++
+		scheduleNode(node)
+	}
+
+	scheduleNode = func(node int) {
+		host := NodeName(node)
+		// Reduce slots first: SIDR schedules Reduce tasks ahead of the
+		// Map tasks they depend on; for stock Hadoop the order is
+		// irrelevant because Map eligibility is unconditional.
+		for freeReduce[node] > 0 {
+			r := job.Scheduler.NextReduce()
+			if r < 0 {
+				break
+			}
+			freeReduce[node]--
+			st := &reduces[r]
+			st.assigned = true
+			st.assignedAt = eng.Now()
+			st.node = node
+			// Count this task's shuffle connections at assignment.
+			if job.FetchAll {
+				res.Stats.Connections += int64(nMaps)
+			} else {
+				res.Stats.Connections += int64(len(job.Reduces[r].Deps))
+			}
+			if st.remaining == 0 {
+				startReduceProcessing(r)
+			}
+		}
+		for freeMap[node] > 0 {
+			m := job.Scheduler.NextMap(host)
+			if m < 0 {
+				break
+			}
+			freeMap[node]--
+			sp := job.Splits[m]
+			locality := cfg.LocalityPenalty
+			for _, h := range sp.Hosts {
+				if h == host {
+					locality = 1
+					res.Stats.LocalMaps++
+					break
+				}
+			}
+			if locality == 0 {
+				locality = 1
+			}
+			dur := (cfg.MapBase + cfg.MapPerPoint*float64(sp.Points)) * job.MapCostFactor * locality * jitter()
+			if fm := job.Failure; fm != nil && !fm.Recompute {
+				// Persisting intermediate data to disk slows every Map
+				// task (the cost §6 proposes to eliminate).
+				dur *= 1 + fm.PersistOverhead
+			}
+			if cfg.StragglerProb > 0 && rng.Float64() < cfg.StragglerProb {
+				res.Stats.Stragglers++
+				factor := cfg.StragglerFactor
+				if factor <= 1 {
+					factor = 4
+				}
+				straggled := dur * factor
+				if cfg.Speculation {
+					// A backup copy launches once the task exceeds the
+					// threshold and runs at normal speed; the earliest
+					// finisher wins. (The backup's slot is modelled as
+					// opportunistic spare capacity.)
+					threshold := cfg.SpeculationThreshold
+					if threshold <= 0 {
+						threshold = 1.5
+					}
+					backup := dur*threshold + dur
+					if backup < straggled {
+						res.Stats.SpeculativeWins++
+						straggled = backup
+					}
+				}
+				dur = straggled
+			}
+			mID := m
+			eng.After(dur, func() { finishMap(mID, node) })
+		}
+	}
+
+	// Kick off: fill every node's slots at t=0.
+	for n := 0; n < cfg.Workers; n++ {
+		scheduleNode(n)
+	}
+	eng.Run()
+
+	if mapsRemaining > 0 || anyReduceUnfinished(reduces) {
+		return nil, fmt.Errorf("simcluster: deadlock — %d maps and some reduces unfinished (scheduler/barrier mismatch?)", mapsRemaining)
+	}
+	res.Stats.Makespan = res.Trace.Makespan()
+	return res, nil
+}
+
+func anyReduceUnfinished(rs []reduceState) bool {
+	for i := range rs {
+		if !rs[i].done {
+			return true
+		}
+	}
+	return false
+}

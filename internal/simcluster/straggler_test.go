@@ -1,0 +1,77 @@
+package simcluster
+
+import (
+	"testing"
+
+	"sidr/internal/sched"
+)
+
+func stragglerJob() Job {
+	return alignedJob(64, 4, sched.NewHadoop(noHosts(64), 4), true)
+}
+
+func TestStragglersSlowTheJob(t *testing.T) {
+	cfg := tinyConfig()
+	plain := stragglerJob()
+	plain.FetchAll = true
+	r0, err := Simulate(cfg, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StragglerProb = 0.1
+	cfg.StragglerFactor = 5
+	slow := stragglerJob()
+	slow.FetchAll = true
+	r1, err := Simulate(cfg, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Stragglers == 0 {
+		t.Fatal("no stragglers injected")
+	}
+	if !(r1.Stats.MapsDone > r0.Stats.MapsDone) {
+		t.Fatalf("stragglers did not slow maps: %v vs %v", r1.Stats.MapsDone, r0.Stats.MapsDone)
+	}
+}
+
+func TestSpeculationMitigatesStragglers(t *testing.T) {
+	base := tinyConfig()
+	base.StragglerProb = 0.1
+	base.StragglerFactor = 8
+
+	noSpec := stragglerJob()
+	noSpec.FetchAll = true
+	r0, err := Simulate(base, noSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := base
+	spec.Speculation = true
+	specJob := stragglerJob()
+	specJob.FetchAll = true
+	r1, err := Simulate(spec, specJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.SpeculativeWins == 0 {
+		t.Fatal("no speculative wins recorded")
+	}
+	if !(r1.Stats.MapsDone < r0.Stats.MapsDone) {
+		t.Fatalf("speculation did not help: %v vs %v", r1.Stats.MapsDone, r0.Stats.MapsDone)
+	}
+}
+
+func TestSpeculationNoOpWithoutStragglers(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Speculation = true
+	job := stragglerJob()
+	job.FetchAll = true
+	res, err := Simulate(cfg, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stragglers != 0 || res.Stats.SpeculativeWins != 0 {
+		t.Fatalf("phantom stragglers: %+v", res.Stats)
+	}
+}

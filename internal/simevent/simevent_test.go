@@ -1,0 +1,84 @@
+package simevent
+
+import (
+	"testing"
+)
+
+func TestRunOrdersEvents(t *testing.T) {
+	e := New()
+	var got []int
+	e.After(3, func() { got = append(got, 3) })
+	e.After(1, func() { got = append(got, 1) })
+	e.After(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final clock = %v", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestTiesBreakInScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.After(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var at []float64
+	e.After(1, func() {
+		at = append(at, e.Now())
+		e.After(2, func() { at = append(at, e.Now()) })
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != 1 || at[1] != 3 {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestAtRejectsPast(t *testing.T) {
+	e := New()
+	e.After(5, func() {
+		if err := e.At(1, func() {}); err == nil {
+			t.Error("past event accepted")
+		}
+	})
+	e.Run()
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := New()
+	ran := false
+	e.After(-3, func() { ran = true })
+	if e.Run() != 0 || !ran {
+		t.Fatal("negative After mishandled")
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New()
+	if e.Pending() != 0 {
+		t.Fatal("fresh engine has pending events")
+	}
+	e.After(1, func() {})
+	if e.Pending() != 1 {
+		t.Fatal("Pending != 1")
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatal("Pending after Run != 0")
+	}
+}

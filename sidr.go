@@ -1,0 +1,329 @@
+// Package sidr is the public API of this repository: a from-scratch Go
+// implementation of SIDR — Structure-Aware Intelligent Data Routing
+// (Buck et al., SC '13) — together with the MapReduce runtime, scientific
+// file format, and cluster substrates it builds on.
+//
+// SIDR exploits the structure of scientific array data to make MapReduce
+// communication deterministic for structural queries: it computes, before
+// execution, which input splits feed which Reduce tasks, and uses that to
+// remove the global Map→Reduce barrier, produce early correct results,
+// eliminate intermediate key skew, and write dense contiguous output.
+//
+// A minimal session:
+//
+//	ds, _ := sidr.Synthetic([]int64{364, 250, 200}, myTemperatureFn)
+//	q, _ := sidr.ParseQuery("avg temp[0,0,0 : 364,250,200] es {7,5,1}")
+//	res, _ := sidr.Run(ds, q, sidr.RunOptions{Engine: sidr.SIDR, Reducers: 4})
+//
+// The facade accepts plain []int64 coordinates; the internal packages
+// (coords, mapreduce, partition, depgraph, sched, simcluster, ...) expose
+// the full machinery for advanced use within this module.
+package sidr
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sidr/internal/coords"
+	"sidr/internal/core"
+	"sidr/internal/mapreduce"
+	"sidr/internal/ncfile"
+	"sidr/internal/query"
+)
+
+// Engine selects execution semantics: stock Hadoop, SciHadoop, or SIDR.
+type Engine = core.Engine
+
+// Engine values, named as in the paper's figures.
+const (
+	Hadoop    = core.EngineHadoop
+	SciHadoop = core.EngineSciHadoop
+	SIDR      = core.EngineSIDR
+)
+
+// Dataset is a queryable n-dimensional array: either an ncfile container
+// on disk or a synthetic dataset defined by a pure function of the
+// coordinate.
+type Dataset struct {
+	shape    coords.Shape
+	variable string
+	file     *ncfile.File
+	fn       func(coords.Coord) float64
+}
+
+// Open opens the named variable of an ncfile container.
+func Open(path, variable string) (*Dataset, error) {
+	f, err := ncfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	shape, err := f.Header().VarShape(variable)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Dataset{shape: shape, variable: variable, file: f}, nil
+}
+
+// Synthetic wraps a pure coordinate function as a dataset of the given
+// shape; nothing is materialised.
+func Synthetic(shape []int64, fn func(k []int64) float64) (*Dataset, error) {
+	s := coords.NewShape(shape...)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sidr: nil dataset function")
+	}
+	return &Dataset{
+		shape: s,
+		fn:    func(k coords.Coord) float64 { return fn(k) },
+	}, nil
+}
+
+// Shape returns the dataset's extents.
+func (d *Dataset) Shape() []int64 {
+	return append([]int64(nil), d.shape...)
+}
+
+// Close releases the underlying file, if any.
+func (d *Dataset) Close() error {
+	if d.file != nil {
+		return d.file.Close()
+	}
+	return nil
+}
+
+// reader returns the dataset's record reader.
+func (d *Dataset) reader() mapreduce.RecordReader {
+	if d.file != nil {
+		return &mapreduce.FileReader{File: d.file, Var: d.variable}
+	}
+	return &mapreduce.FuncReader{Fn: d.fn}
+}
+
+// Query is a validated structural query.
+type Query struct {
+	q *query.Query
+}
+
+// ParseQuery parses the query language, e.g.
+//
+//	median windspeed[0,0,0,0 : 7200,360,720,50] es {2,36,36,10}
+//	filter_gt temp[0,0 : 100,100] es {2,2} param 30
+//
+// See the internal/query package for the full syntax (stride,
+// keep-partial).
+func ParseQuery(s string) (*Query, error) {
+	q, err := query.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// String renders the query in its canonical text form.
+func (q *Query) String() string { return q.q.String() }
+
+// Variable returns the dataset variable the query reads.
+func (q *Query) Variable() string { return q.q.Variable }
+
+// PartialResult is one keyblock's committed output, delivered as soon as
+// its data dependencies are met (SIDR's early correct results).
+type PartialResult struct {
+	// Keyblock identifies the Reduce task.
+	Keyblock int
+	// Keys are intermediate-space (K') coordinates in row-major order.
+	Keys [][]int64
+	// Values holds the operator outputs per key (one value for
+	// aggregates, zero or more for filters).
+	Values [][]float64
+	// At is the wall-clock commit time.
+	At time.Time
+}
+
+// Result is a completed query.
+type Result struct {
+	// Keys and Values list every output key (sorted row-major) with its
+	// values.
+	Keys   [][]int64
+	Values [][]float64
+	// Partials are the per-keyblock outputs in commit order.
+	Partials []PartialResult
+	// FirstResult is the latency until the first keyblock committed.
+	FirstResult time.Duration
+	// Elapsed is the total query latency.
+	Elapsed time.Duration
+	// Connections counts shuffle fetches performed.
+	Connections int64
+}
+
+// RunOptions tunes execution.
+type RunOptions struct {
+	// Engine selects semantics; the zero value is Hadoop.
+	Engine Engine
+	// Reducers is the Reduce task count (default 4).
+	Reducers int
+	// SplitPoints is the target input-split granularity in points
+	// (default: the whole input split into ~8 pieces).
+	SplitPoints int64
+	// MaxSkew bounds partition+ keyblock skew in K' keys (SIDR only).
+	MaxSkew int64
+	// Priority orders keyblock scheduling for computational steering
+	// (SIDR only).
+	Priority []int
+	// Workers bounds Map and Reduce concurrency (default 4 each).
+	Workers int
+	// OnPartial receives each keyblock's output as soon as it commits.
+	// Callbacks may arrive concurrently.
+	OnPartial func(PartialResult)
+}
+
+// Run executes the query over the dataset.
+func Run(ds *Dataset, q *Query, opts RunOptions) (*Result, error) {
+	if ds == nil || q == nil {
+		return nil, fmt.Errorf("sidr: nil dataset or query")
+	}
+	if err := q.q.Validate(ds.shape); err != nil {
+		return nil, err
+	}
+	if opts.Reducers <= 0 {
+		opts.Reducers = 4
+	}
+	splitPoints := opts.SplitPoints
+	if splitPoints <= 0 {
+		splitPoints = q.q.Input.Size()/8 + 1
+	}
+	plan, err := core.NewPlan(q.q, opts.Engine, core.Options{
+		Reducers:    opts.Reducers,
+		SplitPoints: splitPoints,
+		MaxSkew:     opts.MaxSkew,
+		Priority:    opts.Priority,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	start := time.Now()
+	mrRes, err := plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
+		if opts.Workers > 0 {
+			cfg.MapWorkers = opts.Workers
+			cfg.ReduceWorkers = opts.Workers
+		}
+		cfg.OnReduceOutput = func(out mapreduce.ReduceOutput) {
+			pr := toPartial(out)
+			if opts.OnPartial != nil {
+				opts.OnPartial(pr)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Connections = mrRes.Counters.Connections
+
+	// Rebuild partials in commit order from the event stream and attach
+	// outputs, then flatten into the sorted global result.
+	firstSet := false
+	for _, e := range mrRes.Events {
+		if e.Kind != mapreduce.ReduceEnd {
+			continue
+		}
+		pr := toPartial(mrRes.Outputs[e.Detail])
+		pr.At = e.At
+		res.Partials = append(res.Partials, pr)
+		if !firstSet {
+			res.FirstResult = e.At.Sub(mrRes.Started)
+			firstSet = true
+		}
+	}
+	type row struct {
+		key  coords.Coord
+		vals []float64
+	}
+	var rows []row
+	for _, out := range mrRes.Outputs {
+		for i, k := range out.Keys {
+			rows = append(rows, row{key: k, vals: out.Values[i]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
+	for _, r := range rows {
+		res.Keys = append(res.Keys, append([]int64(nil), r.key...))
+		res.Values = append(res.Values, r.vals)
+	}
+	return res, nil
+}
+
+func toPartial(out mapreduce.ReduceOutput) PartialResult {
+	pr := PartialResult{Keyblock: out.Keyblock, At: time.Now()}
+	for i, k := range out.Keys {
+		pr.Keys = append(pr.Keys, append([]int64(nil), k...))
+		pr.Values = append(pr.Values, out.Values[i])
+	}
+	return pr
+}
+
+// OutputSpace returns the shape of the query's intermediate/output
+// keyspace K'^T.
+func (q *Query) OutputSpace() ([]int64, error) {
+	s, err := q.q.IntermediateSpace()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int64(nil), s.Shape...), nil
+}
+
+// WriteDense writes a result as one dense ncfile per keyblock under dir,
+// each with its global origin recorded — the contiguous output layout
+// partition+ enables (§4.4). It requires a SIDR run whose keyblocks are
+// rectangular and returns the file paths.
+func WriteDense(dir string, ds *Dataset, q *Query, opts RunOptions, res *Result) ([]string, error) {
+	if opts.Engine != SIDR {
+		return nil, fmt.Errorf("sidr: dense output requires the SIDR engine")
+	}
+	if opts.Reducers <= 0 {
+		opts.Reducers = 4
+	}
+	plan, err := core.NewPlan(q.q, SIDR, core.Options{
+		Reducers:    opts.Reducers,
+		SplitPoints: q.q.Input.Size()/8 + 1,
+		MaxSkew:     opts.MaxSkew,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, pr := range res.Partials {
+		slab, ok := plan.KeyblockSlab(pr.Keyblock)
+		if !ok {
+			if len(pr.Keys) == 0 {
+				continue // empty keyblock
+			}
+			return nil, fmt.Errorf("sidr: keyblock %d is not rectangular", pr.Keyblock)
+		}
+		vals := make([]float64, slab.Size())
+		for i, k := range pr.Keys {
+			off, err := slab.Linearize(coords.NewCoord(k...))
+			if err != nil {
+				return nil, err
+			}
+			if len(pr.Values[i]) > 0 {
+				vals[off] = pr.Values[i][0]
+			}
+		}
+		path := fmt.Sprintf("%s/keyblock-%04d.ncf", dir, pr.Keyblock)
+		if _, err := ncfile.WriteDense(path, "out", slab, vals); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
