@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet serve bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# serve builds sidrd and runs it against DATA (default: ./datasets).
+DATA ?= ./datasets
+serve:
+	$(GO) run ./cmd/sidrd -data $(DATA)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

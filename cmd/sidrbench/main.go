@@ -27,6 +27,12 @@ func main() {
 		dir    = flag.String("dir", os.TempDir(), "scratch directory for file-IO experiments")
 		micro  = flag.Int("micropairs", experiments.PartitionMicroPairs, "pair count for the partition micro-benchmark")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: sidrbench [flags]")
+		fmt.Fprintln(flag.CommandLine.Output(), "cluster experiments run on the simulator; in-process engine runs")
+		fmt.Fprintln(flag.CommandLine.Output(), "(see sidrquery, sidrd) default Map/Reduce workers to GOMAXPROCS")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	run := func(name string, fn func() error) {

@@ -1,0 +1,104 @@
+// Command sidrd is the long-running query-serving daemon: it registers
+// the *.ncf datasets under -data, runs queries on a bounded worker pool
+// with an LRU plan cache, and streams each keyblock's output as NDJSON
+// the moment it commits — SIDR's early correct results over the wire.
+//
+// Usage:
+//
+//	sidrd -addr :7171 -data ./datasets -max-jobs 8 -queue 64
+//
+// A session:
+//
+//	curl -s localhost:7171/v1/query -d '{"dataset":"wind","query":"median windspeed[0,0,0,0 : 144,36,36,10] es {2,36,36,10}"}'
+//	curl -sN localhost:7171/v1/jobs/job-000001/stream
+//	curl -s  localhost:7171/metrics
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
+// queued jobs are cancelled, and in-flight jobs drain (up to
+// -drain-timeout, after which they are cancelled too).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sidr/internal/jobs"
+	"sidr/internal/metrics"
+	"sidr/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7171", "listen address")
+		dataDir   = flag.String("data", "", "directory of *.ncf datasets to serve")
+		maxJobs   = flag.Int("max-jobs", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "queued-job admission limit")
+		planCache = flag.Int("plan-cache", 128, "LRU plan cache entries (-1 disables)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *maxJobs, *queue, *planCache, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, maxJobs, queue, planCache int, drain time.Duration) error {
+	reg := metrics.New()
+	registry := server.NewRegistry()
+	if dataDir != "" {
+		n, err := registry.ScanDir(dataDir)
+		if err != nil {
+			return err
+		}
+		log.Printf("sidrd: serving %d dataset(s) from %s", n, dataDir)
+	}
+	mgr, err := jobs.NewManager(jobs.Config{
+		MaxConcurrent: maxJobs,
+		QueueDepth:    queue,
+		PlanCacheSize: planCache,
+		Datasets:      registry,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: server.New(mgr, registry, reg)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("sidrd: listening on %s", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("sidrd: shutting down, draining in-flight jobs (%v budget)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sidrd: http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sidrd: drain budget exhausted, jobs cancelled: %v", err)
+	}
+	if err := registry.Close(); err != nil {
+		log.Printf("sidrd: closing datasets: %v", err)
+	}
+	log.Printf("sidrd: bye")
+	return nil
+}

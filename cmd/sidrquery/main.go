@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"sidr"
+	"sidr/internal/wire"
 )
 
 func main() {
@@ -23,8 +25,9 @@ func main() {
 		data     = flag.String("data", "", "input .ncf path (required)")
 		engineS  = flag.String("engine", "sidr", "engine: hadoop, scihadoop, sidr")
 		reducers = flag.Int("reducers", 4, "reduce task count")
-		workers  = flag.Int("workers", 0, "map/reduce worker bound (0 = default)")
+		workers  = flag.Int("workers", 0, "map/reduce worker bound (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("quiet", false, "suppress per-keyblock progress")
+		jsonOut  = flag.Bool("json", false, "emit the final result as JSON on stdout (the daemon's wire format)")
 		maxRows  = flag.Int("n", 10, "output rows to print (0 = all)")
 		outDir   = flag.String("output", "", "directory for dense per-keyblock output files (SIDR engine only)")
 	)
@@ -72,15 +75,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sidrquery: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("# %s engine=%v reducers=%d elapsed=%v first=%v connections=%d keys=%d\n",
-		q, engine, *reducers, res.Elapsed.Round(time.Millisecond),
-		res.FirstResult.Round(time.Millisecond), res.Connections, len(res.Keys))
-	for i, k := range res.Keys {
-		if *maxRows > 0 && i >= *maxRows {
-			fmt.Printf("... %d more rows\n", len(res.Keys)-i)
-			break
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(wire.FromResult(res)); err != nil {
+			fmt.Fprintf(os.Stderr, "sidrquery: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Printf("%v\t%v\n", k, res.Values[i])
+	} else {
+		fmt.Printf("# %s engine=%v reducers=%d elapsed=%v first=%v connections=%d keys=%d\n",
+			q, engine, *reducers, res.Elapsed.Round(time.Millisecond),
+			res.FirstResult.Round(time.Millisecond), res.Connections, len(res.Keys))
+		for i, k := range res.Keys {
+			if *maxRows > 0 && i >= *maxRows {
+				fmt.Printf("... %d more rows\n", len(res.Keys)-i)
+				break
+			}
+			fmt.Printf("%v\t%v\n", k, res.Values[i])
+		}
 	}
 	if *outDir != "" {
 		paths, err := sidr.WriteDense(*outDir, ds, q, opts, res)
@@ -88,6 +98,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sidrquery: writing dense output: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d dense keyblock files under %s\n", len(paths), *outDir)
+		fmt.Fprintf(os.Stderr, "wrote %d dense keyblock files under %s\n", len(paths), *outDir)
 	}
 }

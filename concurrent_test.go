@@ -1,0 +1,100 @@
+package sidr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sidr/internal/coords"
+	"sidr/internal/datagen"
+)
+
+// TestConcurrentRunsSharedDataset guards the reader/registry sharing the
+// daemon depends on: N simultaneous Run calls against one shared
+// *Dataset (run under -race in CI) must each produce the same result as
+// a serial run.
+func TestConcurrentRunsSharedDataset(t *testing.T) {
+	path := t.TempDir() + "/shared.ncf"
+	if err := datagen.WriteDataset(path, "temp", coords.NewShape(48, 24), datagen.Temperature(1)); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Open(path, "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	q, err := ParseQuery("avg temp[0,0 : 48,24] es {6,6}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Engine: SIDR, Reducers: 4}
+	serial, err := Run(ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(ds, q, opts)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if len(results[i].Keys) != len(serial.Keys) {
+			t.Fatalf("run %d: %d rows, serial %d", i, len(results[i].Keys), len(serial.Keys))
+		}
+		for r := range serial.Keys {
+			if fmt.Sprint(results[i].Keys[r]) != fmt.Sprint(serial.Keys[r]) ||
+				fmt.Sprint(results[i].Values[r]) != fmt.Sprint(serial.Values[r]) {
+				t.Fatalf("run %d row %d: got %v=%v, want %v=%v", i, r,
+					results[i].Keys[r], results[i].Values[r], serial.Keys[r], serial.Values[r])
+			}
+		}
+	}
+}
+
+// TestConcurrentRunsSharedSynthetic covers the FuncReader path the same
+// way: one synthetic dataset, many engines in flight.
+func TestConcurrentRunsSharedSynthetic(t *testing.T) {
+	ds, err := Synthetic([]int64{40, 20}, func(k []int64) float64 { return float64(3*k[0] + k[1]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("max v[0,0 : 40,20] es {5,5}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Engine: SIDR, Reducers: 4}
+	serial, err := Run(ds, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Run(ds, q, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fmt.Sprint(res.Keys) != fmt.Sprint(serial.Keys) || fmt.Sprint(res.Values) != fmt.Sprint(serial.Values) {
+				t.Error("concurrent synthetic run diverged from serial result")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,273 @@
+// Package jobs runs queries as managed jobs on a bounded worker pool:
+// admission control at submit, a lifecycle FSM
+// (queued→running→done/failed/cancelled) with per-job context
+// cancellation, an LRU plan cache exploiting SIDR's precomputable
+// routing, and a partial-result log that late subscribers replay — the
+// daemon-side substrate for streaming SIDR's early correct results.
+package jobs
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sidr"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// Queued means admitted but not yet claimed by a worker.
+	Queued State = iota
+	// Running means a worker is executing the query.
+	Running
+	// Done means the query completed and Result is set.
+	Done
+	// Failed means the query errored; Err is set.
+	Failed
+	// Cancelled means the job was cancelled while queued or running.
+	Cancelled
+)
+
+// String names the state as it appears on the wire.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Request describes one query submission.
+type Request struct {
+	// Dataset names a dataset in the manager's provider.
+	Dataset string `json:"dataset"`
+	// Query is the structural query text.
+	Query string `json:"query"`
+	// Engine is "hadoop", "scihadoop" or "sidr" (default).
+	Engine string `json:"engine,omitempty"`
+	// Reducers is the Reduce task count (default 4).
+	Reducers int `json:"reducers,omitempty"`
+	// Workers bounds Map/Reduce concurrency (default GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// SplitPoints is the input-split granularity in points (default:
+	// input split into ~8 pieces).
+	SplitPoints int64 `json:"split_points,omitempty"`
+	// MaxSkew bounds partition+ keyblock skew (SIDR engine only).
+	MaxSkew int64 `json:"max_skew,omitempty"`
+}
+
+// Snapshot is a point-in-time view of a job for status responses.
+type Snapshot struct {
+	ID       string    `json:"id"`
+	State    string    `json:"state"`
+	Dataset  string    `json:"dataset"`
+	Query    string    `json:"query"`
+	Engine   string    `json:"engine"`
+	Reducers int       `json:"reducers"`
+	Partials int       `json:"partials"`
+	PlanHit  bool      `json:"plan_cache_hit"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// Job is one managed query execution. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	ID  string
+	Req Request
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    State
+	err      error
+	result   *sidr.Result
+	partials []sidr.PartialResult
+	planHit  bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func newJob(id string, req Request) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{ID: id, Req: req, ctx: ctx, cancel: cancel, created: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error (nil unless Failed or Cancelled).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the completed result, or nil before Done.
+func (j *Job) Result() *sidr.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Snapshot captures the job's current status.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:       j.ID,
+		State:    j.state.String(),
+		Dataset:  j.Req.Dataset,
+		Query:    j.Req.Query,
+		Engine:   j.Req.Engine,
+		Reducers: j.Req.Reducers,
+		Partials: len(j.partials),
+		PlanHit:  j.planHit,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Cancel moves the job to Cancelled if it is still queued and signals
+// the run context; a running job transitions once the engine unwinds.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == Queued {
+		j.state = Cancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.cond.Broadcast()
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// returning the state observed.
+func (j *Job) Wait(ctx context.Context) (State, error) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !j.state.Terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil && !j.state.Terminal() {
+		return j.state, err
+	}
+	return j.state, nil
+}
+
+// Stream calls fn for every partial result — replaying already committed
+// ones first, then delivering new ones as keyblocks commit — and returns
+// the job's terminal state and error once the job finishes and the log
+// is drained. A non-nil error from fn aborts the stream; ctx done aborts
+// with ctx.Err().
+func (j *Job) Stream(ctx context.Context, fn func(sidr.PartialResult) error) (State, error) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	i := 0
+	for {
+		j.mu.Lock()
+		for i >= len(j.partials) && !j.state.Terminal() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		if err := ctx.Err(); err != nil {
+			st := j.state
+			j.mu.Unlock()
+			return st, err
+		}
+		if i < len(j.partials) {
+			pr := j.partials[i]
+			i++
+			j.mu.Unlock()
+			if err := fn(pr); err != nil {
+				return j.State(), err
+			}
+			continue
+		}
+		st, err := j.state, j.err
+		j.mu.Unlock()
+		return st, err
+	}
+}
+
+// addPartial appends one committed keyblock and wakes subscribers.
+func (j *Job) addPartial(pr sidr.PartialResult) {
+	j.mu.Lock()
+	j.partials = append(j.partials, pr)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// start transitions Queued→Running; false means the job was already
+// cancelled and must not run.
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Queued {
+		return false
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cond.Broadcast()
+	return true
+}
+
+// finish records the terminal state and wakes all waiters.
+func (j *Job) finish(state State, res *sidr.Result, err error) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = state
+		j.result = res
+		j.err = err
+		j.finished = time.Now()
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+func (j *Job) setPlanHit(hit bool) {
+	j.mu.Lock()
+	j.planHit = hit
+	j.mu.Unlock()
+}

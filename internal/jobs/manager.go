@@ -1,0 +1,340 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sidr"
+	"sidr/internal/metrics"
+)
+
+// Errors reported by Submit and lookup paths.
+var (
+	// ErrQueueFull is admission control rejecting a submission because
+	// the job queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began.
+	ErrShuttingDown = errors.New("jobs: manager shutting down")
+	// ErrUnknownJob is returned for lookups of ids never issued.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// DatasetProvider resolves dataset names to open datasets. Acquire
+// returns the dataset and a release func the manager calls when the job
+// is finished with it; implementations refcount handles so concurrent
+// jobs share them.
+type DatasetProvider interface {
+	Acquire(name, variable string) (*sidr.Dataset, func(), error)
+}
+
+// Config parametrises a Manager.
+type Config struct {
+	// MaxConcurrent is the worker-pool size (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds queued-but-not-running jobs; submissions beyond
+	// it fail with ErrQueueFull (default 64).
+	QueueDepth int
+	// PlanCacheSize bounds the LRU plan cache (default 128; < 0
+	// disables caching).
+	PlanCacheSize int
+	// Datasets resolves dataset names (required).
+	Datasets DatasetProvider
+	// Metrics receives job and plan-cache instrumentation (default: a
+	// private registry).
+	Metrics *metrics.Registry
+}
+
+// Manager owns the worker pool, job table and plan cache.
+type Manager struct {
+	cfg   Config
+	queue chan *Job
+	cache *planCache
+	seq   atomic.Int64
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	closed bool
+
+	mSubmitted, mDone, mFailed, mCancelled, mRejected *metrics.Counter
+	mPlanHits, mPlanMisses, mPlanEvictions            *metrics.Counter
+	gQueued, gRunning, gPlanSize                      *metrics.Gauge
+	hQuerySeconds, hFirstResultSeconds                *metrics.Histogram
+}
+
+// NewManager starts the worker pool and returns the manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Datasets == nil {
+		return nil, fmt.Errorf("jobs: config needs a dataset provider")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = 128
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	m := &Manager{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+
+		mSubmitted:          cfg.Metrics.Counter("sidrd_jobs_submitted_total"),
+		mDone:               cfg.Metrics.Counter("sidrd_jobs_done_total"),
+		mFailed:             cfg.Metrics.Counter("sidrd_jobs_failed_total"),
+		mCancelled:          cfg.Metrics.Counter("sidrd_jobs_cancelled_total"),
+		mRejected:           cfg.Metrics.Counter("sidrd_jobs_rejected_total"),
+		mPlanHits:           cfg.Metrics.Counter("sidrd_plan_cache_hits_total"),
+		mPlanMisses:         cfg.Metrics.Counter("sidrd_plan_cache_misses_total"),
+		mPlanEvictions:      cfg.Metrics.Counter("sidrd_plan_cache_evictions_total"),
+		gQueued:             cfg.Metrics.Gauge("sidrd_jobs_queued"),
+		gRunning:            cfg.Metrics.Gauge("sidrd_jobs_running"),
+		gPlanSize:           cfg.Metrics.Gauge("sidrd_plan_cache_size"),
+		hQuerySeconds:       cfg.Metrics.Histogram("sidrd_query_seconds", nil),
+		hFirstResultSeconds: cfg.Metrics.Histogram("sidrd_first_result_seconds", nil),
+	}
+	if cfg.PlanCacheSize > 0 {
+		m.cache = newPlanCache(cfg.PlanCacheSize)
+	}
+	for w := 0; w < cfg.MaxConcurrent; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.gQueued.Add(-1)
+				m.runJob(j)
+			}
+		}()
+	}
+	return m, nil
+}
+
+// parseEngine maps the wire engine name to a sidr.Engine.
+func parseEngine(s string) (sidr.Engine, error) {
+	switch strings.ToLower(s) {
+	case "", "sidr":
+		return sidr.SIDR, nil
+	case "hadoop":
+		return sidr.Hadoop, nil
+	case "scihadoop":
+		return sidr.SciHadoop, nil
+	default:
+		return 0, fmt.Errorf("jobs: unknown engine %q", s)
+	}
+}
+
+// Submit validates the request, admits it into the queue (or rejects
+// with ErrQueueFull) and returns the queued job.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if _, err := parseEngine(req.Engine); err != nil {
+		return nil, err
+	}
+	if _, err := sidr.ParseQuery(req.Query); err != nil {
+		return nil, err
+	}
+	if req.Dataset == "" {
+		return nil, fmt.Errorf("jobs: request needs a dataset")
+	}
+	j := newJob(fmt.Sprintf("job-%06d", m.seq.Add(1)), req)
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.gQueued.Add(1) // before the send: a worker may pop immediately
+	select {
+	case m.queue <- j:
+		m.jobs[j.ID] = j
+		m.order = append(m.order, j.ID)
+		m.mu.Unlock()
+		m.mSubmitted.Inc()
+		return j, nil
+	default:
+		m.gQueued.Add(-1)
+		m.mu.Unlock()
+		m.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns the job by id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// Cancel cancels the job by id.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel()
+	return nil
+}
+
+// Jobs lists snapshots in submission order.
+func (m *Manager) Jobs() []Snapshot {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// runJob executes one job on the calling worker.
+func (m *Manager) runJob(j *Job) {
+	if !j.start() {
+		// Cancelled while queued.
+		m.mCancelled.Inc()
+		return
+	}
+	m.gRunning.Add(1)
+	defer m.gRunning.Add(-1)
+
+	res, err := m.execute(j)
+	switch {
+	case err == nil:
+		m.mDone.Inc()
+		m.hQuerySeconds.Observe(res.Elapsed.Seconds())
+		m.hFirstResultSeconds.Observe(res.FirstResult.Seconds())
+		j.finish(Done, res, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.mCancelled.Inc()
+		j.finish(Cancelled, nil, err)
+	default:
+		m.mFailed.Inc()
+		j.finish(Failed, nil, err)
+	}
+}
+
+// execute resolves the dataset, prepares (or reuses) the plan, and runs
+// the query under the job's context.
+func (m *Manager) execute(j *Job) (*sidr.Result, error) {
+	q, err := sidr.ParseQuery(j.Req.Query)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := parseEngine(j.Req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	ds, release, err := m.cfg.Datasets.Acquire(j.Req.Dataset, q.Variable())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	opts := sidr.RunOptions{
+		Engine:      engine,
+		Reducers:    j.Req.Reducers,
+		Workers:     j.Req.Workers,
+		SplitPoints: j.Req.SplitPoints,
+		MaxSkew:     j.Req.MaxSkew,
+		OnPartial:   j.addPartial,
+	}
+	prep, err := m.prepare(ds.Shape(), q, &opts, j)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Run(j.ctx, ds, opts)
+}
+
+// prepare returns a cached plan for the request or derives and caches a
+// new one. The canonical query string keys the cache so textual variants
+// of the same query share an entry.
+func (m *Manager) prepare(shape []int64, q *sidr.Query, opts *sidr.RunOptions, j *Job) (*sidr.Prepared, error) {
+	if m.cache == nil {
+		return sidr.Prepare(shape, q, *opts)
+	}
+	key := planKey(shape, q.String(), opts.Engine, *opts)
+	if prep, ok := m.cache.get(key); ok {
+		m.mPlanHits.Inc()
+		j.setPlanHit(true)
+		return prep, nil
+	}
+	prep, err := sidr.Prepare(shape, q, *opts)
+	if err != nil {
+		return nil, err
+	}
+	m.mPlanMisses.Inc()
+	m.mPlanEvictions.Add(int64(m.cache.put(key, prep)))
+	m.gPlanSize.Set(int64(m.cache.len()))
+	return prep, nil
+}
+
+// Shutdown stops admission, cancels still-queued jobs, and waits for
+// in-flight jobs to drain until ctx expires, at which point running jobs
+// are cancelled and the wait resumes until they unwind.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	running := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.State() == Queued {
+			j.Cancel()
+		} else {
+			running = append(running, j)
+		}
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, j := range running {
+			j.Cancel()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// WaitIdle blocks until no job is queued or running, or until the
+// timeout elapses; used by tests to detect quiescence.
+func (m *Manager) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if m.gQueued.Value() == 0 && m.gRunning.Value() == 0 {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

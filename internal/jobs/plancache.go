@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"sidr"
+)
+
+// planCache is an LRU of prepared execution plans. SIDR routing is a
+// pure function of (dataset shape, query, engine, reducers, split
+// granularity, skew bound) — §3's precomputability — so identical
+// requests, even against different datasets of the same shape, reuse
+// the splits, partition+ keyblocks and dependency graph instead of
+// re-deriving them.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	prep *sidr.Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// planKey canonicalises the plan-determining inputs.
+func planKey(shape []int64, query string, engine sidr.Engine, opts sidr.RunOptions) string {
+	return fmt.Sprintf("%v|%s|%d|%d|%d|%d", shape, query, engine, opts.Reducers, opts.SplitPoints, opts.MaxSkew)
+}
+
+// get returns the cached plan and bumps its recency.
+func (c *planCache) get(key string) (*sidr.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).prep, true
+}
+
+// put inserts a plan, evicting the least recently used entry when over
+// capacity. It reports how many entries were evicted.
+func (c *planCache) put(key string, prep *sidr.Prepared) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planEntry).prep = prep
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, prep: prep})
+	evicted := 0
+	for c.cap > 0 && c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

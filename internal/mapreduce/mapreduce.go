@@ -13,8 +13,10 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -122,6 +124,11 @@ type Config struct {
 	Reader RecordReader
 	Part   partition.Partitioner
 
+	// Ctx, when set, cancels the job: Map record loops, Reduce barrier
+	// waits and worker dispatch all abort promptly once it is done, and
+	// Run returns ctx.Err(). Nil means no cancellation.
+	Ctx context.Context
+
 	// Graph supplies I_ℓ and expected counts; required for
 	// DependencyBarrier and for count validation.
 	Graph   *depgraph.Graph
@@ -137,7 +144,7 @@ type Config struct {
 	Combine bool
 
 	// MapWorkers and ReduceWorkers bound task concurrency; both default
-	// to 4.
+	// to runtime.GOMAXPROCS(0) so the engine scales with the machine.
 	MapWorkers    int
 	ReduceWorkers int
 
@@ -234,10 +241,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, ErrNeedsGraph
 	}
 	if cfg.MapWorkers <= 0 {
-		cfg.MapWorkers = 4
+		cfg.MapWorkers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.ReduceWorkers <= 0 {
-		cfg.ReduceWorkers = 4
+		cfg.ReduceWorkers = runtime.GOMAXPROCS(0)
 	}
 	op, err := cfg.Query.Op()
 	if err != nil {
@@ -276,6 +283,14 @@ func Run(cfg Config) (*Result, error) {
 	j.cond = sync.NewCond(&j.mu)
 	started := time.Now()
 
+	// Cancellation: record ctx.Err() as the job failure and wake every
+	// barrier waiter the moment the context is done. Workers observe the
+	// failure between tasks and inside Map record loops.
+	if cfg.Ctx != nil {
+		stop := context.AfterFunc(cfg.Ctx, func() { j.fail(cfg.Ctx.Err()) })
+		defer stop()
+	}
+
 	r := cfg.Part.NumKeyblocks()
 	results := make([]ReduceOutput, r)
 	reduceErrs := make([]error, r)
@@ -289,6 +304,11 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for l := range reduceCh {
+				if err := j.aborted(); err != nil {
+					results[l] = ReduceOutput{Keyblock: l}
+					reduceErrs[l] = err
+					continue
+				}
 				out, err := j.runReduce(l)
 				if err != nil {
 					j.fail(err)
@@ -304,6 +324,9 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range mapCh {
+				if j.aborted() != nil {
+					continue
+				}
 				if err := j.runMap(i); err != nil {
 					j.fail(err)
 				}
@@ -326,6 +349,13 @@ func Run(cfg Config) (*Result, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.failed != nil {
+		// A cancelled job surfaces ctx.Err() itself, not a task-level
+		// wrapping of it, so callers can compare with errors.Is/==.
+		if cfg.Ctx != nil {
+			if cerr := cfg.Ctx.Err(); cerr != nil && errors.Is(j.failed, cerr) {
+				return nil, cerr
+			}
+		}
 		return nil, j.failed
 	}
 	for _, err := range reduceErrs {
@@ -350,6 +380,13 @@ func (j *job) fail(err error) {
 		j.failed = err
 	}
 	j.cond.Broadcast()
+}
+
+// aborted returns the job's recorded failure, if any.
+func (j *job) aborted() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
 }
 
 func (j *job) emit(e Event) {

@@ -62,7 +62,7 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 	// map-side after the split is consumed.
 	accums := make([]map[int64]*kv.Value, r)
 	segments := make([][][]kv.Pair, r)
-	var records, buffered int64
+	var records, buffered, seen int64
 
 	// sealSegment converts one keyblock's accumulated buffer into a
 	// sorted pair segment.
@@ -110,6 +110,14 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 	}
 
 	err := j.cfg.Reader.ReadSplit(live, func(k coords.Coord, v float64) error {
+		// Cancellation check amortised over the record loop so slow
+		// readers abort promptly without a per-point atomic.
+		if seen&63 == 0 && j.cfg.Ctx != nil {
+			if err := j.cfg.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		seen++
 		kp, mapped := q.Extraction.MapKey(k)
 		if !mapped {
 			return nil // stride gap
@@ -247,6 +255,11 @@ func (j *job) runReduce(l int) (ReduceOutput, error) {
 
 // execReduce fetches, merges and reduces keyblock l's data.
 func (j *job) execReduce(l int) (ReduceOutput, error) {
+	if j.cfg.Ctx != nil {
+		if err := j.cfg.Ctx.Err(); err != nil {
+			return ReduceOutput{Keyblock: l}, err
+		}
+	}
 	// Shuffle: under the dependency barrier only the Map tasks in I_ℓ
 	// are contacted; under the global barrier every Map task is (stock
 	// Hadoop's all-to-all fetch), which is what Table 3 counts.

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"sidr"
+	"sidr/internal/ncfile"
+)
+
+// VariableInfo describes one queryable variable of a dataset.
+type VariableInfo struct {
+	Name  string  `json:"name"`
+	Shape []int64 `json:"shape"`
+}
+
+// DatasetInfo is the /v1/datasets wire form of one registered dataset.
+type DatasetInfo struct {
+	Name      string         `json:"name"`
+	Kind      string         `json:"kind"` // "file" or "synthetic"
+	Path      string         `json:"path,omitempty"`
+	Variables []VariableInfo `json:"variables"`
+}
+
+// source is a registered dataset not yet opened.
+type source struct {
+	info  DatasetInfo
+	path  string                    // file datasets
+	shape []int64                   // synthetic datasets
+	fn    func(k []int64) float64   // synthetic datasets
+}
+
+// handle is one refcounted open dataset, keyed by (dataset, variable).
+type handle struct {
+	ds   *sidr.Dataset
+	refs int
+}
+
+// Registry maps dataset names to open sidr.Datasets. Handles are opened
+// lazily on first Acquire, refcounted, and kept open across jobs so
+// concurrent queries share one ncfile handle (positional reads make the
+// files safe for concurrent readers). Close tears down idle handles
+// immediately and busy ones as their last user releases them.
+type Registry struct {
+	mu      sync.Mutex
+	sources map[string]*source
+	open    map[string]*handle // key: name + "\x00" + variable
+	closing bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]*source), open: make(map[string]*handle)}
+}
+
+// AddFile registers an ncfile container under the given name, reading
+// its header to list variables.
+func (r *Registry) AddFile(name, path string) error {
+	f, err := ncfile.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info := DatasetInfo{Name: name, Kind: "file", Path: path}
+	for _, v := range f.Header().Vars {
+		shape, err := f.Header().VarShape(v.Name)
+		if err != nil {
+			return err
+		}
+		info.Variables = append(info.Variables, VariableInfo{Name: v.Name, Shape: shape})
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sources[name]; dup {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	r.sources[name] = &source{info: info, path: path}
+	return nil
+}
+
+// AddSynthetic registers a pure-function dataset of the given shape;
+// any variable name resolves to it.
+func (r *Registry) AddSynthetic(name string, shape []int64, fn func(k []int64) float64) error {
+	if fn == nil {
+		return fmt.Errorf("server: nil synthetic dataset function")
+	}
+	info := DatasetInfo{Name: name, Kind: "synthetic",
+		Variables: []VariableInfo{{Name: "*", Shape: append([]int64(nil), shape...)}}}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sources[name]; dup {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	r.sources[name] = &source{info: info, shape: append([]int64(nil), shape...), fn: fn}
+	return nil
+}
+
+// ScanDir registers every *.ncf file in dir under its basename (without
+// extension), returning how many were added.
+func (r *Registry) ScanDir(dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ncf"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	n := 0
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".ncf")
+		if err := r.AddFile(name, p); err != nil {
+			return n, fmt.Errorf("server: registering %s: %w", p, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// List returns the registered datasets sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.sources))
+	for _, s := range r.sources {
+		out = append(out, s.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Acquire opens (or reuses) the dataset's handle for the variable and
+// bumps its refcount; the returned release func must be called when the
+// job is done with it. Implements jobs.DatasetProvider.
+func (r *Registry) Acquire(name, variable string) (*sidr.Dataset, func(), error) {
+	key := name + "\x00" + variable
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closing {
+		return nil, nil, fmt.Errorf("server: registry closed")
+	}
+	if h, ok := r.open[key]; ok {
+		h.refs++
+		return h.ds, r.releaseFunc(key), nil
+	}
+	src, ok := r.sources[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	var ds *sidr.Dataset
+	var err error
+	if src.fn != nil {
+		ds, err = sidr.Synthetic(src.shape, src.fn)
+	} else {
+		ds, err = sidr.Open(src.path, variable)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	r.open[key] = &handle{ds: ds, refs: 1}
+	return ds, r.releaseFunc(key), nil
+}
+
+// releaseFunc returns a once-only decrement for the handle. Caller holds
+// r.mu.
+func (r *Registry) releaseFunc(key string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			h := r.open[key]
+			if h == nil {
+				return
+			}
+			h.refs--
+			if h.refs <= 0 && r.closing {
+				h.ds.Close()
+				delete(r.open, key)
+			}
+		})
+	}
+}
+
+// OpenHandles returns the number of currently open dataset handles.
+func (r *Registry) OpenHandles() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// Close stops further Acquires and closes every handle whose refcount is
+// zero; handles still in use close when their last user releases them.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closing = true
+	var first error
+	for key, h := range r.open {
+		if h.refs <= 0 {
+			if err := h.ds.Close(); err != nil && first == nil {
+				first = err
+			}
+			delete(r.open, key)
+		}
+	}
+	return first
+}

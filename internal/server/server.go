@@ -1,0 +1,194 @@
+// Package server exposes the query engine over HTTP. It is the wire
+// surface of sidrd:
+//
+//	POST   /v1/query            submit a query; 202 + job snapshot
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/stream NDJSON: each keyblock's output the
+//	                            moment it commits (SIDR's early correct
+//	                            results over the wire), then a terminal
+//	                            done/failed/cancelled event
+//	GET    /v1/datasets         registered datasets and their variables
+//	GET    /metrics             plain-text metrics exposition
+//	GET    /healthz             liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sidr"
+	"sidr/internal/jobs"
+	"sidr/internal/metrics"
+	"sidr/internal/wire"
+)
+
+// Server routes daemon HTTP traffic. Create with New.
+type Server struct {
+	mgr      *jobs.Manager
+	registry *Registry
+	metrics  *metrics.Registry
+	mux      *http.ServeMux
+	requests *metrics.Counter
+}
+
+// New wires the handler set. All three dependencies are required.
+func New(mgr *jobs.Manager, registry *Registry, reg *metrics.Registry) *Server {
+	s := &Server{
+		mgr:      mgr,
+		registry: registry,
+		metrics:  reg,
+		mux:      http.NewServeMux(),
+		requests: reg.Counter("sidrd_http_requests_total"),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Jobs())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	// Completed jobs carry the assembled result inline.
+	type jobView struct {
+		jobs.Snapshot
+		Result *wire.Result `json:"result,omitempty"`
+	}
+	writeJSON(w, http.StatusOK, jobView{Snapshot: j.Snapshot(), Result: wire.FromResult(j.Result())})
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	flush() // commit headers before the first keyblock lands
+
+	state, err := j.Stream(r.Context(), func(pr sidr.PartialResult) error {
+		p := wire.FromPartial(pr)
+		if err := enc.Encode(wire.StreamEvent{Type: wire.EventPartial, JobID: j.ID, Partial: &p}); err != nil {
+			return err
+		}
+		flush()
+		return nil
+	})
+	if err != nil {
+		return // client gone or write failed; nothing more to say
+	}
+	final := wire.StreamEvent{JobID: j.ID}
+	switch state {
+	case jobs.Done:
+		final.Type = wire.EventDone
+		final.Result = wire.FromResult(j.Result())
+	case jobs.Cancelled:
+		final.Type = wire.EventCancelled
+		if jerr := j.Err(); jerr != nil {
+			final.Error = jerr.Error()
+		}
+	default:
+		final.Type = wire.EventFailed
+		if jerr := j.Err(); jerr != nil {
+			final.Error = jerr.Error()
+		}
+	}
+	enc.Encode(final)
+	flush()
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Gauge("sidrd_datasets_open").Set(int64(s.registry.OpenHandles()))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.WriteText(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

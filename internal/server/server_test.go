@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sidr"
+	"sidr/internal/coords"
+	"sidr/internal/datagen"
+	"sidr/internal/jobs"
+	"sidr/internal/metrics"
+	"sidr/internal/wire"
+)
+
+// fixture wires a full daemon stack against an httptest server.
+type fixture struct {
+	t        *testing.T
+	ts       *httptest.Server
+	mgr      *jobs.Manager
+	registry *Registry
+	metrics  *metrics.Registry
+}
+
+func newFixture(t *testing.T, registry *Registry) *fixture {
+	t.Helper()
+	reg := metrics.New()
+	mgr, err := jobs.NewManager(jobs.Config{Datasets: registry, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mgr, registry, reg))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+		registry.Close()
+	})
+	return &fixture{t: t, ts: ts, mgr: mgr, registry: registry, metrics: reg}
+}
+
+func (f *fixture) submit(req jobs.Request) jobs.Snapshot {
+	f.t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(f.ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		f.t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		f.t.Fatal(err)
+	}
+	return snap
+}
+
+func (f *fixture) jobState(id string) string {
+	f.t.Helper()
+	resp, err := http.Get(f.ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		f.t.Fatal(err)
+	}
+	return snap.State
+}
+
+func (f *fixture) waitState(id, want string) {
+	f.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := f.jobState(id); st == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	f.t.Fatalf("job %s never reached state %q (now %q)", id, want, f.jobState(id))
+}
+
+func (f *fixture) metricsText() string {
+	f.t.Helper()
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// TestStreamingEndToEnd is the acceptance path: a SIDR query whose last
+// keyblock's inputs are gated, so early keyblocks stream while the job
+// is demonstrably still running; the assembled stream must equal a
+// direct sidr.Run, and a second identical submission must hit the plan
+// cache.
+func TestStreamingEndToEnd(t *testing.T) {
+	gate := make(chan struct{})
+	gateClosed := false
+	defer func() {
+		if !gateClosed {
+			close(gate)
+		}
+	}()
+	registry := NewRegistry()
+	if err := registry.AddSynthetic("blocky", []int64{64}, func(k []int64) float64 {
+		if k[0] >= 48 {
+			<-gate // hold back the last keyblock's inputs
+		}
+		return float64(k[0]%7) + 0.5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, registry)
+
+	req := jobs.Request{
+		Dataset:     "blocky",
+		Query:       "avg v[0 : 64] es {4}",
+		Engine:      "sidr",
+		Reducers:    4,
+		Workers:     1,
+		SplitPoints: 8,
+	}
+	snap := f.submit(req)
+
+	resp, err := http.Get(f.ts.URL + "/v1/jobs/" + snap.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var partials []wire.Partial
+	var done *wire.StreamEvent
+	for scanner.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		switch ev.Type {
+		case wire.EventPartial:
+			partials = append(partials, *ev.Partial)
+			if len(partials) == 2 {
+				// Two early results have arrived over the wire; the job
+				// must still be running — its last keyblock is gated.
+				if st := f.jobState(snap.ID); st != "running" {
+					t.Fatalf("after 2 partial events job state = %q, want running", st)
+				}
+				gateClosed = true
+				close(gate)
+			}
+		case wire.EventDone:
+			done = &ev
+		default:
+			t.Fatalf("unexpected stream event %+v", ev)
+		}
+		if done != nil {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(partials) < 2 {
+		t.Fatalf("got %d partial events before done, want >= 2", len(partials))
+	}
+	if done == nil || done.Result == nil {
+		t.Fatal("stream ended without a done event carrying the result")
+	}
+
+	// The assembled stream must equal a direct in-process run.
+	ds, err := sidr.Synthetic([]int64{64}, func(k []int64) float64 { return float64(k[0]%7) + 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sidr.ParseQuery(req.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sidr.Run(ds, q, sidr.RunOptions{Engine: sidr.SIDR, Reducers: 4, SplitPoints: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Result.Keys) != len(direct.Keys) {
+		t.Fatalf("streamed result has %d rows, direct run %d", len(done.Result.Keys), len(direct.Keys))
+	}
+	for i := range direct.Keys {
+		if fmt.Sprint(done.Result.Keys[i]) != fmt.Sprint(direct.Keys[i]) ||
+			fmt.Sprint(done.Result.Values[i]) != fmt.Sprint(direct.Values[i]) {
+			t.Fatalf("row %d: stream %v=%v, direct %v=%v", i,
+				done.Result.Keys[i], done.Result.Values[i], direct.Keys[i], direct.Values[i])
+		}
+	}
+	// Every key of the final result must have arrived in some partial.
+	streamed := make(map[string][]float64)
+	for _, p := range partials {
+		for i := range p.Keys {
+			streamed[fmt.Sprint(p.Keys[i])] = p.Values[i]
+		}
+	}
+	for i, k := range direct.Keys {
+		vals, ok := streamed[fmt.Sprint(k)]
+		if !ok || fmt.Sprint(vals) != fmt.Sprint(direct.Values[i]) {
+			t.Fatalf("key %v missing or wrong in partial stream", k)
+		}
+	}
+
+	// Second identical submission: the plan must come from the cache.
+	snap2 := f.submit(req)
+	f.waitState(snap2.ID, "done")
+	if !strings.Contains(f.metricsText(), "sidrd_plan_cache_hits_total 1") {
+		t.Fatalf("metrics do not record a plan-cache hit:\n%s", f.metricsText())
+	}
+}
+
+// TestCancellation verifies DELETE stops a running job promptly, the job
+// surfaces ctx.Err(), and no goroutines leak.
+func TestCancellation(t *testing.T) {
+	registry := NewRegistry()
+	if err := registry.AddSynthetic("slow", []int64{1 << 20}, func(k []int64) float64 {
+		time.Sleep(50 * time.Microsecond)
+		return float64(k[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, registry)
+
+	before := runtime.NumGoroutine()
+	snap := f.submit(jobs.Request{
+		Dataset: "slow",
+		Query:   fmt.Sprintf("avg v[0 : %d] es {16}", 1<<20),
+		Workers: 2,
+	})
+	f.waitState(snap.ID, "running")
+
+	httpReq, err := http.NewRequest(http.MethodDelete, f.ts.URL+"/v1/jobs/"+snap.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	f.waitState(snap.ID, "cancelled")
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v, want prompt", elapsed)
+	}
+	j, err := f.mgr.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Err() == nil || !strings.Contains(j.Err().Error(), context.Canceled.Error()) {
+		t.Fatalf("job error = %v, want context.Canceled", j.Err())
+	}
+
+	// The engine's goroutines must unwind after cancellation. Idle
+	// keep-alive client connections are torn down first so only engine
+	// goroutines are counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before cancel run, %d after", before, n)
+	}
+	if !strings.Contains(f.metricsText(), "sidrd_jobs_cancelled_total 1") {
+		t.Fatalf("metrics missing cancelled count:\n%s", f.metricsText())
+	}
+}
+
+func TestFileDatasetAndListing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "temp.ncf")
+	if err := datagen.WriteDataset(path, "temp", coords.NewShape(28, 10), datagen.Temperature(1)); err != nil {
+		t.Fatal(err)
+	}
+	registry := NewRegistry()
+	n, err := registry.ScanDir(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("ScanDir = %d, %v; want 1", n, err)
+	}
+	f := newFixture(t, registry)
+
+	resp, err := http.Get(f.ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "temp" || infos[0].Kind != "file" {
+		t.Fatalf("datasets = %+v", infos)
+	}
+	if len(infos[0].Variables) != 1 || infos[0].Variables[0].Name != "temp" {
+		t.Fatalf("variables = %+v", infos[0].Variables)
+	}
+
+	// Two concurrent jobs over the file share one refcounted handle.
+	snapA := f.submit(jobs.Request{Dataset: "temp", Query: "avg temp[0,0 : 28,10] es {7,5}"})
+	snapB := f.submit(jobs.Request{Dataset: "temp", Query: "max temp[0,0 : 28,10] es {7,5}"})
+	f.waitState(snapA.ID, "done")
+	f.waitState(snapB.ID, "done")
+	if got := registry.OpenHandles(); got != 1 {
+		t.Fatalf("open handles = %d, want 1 shared handle", got)
+	}
+}
+
+func TestHTTPErrorsAndHealth(t *testing.T) {
+	registry := NewRegistry()
+	f := newFixture(t, registry)
+
+	resp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(f.ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Post(f.ts.URL+"/v1/query", "application/json", strings.NewReader(`{"dataset":"x","query":"garbage"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query = %d, want 400", resp.StatusCode)
+	}
+
+	if !strings.Contains(f.metricsText(), "sidrd_http_requests_total") {
+		t.Fatal("metrics missing request counter")
+	}
+}

@@ -1,0 +1,86 @@
+// Package wire defines the JSON wire format shared by the daemon
+// (internal/server) and the CLIs (cmd/sidrquery -json), so a query
+// result serialises identically whether it travelled over HTTP or
+// stdout.
+package wire
+
+import (
+	"time"
+
+	"sidr"
+)
+
+// Result is the JSON form of a completed sidr.Result.
+type Result struct {
+	Keys        [][]int64   `json:"keys"`
+	Values      [][]float64 `json:"values"`
+	Rows        int         `json:"rows"`
+	Partials    int         `json:"partials"`
+	FirstMillis float64     `json:"first_result_ms"`
+	ElapsedMS   float64     `json:"elapsed_ms"`
+	Connections int64       `json:"connections"`
+}
+
+// FromResult converts a sidr.Result.
+func FromResult(r *sidr.Result) *Result {
+	if r == nil {
+		return nil
+	}
+	out := &Result{
+		Keys:        r.Keys,
+		Values:      r.Values,
+		Rows:        len(r.Keys),
+		Partials:    len(r.Partials),
+		FirstMillis: float64(r.FirstResult) / float64(time.Millisecond),
+		ElapsedMS:   float64(r.Elapsed) / float64(time.Millisecond),
+		Connections: r.Connections,
+	}
+	if out.Keys == nil {
+		out.Keys = [][]int64{}
+	}
+	if out.Values == nil {
+		out.Values = [][]float64{}
+	}
+	return out
+}
+
+// Partial is the JSON form of one committed keyblock — SIDR's early
+// correct partial result (§4, Figure 4b) as a stream event payload.
+type Partial struct {
+	Keyblock int         `json:"keyblock"`
+	Keys     [][]int64   `json:"keys"`
+	Values   [][]float64 `json:"values"`
+	At       time.Time   `json:"at"`
+}
+
+// FromPartial converts a sidr.PartialResult.
+func FromPartial(pr sidr.PartialResult) Partial {
+	p := Partial{Keyblock: pr.Keyblock, Keys: pr.Keys, Values: pr.Values, At: pr.At}
+	if p.Keys == nil {
+		p.Keys = [][]int64{}
+	}
+	if p.Values == nil {
+		p.Values = [][]float64{}
+	}
+	return p
+}
+
+// Stream event types, one per NDJSON line on GET /v1/jobs/{id}/stream.
+const (
+	EventPartial   = "partial"
+	EventDone      = "done"
+	EventFailed    = "failed"
+	EventCancelled = "cancelled"
+)
+
+// StreamEvent is one NDJSON line of a job stream: every committed
+// keyblock arrives as a "partial" event the moment its dependencies are
+// met, and exactly one terminal event ("done" with the assembled result,
+// "failed" with the error, or "cancelled") closes the stream.
+type StreamEvent struct {
+	Type    string   `json:"type"`
+	JobID   string   `json:"job_id,omitempty"`
+	Partial *Partial `json:"partial,omitempty"`
+	Result  *Result  `json:"result,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}

@@ -21,8 +21,10 @@
 package sidr
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -174,45 +176,83 @@ type RunOptions struct {
 	// Priority orders keyblock scheduling for computational steering
 	// (SIDR only).
 	Priority []int
-	// Workers bounds Map and Reduce concurrency (default 4 each).
+	// Workers bounds Map and Reduce concurrency (default
+	// runtime.GOMAXPROCS(0) each, so the engine scales with the machine).
 	Workers int
 	// OnPartial receives each keyblock's output as soon as it commits.
 	// Callbacks may arrive concurrently.
 	OnPartial func(PartialResult)
 }
 
-// Run executes the query over the dataset.
-func Run(ds *Dataset, q *Query, opts RunOptions) (*Result, error) {
-	if ds == nil || q == nil {
-		return nil, fmt.Errorf("sidr: nil dataset or query")
+// Prepared is a derived execution plan bound to a dataset shape. Plans
+// are pure functions of (dataset shape, query, engine, reducers, split
+// granularity, skew bound) — SIDR's routing is computable before
+// execution (§3) — so a Prepared can be cached and reused across
+// requests and across datasets of the same shape. It is safe for
+// concurrent Run calls.
+type Prepared struct {
+	q     *Query
+	shape coords.Shape
+	opts  RunOptions // plan-time options, normalised
+	plan  *core.Plan
+}
+
+// Prepare derives the execution plan for the query against any dataset
+// of the given shape. Plan-time options (Engine, Reducers, SplitPoints,
+// MaxSkew, Priority) are fixed here; execution-time options (Workers,
+// OnPartial) are taken per Run call.
+func Prepare(shape []int64, q *Query, opts RunOptions) (*Prepared, error) {
+	if q == nil {
+		return nil, fmt.Errorf("sidr: nil query")
 	}
-	if err := q.q.Validate(ds.shape); err != nil {
+	s := coords.NewShape(shape...)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.q.Validate(s); err != nil {
 		return nil, err
 	}
 	if opts.Reducers <= 0 {
 		opts.Reducers = 4
 	}
-	splitPoints := opts.SplitPoints
-	if splitPoints <= 0 {
-		splitPoints = q.q.Input.Size()/8 + 1
+	if opts.SplitPoints <= 0 {
+		opts.SplitPoints = q.q.Input.Size()/8 + 1
 	}
 	plan, err := core.NewPlan(q.q, opts.Engine, core.Options{
 		Reducers:    opts.Reducers,
-		SplitPoints: splitPoints,
+		SplitPoints: opts.SplitPoints,
 		MaxSkew:     opts.MaxSkew,
 		Priority:    opts.Priority,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return &Prepared{q: q, shape: s, opts: opts, plan: plan}, nil
+}
 
+// Query returns the prepared query.
+func (p *Prepared) Query() *Query { return p.q }
+
+// Run executes the prepared plan over a dataset of the prepared shape.
+// Only the execution-time fields of opts (Workers, OnPartial) are used;
+// ctx cancellation aborts the run promptly, returning ctx.Err().
+func (p *Prepared) Run(ctx context.Context, ds *Dataset, opts RunOptions) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("sidr: nil dataset")
+	}
+	if !coords.Shape(ds.shape).Equal(p.shape) {
+		return nil, fmt.Errorf("sidr: dataset shape %v does not match prepared shape %v", ds.shape, p.shape)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	res := &Result{}
 	start := time.Now()
-	mrRes, err := plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
-		if opts.Workers > 0 {
-			cfg.MapWorkers = opts.Workers
-			cfg.ReduceWorkers = opts.Workers
-		}
+	mrRes, err := p.plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
+		cfg.Ctx = ctx
+		cfg.MapWorkers = workers
+		cfg.ReduceWorkers = workers
 		cfg.OnReduceOutput = func(out mapreduce.ReduceOutput) {
 			pr := toPartial(out)
 			if opts.OnPartial != nil {
@@ -257,6 +297,25 @@ func Run(ds *Dataset, q *Query, opts RunOptions) (*Result, error) {
 		res.Values = append(res.Values, r.vals)
 	}
 	return res, nil
+}
+
+// Run executes the query over the dataset.
+func Run(ds *Dataset, q *Query, opts RunOptions) (*Result, error) {
+	return RunContext(context.Background(), ds, q, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is done the Map and
+// Reduce loops and barrier waits abort promptly and ctx.Err() is
+// returned.
+func RunContext(ctx context.Context, ds *Dataset, q *Query, opts RunOptions) (*Result, error) {
+	if ds == nil || q == nil {
+		return nil, fmt.Errorf("sidr: nil dataset or query")
+	}
+	p, err := Prepare(ds.Shape(), q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx, ds, opts)
 }
 
 func toPartial(out mapreduce.ReduceOutput) PartialResult {
