@@ -42,16 +42,17 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "queued-job admission limit")
 		planCache = flag.Int("plan-cache", 128, "LRU plan cache entries (-1 disables)")
+		retain    = flag.Int("retain-jobs", 256, "finished jobs kept for status/stream lookups before eviction (-1 keeps all)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *maxJobs, *queue, *planCache, *drain); err != nil {
+	if err := run(*addr, *dataDir, *maxJobs, *queue, *planCache, *retain, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, queue, planCache int, drain time.Duration) error {
+func run(addr, dataDir string, maxJobs, queue, planCache, retain int, drain time.Duration) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
 	if dataDir != "" {
@@ -65,6 +66,7 @@ func run(addr, dataDir string, maxJobs, queue, planCache int, drain time.Duratio
 		MaxConcurrent: maxJobs,
 		QueueDepth:    queue,
 		PlanCacheSize: planCache,
+		RetainJobs:    retain,
 		Datasets:      registry,
 		Metrics:       reg,
 	})

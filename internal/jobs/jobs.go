@@ -194,9 +194,11 @@ func (j *Job) Wait(ctx context.Context) (State, error) {
 
 // Stream calls fn for every partial result — replaying already committed
 // ones first, then delivering new ones as keyblocks commit — and returns
-// the job's terminal state and error once the job finishes and the log
-// is drained. A non-nil error from fn aborts the stream; ctx done aborts
-// with ctx.Err().
+// the job's terminal state once the job finishes and the log is drained.
+// The error reports stream transport problems only: non-nil when fn
+// failed or ctx was done. A drained Failed or Cancelled job returns a
+// nil error; the job's own terminal error stays on Err, so callers can
+// still emit a terminal event after a clean drain.
 func (j *Job) Stream(ctx context.Context, fn func(sidr.PartialResult) error) (State, error) {
 	stop := context.AfterFunc(ctx, func() {
 		j.mu.Lock()
@@ -224,9 +226,9 @@ func (j *Job) Stream(ctx context.Context, fn func(sidr.PartialResult) error) (St
 			}
 			continue
 		}
-		st, err := j.state, j.err
+		st := j.state
 		j.mu.Unlock()
-		return st, err
+		return st, nil
 	}
 }
 

@@ -285,6 +285,78 @@ func TestStreamReplaysAndFollows(t *testing.T) {
 	}
 }
 
+func TestStreamFailedJobDrainsCleanly(t *testing.T) {
+	// Stream's error reports transport problems only: draining a failed
+	// job returns a nil error so callers can emit a terminal event; the
+	// job's own error stays on Err.
+	m := newTestManager(t, Config{Datasets: newFakeProvider([]int64{32, 32}, 0)})
+	j, err := m.Submit(Request{Dataset: "missing", Query: testQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := j.Wait(context.Background()); st != Failed {
+		t.Fatalf("state = %v, want Failed", st)
+	}
+	st, err := j.Stream(context.Background(), func(pr sidr.PartialResult) error { return nil })
+	if st != Failed || err != nil {
+		t.Fatalf("Stream = %v, %v; want Failed, nil", st, err)
+	}
+	if j.Err() == nil {
+		t.Fatal("failed job lost its error")
+	}
+}
+
+func TestStreamAbortsOnContextDone(t *testing.T) {
+	m := newTestManager(t, Config{Datasets: newFakeProvider([]int64{32, 32}, 0)})
+	j, err := m.Submit(Request{Dataset: "d", Query: testQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := j.Wait(context.Background()); st != Done {
+		t.Fatalf("job = %v", st)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := j.Stream(ctx, func(pr sidr.PartialResult) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream with done ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestJobTableRetention(t *testing.T) {
+	reg := metrics.New()
+	m := newTestManager(t, Config{RetainJobs: 2, Datasets: newFakeProvider([]int64{16, 16}, 0), Metrics: reg})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := m.Submit(Request{Dataset: "d", Query: "avg v[0,0 : 16,16] es {4,4}"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, _ := j.Wait(context.Background()); st != Done {
+			t.Fatalf("job %d = %v (%v)", i, st, j.Err())
+		}
+		ids = append(ids, j.ID)
+	}
+	// The worker prunes right after finishing each job; wait for the
+	// table to settle at the cap.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(m.Jobs()) > 2 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	snaps := m.Jobs()
+	if len(snaps) != 2 {
+		t.Fatalf("job table holds %d jobs, want 2", len(snaps))
+	}
+	if snaps[0].ID != ids[3] || snaps[1].ID != ids[4] {
+		t.Fatalf("retained %s, %s; want the newest %s, %s", snaps[0].ID, snaps[1].ID, ids[3], ids[4])
+	}
+	if _, err := m.Get(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job still resolvable: %v", err)
+	}
+	if got := reg.Counter("sidrd_jobs_evicted_total").Value(); got != 3 {
+		t.Fatalf("evicted counter = %d, want 3", got)
+	}
+}
+
 func TestShutdownRejectsAndDrains(t *testing.T) {
 	m, err := NewManager(Config{Datasets: newFakeProvider([]int64{32, 32}, 0)})
 	if err != nil {

@@ -43,6 +43,12 @@ type Config struct {
 	// PlanCacheSize bounds the LRU plan cache (default 128; < 0
 	// disables caching).
 	PlanCacheSize int
+	// RetainJobs caps how many terminal (done/failed/cancelled) jobs
+	// the table keeps; the oldest are evicted — results, partial logs
+	// and all — once the cap is exceeded, so a long-running daemon does
+	// not retain every query's output forever (default 256; < 0 keeps
+	// all).
+	RetainJobs int
 	// Datasets resolves dataset names (required).
 	Datasets DatasetProvider
 	// Metrics receives job and plan-cache instrumentation (default: a
@@ -63,7 +69,7 @@ type Manager struct {
 	order  []string
 	closed bool
 
-	mSubmitted, mDone, mFailed, mCancelled, mRejected *metrics.Counter
+	mSubmitted, mDone, mFailed, mCancelled, mRejected, mEvicted *metrics.Counter
 	mPlanHits, mPlanMisses, mPlanEvictions            *metrics.Counter
 	gQueued, gRunning, gPlanSize                      *metrics.Gauge
 	hQuerySeconds, hFirstResultSeconds                *metrics.Histogram
@@ -83,6 +89,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = 128
 	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 256
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
@@ -96,6 +105,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		mFailed:             cfg.Metrics.Counter("sidrd_jobs_failed_total"),
 		mCancelled:          cfg.Metrics.Counter("sidrd_jobs_cancelled_total"),
 		mRejected:           cfg.Metrics.Counter("sidrd_jobs_rejected_total"),
+		mEvicted:            cfg.Metrics.Counter("sidrd_jobs_evicted_total"),
 		mPlanHits:           cfg.Metrics.Counter("sidrd_plan_cache_hits_total"),
 		mPlanMisses:         cfg.Metrics.Counter("sidrd_plan_cache_misses_total"),
 		mPlanEvictions:      cfg.Metrics.Counter("sidrd_plan_cache_evictions_total"),
@@ -209,6 +219,7 @@ func (m *Manager) Jobs() []Snapshot {
 
 // runJob executes one job on the calling worker.
 func (m *Manager) runJob(j *Job) {
+	defer m.prune()
 	if !j.start() {
 		// Cancelled while queued.
 		m.mCancelled.Inc()
@@ -231,6 +242,39 @@ func (m *Manager) runJob(j *Job) {
 		m.mFailed.Inc()
 		j.finish(Failed, nil, err)
 	}
+}
+
+// prune evicts the oldest terminal jobs — snapshots, results and partial
+// logs — once more than RetainJobs of them have accumulated, keeping the
+// table bounded in a long-running daemon. Queued and running jobs are
+// never evicted.
+func (m *Manager) prune() {
+	if m.cfg.RetainJobs < 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	evict := terminal - m.cfg.RetainJobs
+	if evict <= 0 {
+		return
+	}
+	keep := m.order[:0]
+	for _, id := range m.order {
+		if evict > 0 && m.jobs[id].State().Terminal() {
+			delete(m.jobs, id)
+			m.mEvicted.Inc()
+			evict--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
 }
 
 // execute resolves the dataset, prepares (or reuses) the plan, and runs

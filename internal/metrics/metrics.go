@@ -145,20 +145,26 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// WriteText renders every instrument as "name value" lines, sorted by
-// name. Histograms expand into cumulative name_bucket{le="..."} lines
-// plus name_sum and name_count.
+// WriteText renders every instrument sorted by name. Counters and gauges
+// are one "name value" line each; a histogram is a contiguous block of
+// cumulative name_bucket{le="..."} lines in ascending bound order with
+// le="+Inf" last, then name_sum and name_count.
 func (r *Registry) WriteText(w io.Writer) error {
+	type entry struct {
+		name  string
+		lines []string
+	}
 	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms)*8)
+	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+		entries = append(entries, entry{name, []string{fmt.Sprintf("%s %d", name, c.Value())}})
 	}
 	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+		entries = append(entries, entry{name, []string{fmt.Sprintf("%s %d", name, g.Value())}})
 	}
 	for name, h := range r.histograms {
 		h.mu.Lock()
+		lines := make([]string, 0, len(h.bounds)+3)
 		var cum int64
 		for i, b := range h.bounds {
 			cum += h.counts[i]
@@ -169,12 +175,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s_sum %g", name, h.sum))
 		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.count))
 		h.mu.Unlock()
+		entries = append(entries, entry{name, lines})
 	}
 	r.mu.Unlock()
-	sort.Strings(lines)
-	for _, l := range lines {
-		if _, err := fmt.Fprintln(w, l); err != nil {
-			return err
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		for _, l := range e.lines {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

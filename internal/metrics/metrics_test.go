@@ -78,6 +78,41 @@ func TestWriteTextSorted(t *testing.T) {
 	}
 }
 
+func TestHistogramBlockOrder(t *testing.T) {
+	// Bucket lines must form a contiguous block in ascending bound order
+	// with le="+Inf" last — not interleaved lexically (where "+Inf"
+	// sorts before digits and "30" before "5").
+	r := New()
+	r.Counter("a_total").Inc()
+	r.Counter("z_total").Inc()
+	h := r.Histogram("lat", []float64{5, 30})
+	for _, v := range []float64{1, 20, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{
+		"a_total 1",
+		`lat_bucket{le="5"} 1`,
+		`lat_bucket{le="30"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_sum 121",
+		"lat_count 3",
+		"z_total 1",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), b.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := New()
 	var wg sync.WaitGroup

@@ -298,6 +298,104 @@ func TestCancellation(t *testing.T) {
 	}
 }
 
+// readStream consumes a job's NDJSON stream and returns the events.
+func (f *fixture) readStream(id string) []wire.StreamEvent {
+	f.t.Helper()
+	resp, err := http.Get(f.ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []wire.StreamEvent
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			f.t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := scanner.Err(); err != nil {
+		f.t.Fatal(err)
+	}
+	return events
+}
+
+// TestStreamFailedJob pins the wire contract that a failing job's stream
+// still closes with exactly one terminal event, of type "failed".
+func TestStreamFailedJob(t *testing.T) {
+	f := newFixture(t, NewRegistry())
+	snap := f.submit(jobs.Request{Dataset: "nope", Query: "avg v[0 : 16] es {4}"})
+	f.waitState(snap.ID, "failed")
+
+	events := f.readStream(snap.ID)
+	if len(events) != 1 {
+		t.Fatalf("failed-job stream = %+v, want exactly one terminal event", events)
+	}
+	ev := events[0]
+	if ev.Type != wire.EventFailed || ev.JobID != snap.ID {
+		t.Fatalf("terminal event = %+v, want type %q for job %s", ev, wire.EventFailed, snap.ID)
+	}
+	if ev.Error == "" {
+		t.Fatal("failed event carries no error")
+	}
+}
+
+// TestStreamCancelledJob verifies a cancelled job's live stream ends with
+// a "cancelled" terminal event surfacing ctx.Err().
+func TestStreamCancelledJob(t *testing.T) {
+	registry := NewRegistry()
+	if err := registry.AddSynthetic("slow", []int64{1 << 20}, func(k []int64) float64 {
+		time.Sleep(50 * time.Microsecond)
+		return float64(k[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, registry)
+	snap := f.submit(jobs.Request{
+		Dataset: "slow",
+		Query:   fmt.Sprintf("avg v[0 : %d] es {16}", 1<<20),
+		Workers: 2,
+	})
+	f.waitState(snap.ID, "running")
+
+	streamed := make(chan []wire.StreamEvent, 1)
+	go func() { streamed <- f.readStream(snap.ID) }()
+
+	httpReq, err := http.NewRequest(http.MethodDelete, f.ts.URL+"/v1/jobs/"+snap.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var events []wire.StreamEvent
+	select {
+	case events = <-streamed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not close after cancellation")
+	}
+	if len(events) == 0 {
+		t.Fatal("cancelled-job stream closed with no events")
+	}
+	last := events[len(events)-1]
+	if last.Type != wire.EventCancelled {
+		t.Fatalf("terminal event = %+v, want type %q", last, wire.EventCancelled)
+	}
+	if !strings.Contains(last.Error, context.Canceled.Error()) {
+		t.Fatalf("cancelled event error = %q, want it to surface %v", last.Error, context.Canceled)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.Type != wire.EventPartial {
+			t.Fatalf("non-partial event %+v before the terminal one", ev)
+		}
+	}
+}
+
 func TestFileDatasetAndListing(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "temp.ncf")
