@@ -3,17 +3,27 @@
 // reports; -exp selects one, -curves dumps full completion curves for
 // plotting.
 //
+// -json FILE instead writes a machine-readable benchmark summary
+// (BENCH_PR2.json): first-result and total times for the Figure 9/10
+// cluster runs, wall-clock of a real in-process engine query, and the
+// partition+ micro-benchmark's allocation profile — one snapshot per PR
+// so the perf trajectory is tracked across the repo's history.
+//
 // Usage:
 //
 //	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro]
 //	          [-seed N] [-runs N] [-curves] [-dir DIR]
+//	sidrbench -json BENCH_PR2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"sidr"
 	"sidr/internal/experiments"
 	"sidr/internal/trace"
 )
@@ -26,6 +36,7 @@ func main() {
 		curves = flag.Bool("curves", false, "dump full completion curves, not just summaries")
 		dir    = flag.String("dir", os.TempDir(), "scratch directory for file-IO experiments")
 		micro  = flag.Int("micropairs", experiments.PartitionMicroPairs, "pair count for the partition micro-benchmark")
+		jsonTo = flag.String("json", "", "write a machine-readable benchmark summary to this file and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(), "usage: sidrbench [flags]")
@@ -34,6 +45,15 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonTo != "" {
+		if err := writeBenchJSON(*jsonTo, *seed, *micro); err != nil {
+			fmt.Fprintf(os.Stderr, "sidrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonTo)
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -163,4 +183,102 @@ func main() {
 		fmt.Println("  " + res.Format())
 		return nil
 	})
+}
+
+// benchCurve is one Figure 9/10 curve's headline numbers.
+type benchCurve struct {
+	Label          string  `json:"label"`
+	FirstResultSec float64 `json:"first_result_s"`
+	TotalSec       float64 `json:"total_s"`
+	MapFracAtFirst float64 `json:"map_frac_at_first"`
+}
+
+// benchReport is the BENCH_PR2.json schema: the cross-PR perf snapshot.
+type benchReport struct {
+	Schema string       `json:"schema"`
+	Seed   int64        `json:"seed"`
+	Fig9   []benchCurve `json:"fig9"`
+	Fig10  []benchCurve `json:"fig10"`
+	Engine struct {
+		Query           string  `json:"query"`
+		Rows            int     `json:"rows"`
+		FirstResultMS   float64 `json:"first_result_ms"`
+		ElapsedMS       float64 `json:"elapsed_ms"`
+		TasksDispatched int64   `json:"tasks_dispatched"`
+	} `json:"engine"`
+	PartitionMicro struct {
+		Pairs       int     `json:"pairs"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+	} `json:"partition_micro"`
+}
+
+func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
+	out := make([]benchCurve, len(rs))
+	for i, cr := range rs {
+		out[i] = benchCurve{
+			Label:          cr.Label,
+			FirstResultSec: cr.FirstResult,
+			TotalSec:       cr.Makespan,
+			MapFracAtFirst: cr.MapFracAtFirst,
+		}
+	}
+	return out
+}
+
+// writeBenchJSON runs the headline experiments and one real in-process
+// engine query, and writes the summary file.
+func writeBenchJSON(path string, seed int64, microPairs int) error {
+	rep := benchReport{Schema: "sidrbench/1", Seed: seed}
+	cfg := experiments.TestbedConfig(seed)
+
+	rs, err := experiments.Figure9(cfg)
+	if err != nil {
+		return err
+	}
+	rep.Fig9 = toBenchCurves(rs)
+	if rs, err = experiments.Figure10(cfg); err != nil {
+		return err
+	}
+	rep.Fig10 = toBenchCurves(rs)
+
+	// A real engine run (not simulated): SIDR engine, dependency
+	// barrier, streamed partials — the serving path's wall-clock.
+	const engineQuery = "avg v[0,0 : 512,512] es {16,16}"
+	ds, err := sidr.Synthetic([]int64{512, 512}, func(k []int64) float64 {
+		return float64(k[0]^k[1]) * 0.25
+	})
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	q, err := sidr.ParseQuery(engineQuery)
+	if err != nil {
+		return err
+	}
+	res, err := sidr.Run(ds, q, sidr.RunOptions{Engine: sidr.SIDR, Reducers: 8})
+	if err != nil {
+		return err
+	}
+	rep.Engine.Query = engineQuery
+	rep.Engine.Rows = len(res.Keys)
+	rep.Engine.FirstResultMS = float64(res.FirstResult) / float64(time.Millisecond)
+	rep.Engine.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+	rep.Engine.TasksDispatched = res.TasksDispatched
+
+	allocs, bytes, ns, err := experiments.PartitionMicroAllocs(microPairs, 22)
+	if err != nil {
+		return err
+	}
+	rep.PartitionMicro.Pairs = microPairs
+	rep.PartitionMicro.NsPerOp = ns
+	rep.PartitionMicro.AllocsPerOp = allocs
+	rep.PartitionMicro.BytesPerOp = bytes
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

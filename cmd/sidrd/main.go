@@ -1,11 +1,17 @@
 // Command sidrd is the long-running query-serving daemon: it registers
-// the *.ncf datasets under -data, runs queries on a bounded worker pool
-// with an LRU plan cache, and streams each keyblock's output as NDJSON
-// the moment it commits — SIDR's early correct results over the wire.
+// the *.ncf datasets under -data, runs queries with an LRU plan cache,
+// and streams each keyblock's output as NDJSON the moment it commits —
+// SIDR's early correct results over the wire.
+//
+// All jobs share one process-wide task executor of -exec-workers
+// goroutines: Map/Reduce tasks from every running job are dispatched
+// onto that single bounded pool (a job's "workers" request caps its
+// share), so total task concurrency stays fixed no matter how many jobs
+// -max-jobs admits.
 //
 // Usage:
 //
-//	sidrd -addr :7171 -data ./datasets -max-jobs 8 -queue 64
+//	sidrd -addr :7171 -data ./datasets -max-jobs 8 -exec-workers 8 -queue 64
 //
 // A session:
 //
@@ -40,19 +46,20 @@ func main() {
 		addr      = flag.String("addr", ":7171", "listen address")
 		dataDir   = flag.String("data", "", "directory of *.ncf datasets to serve")
 		maxJobs   = flag.Int("max-jobs", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
+		execWork  = flag.Int("exec-workers", 0, "task executor pool size shared by all jobs (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "queued-job admission limit")
 		planCache = flag.Int("plan-cache", 128, "LRU plan cache entries (-1 disables)")
 		retain    = flag.Int("retain-jobs", 256, "finished jobs kept for status/stream lookups before eviction (-1 keeps all)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *maxJobs, *queue, *planCache, *retain, *drain); err != nil {
+	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, queue, planCache, retain int, drain time.Duration) error {
+func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
 	if dataDir != "" {
@@ -64,6 +71,7 @@ func run(addr, dataDir string, maxJobs, queue, planCache, retain int, drain time
 	}
 	mgr, err := jobs.NewManager(jobs.Config{
 		MaxConcurrent: maxJobs,
+		ExecWorkers:   execWorkers,
 		QueueDepth:    queue,
 		PlanCacheSize: planCache,
 		RetainJobs:    retain,

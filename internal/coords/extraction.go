@@ -67,18 +67,33 @@ func (e Extraction) EffectiveStride() Shape {
 // by the corresponding stride extent. For strided extractions a point may
 // fall in the gap between tiles; ok is false in that case.
 func (e Extraction) MapKey(k Coord) (kp Coord, ok bool) {
+	kp, ok = e.MapKeyInto(k, nil)
+	if !ok {
+		return nil, false
+	}
+	return kp, true
+}
+
+// MapKeyInto is MapKey writing into buf when it has the capacity (the
+// returned coordinate then aliases buf), so per-record loops can map
+// keys without allocating.
+func (e Extraction) MapKeyInto(k, buf Coord) (kp Coord, ok bool) {
 	st := e.EffectiveStride()
 	if len(k) != len(st) {
 		return nil, false
 	}
-	kp = make(Coord, len(k))
+	if cap(buf) >= len(k) {
+		kp = buf[:len(k)]
+	} else {
+		kp = make(Coord, len(k))
+	}
 	for i := range k {
 		if k[i] < 0 {
-			return nil, false
+			return kp, false
 		}
 		kp[i] = k[i] / st[i]
 		if k[i]%st[i] >= e.Shape[i] {
-			return nil, false // in the inter-tile gap of a strided access
+			return kp, false // in the inter-tile gap of a strided access
 		}
 	}
 	return kp, true

@@ -117,15 +117,24 @@ func (s Slab) String() string {
 }
 
 // Each calls fn for every point in the slab in row-major order. Iteration
-// stops early if fn returns false.
+// stops early if fn returns false. Every call receives a fresh Coord the
+// callback may retain; per-record hot loops that do not retain it should
+// use EachReuse.
 func (s Slab) Each(fn func(Coord) bool) {
+	s.EachReuse(func(c Coord) bool { return fn(c.Clone()) })
+}
+
+// EachReuse is Each without the per-point defensive copy: one Coord
+// buffer is passed to every call and overwritten in place, so fn must
+// neither retain nor mutate it.
+func (s Slab) EachReuse(fn func(Coord) bool) {
 	if s.Rank() == 0 || s.Size() == 0 {
 		return
 	}
 	cur := s.Corner.Clone()
 	end := s.End()
 	for {
-		if !fn(cur.Clone()) {
+		if !fn(cur) {
 			return
 		}
 		// Row-major increment with carry.
@@ -144,13 +153,21 @@ func (s Slab) Each(fn func(Coord) bool) {
 }
 
 // Linearize maps a point inside the slab to its row-major offset relative
-// to the slab's corner.
+// to the slab's corner. It allocates nothing: this sits on the engine's
+// per-record path (twice — key linearisation and partition lookup).
 func (s Slab) Linearize(c Coord) (int64, error) {
-	rel, err := c.Sub(s.Corner)
-	if err != nil {
-		return 0, err
+	if len(c) != len(s.Corner) {
+		return 0, ErrRankMismatch
 	}
-	return s.Shape.Linearize(rel)
+	var off int64
+	for i := range c {
+		rel := c[i] - s.Corner[i]
+		if rel < 0 || rel >= s.Shape[i] {
+			return 0, fmt.Errorf("coords: coordinate %v outside slab %v", c, s)
+		}
+		off = off*s.Shape[i] + rel
+	}
+	return off, nil
 }
 
 // Delinearize maps a row-major offset relative to the slab's corner back

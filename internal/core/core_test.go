@@ -145,7 +145,7 @@ func TestRunLocalSIDRPriority(t *testing.T) {
 	}
 	var mapStarts []int
 	res, err := p.RunLocal(&mapreduce.FuncReader{Fn: datagen.Windspeed(1)}, func(cfg *mapreduce.Config) {
-		cfg.MapWorkers = 1
+		cfg.Workers = 1
 		cfg.OnEvent = func(e mapreduce.Event) {
 			if e.Kind == mapreduce.MapStart {
 				mapStarts = append(mapStarts, e.Detail)

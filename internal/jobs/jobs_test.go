@@ -357,6 +357,43 @@ func TestJobTableRetention(t *testing.T) {
 	}
 }
 
+func TestSharedExecutorBoundsConcurrency(t *testing.T) {
+	// Four jobs in flight at once, every Map/Reduce task of all of them
+	// on one four-worker executor: task concurrency must never exceed
+	// the pool size, however many jobs run.
+	m := newTestManager(t, Config{
+		MaxConcurrent: 4,
+		ExecWorkers:   4,
+		Datasets:      newFakeProvider([]int64{32, 32}, 5*time.Microsecond),
+	})
+	var js []*Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(Request{Dataset: fmt.Sprintf("d%d", i), Query: "avg v[0,0 : 32,32] es {8,8}", Reducers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	for _, j := range js {
+		if st, _ := j.Wait(context.Background()); st != Done {
+			t.Fatalf("job %s = %v (%v)", j.ID, st, j.Err())
+		}
+	}
+	st := m.ExecStats()
+	if st.Workers != 4 {
+		t.Fatalf("executor workers = %d, want 4", st.Workers)
+	}
+	if st.PeakRunning > 4 {
+		t.Fatalf("peak task concurrency %d exceeded the 4-worker pool", st.PeakRunning)
+	}
+	if st.Dispatched == 0 {
+		t.Fatal("shared executor dispatched no tasks")
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("executor not quiescent after jobs drained: %+v", st)
+	}
+}
+
 func TestShutdownRejectsAndDrains(t *testing.T) {
 	m, err := NewManager(Config{Datasets: newFakeProvider([]int64{32, 32}, 0)})
 	if err != nil {

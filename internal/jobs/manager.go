@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sidr"
+	"sidr/internal/exec"
 	"sidr/internal/metrics"
 )
 
@@ -35,8 +36,14 @@ type DatasetProvider interface {
 
 // Config parametrises a Manager.
 type Config struct {
-	// MaxConcurrent is the worker-pool size (default GOMAXPROCS).
+	// MaxConcurrent is the job worker-pool size: how many jobs may be in
+	// flight at once (default GOMAXPROCS).
 	MaxConcurrent int
+	// ExecWorkers sizes the single process-wide task executor shared by
+	// every running job (default GOMAXPROCS). Map/Reduce tasks from all
+	// jobs are dispatched onto this one bounded pool; a job's Workers
+	// request caps that job's share rather than spawning its own pool.
+	ExecWorkers int
 	// QueueDepth bounds queued-but-not-running jobs; submissions beyond
 	// it fail with ErrQueueFull (default 64).
 	QueueDepth int
@@ -61,6 +68,7 @@ type Manager struct {
 	cfg   Config
 	queue chan *Job
 	cache *planCache
+	exec  *exec.Executor
 	seq   atomic.Int64
 	wg    sync.WaitGroup
 
@@ -83,6 +91,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	if cfg.ExecWorkers <= 0 {
+		cfg.ExecWorkers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
@@ -98,6 +109,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:   cfg,
 		queue: make(chan *Job, cfg.QueueDepth),
+		exec:  exec.New(cfg.ExecWorkers),
 		jobs:  make(map[string]*Job),
 
 		mSubmitted:          cfg.Metrics.Counter("sidrd_jobs_submitted_total"),
@@ -298,6 +310,7 @@ func (m *Manager) execute(j *Job) (*sidr.Result, error) {
 		Engine:      engine,
 		Reducers:    j.Req.Reducers,
 		Workers:     j.Req.Workers,
+		Exec:        m.exec,
 		SplitPoints: j.Req.SplitPoints,
 		MaxSkew:     j.Req.MaxSkew,
 		OnPartial:   j.addPartial,
@@ -360,14 +373,25 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.exec.Close()
 		return nil
 	case <-ctx.Done():
 		for _, j := range running {
 			j.Cancel()
 		}
 		<-done
+		m.exec.Close()
 		return ctx.Err()
 	}
+}
+
+// ExecStats reports the shared task executor's instantaneous state:
+// pool size, queued + runnable + running task counts, peak concurrency
+// and total dispatches. The server exposes these as gauges so operators
+// can tell executor saturation (tasks waiting for a pool slot) apart
+// from admission saturation (jobs rejected at the queue).
+func (m *Manager) ExecStats() exec.Stats {
+	return m.exec.Stats()
 }
 
 // WaitIdle blocks until no job is queued or running, or until the

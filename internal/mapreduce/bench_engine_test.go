@@ -1,0 +1,73 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"sidr/internal/depgraph"
+	"sidr/internal/partition"
+	"sidr/internal/query"
+)
+
+// benchConfig assembles a SIDR-engine job over the synthetic dataset for
+// the end-to-end engine benchmark. Kept apart from buildJob so the
+// benchmark does not depend on *testing.T helpers.
+func benchConfig(b *testing.B, qs string, reducers int, sortBuf int64) Config {
+	b.Helper()
+	q, err := query.Parse(qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	splits, err := GenerateSplits(q.Input, q.Input.Size()/7+1, nil, "", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := q.IntermediateSpace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := partition.NewPartitionPlus(space, reducers, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := depgraph.Build(q, Slabs(splits), part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Query:             q,
+		Splits:            splits,
+		Reader:            &FuncReader{Fn: synthValue},
+		Part:              part,
+		Graph:             g,
+		Barrier:           DependencyBarrier,
+		ValidateCounts:    true,
+		Combine:           true,
+		SortBufferRecords: sortBuf,
+	}
+}
+
+// BenchmarkEngine measures a full Run of the SIDR engine (dependency
+// barrier, count validation, combining) over a 256×64 synthetic input —
+// the satellite-2 allocation target: per-split accumulator maps and pair
+// slices dominate the allocation profile.
+func BenchmarkEngine(b *testing.B) {
+	cases := []struct {
+		name    string
+		sortBuf int64
+	}{
+		{"unbounded", 0},
+		{"sortbuf512", 512}, // forces multi-segment seal/merge per split
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := benchConfig(b, "avg temp[0,0 : 256,64] es {8,8}", 4, c.sortBuf)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

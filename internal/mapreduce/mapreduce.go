@@ -7,9 +7,17 @@
 // SIDR), fetch and merge their pairs, validate kv-count annotations, and
 // apply the query operator.
 //
-// Tasks run on real goroutine worker pools over real data, so barrier
-// semantics, shuffle connection counts, early results and the count
-// annotations are all exercised end-to-end rather than simulated.
+// The runtime is an explicit task graph on a bounded executor
+// (internal/exec): every keyblock's Reduce task carries a
+// remaining-dependency counter seeded from the dependency graph's I_ℓ
+// (or the split count under the global barrier), and a Map task's
+// completion decrements its dependents and enqueues each Reduce task the
+// moment its counter reaches zero. Readiness is therefore computed, not
+// discovered — no task ever parks on a condition variable waiting for
+// its barrier — which is SIDR's §3.3 scheduling model realised in the
+// runtime itself. Barrier semantics, shuffle connection counts, early
+// results and the count annotations are all exercised end-to-end over
+// real data rather than simulated.
 package mapreduce
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"sidr/internal/coords"
 	"sidr/internal/depgraph"
+	"sidr/internal/exec"
 	"sidr/internal/kv"
 	"sidr/internal/ops"
 	"sidr/internal/partition"
@@ -40,7 +49,9 @@ type InputSplit struct {
 // must be safe for concurrent calls on distinct splits.
 type RecordReader interface {
 	// ReadSplit invokes emit for every point of the slab, in row-major
-	// order, stopping on the first error.
+	// order, stopping on the first error. The coordinate is only valid
+	// for the duration of the emit call — readers may reuse its storage
+	// between records — so consumers that keep it must Clone it.
 	ReadSplit(slab coords.Slab, emit func(k coords.Coord, v float64) error) error
 }
 
@@ -91,13 +102,14 @@ type Event struct {
 
 // Counters aggregates runtime statistics.
 type Counters struct {
-	MapRecordsIn   int64 // source points read by Map tasks
-	MapPairsOut    int64 // intermediate pairs after combining
-	ReducePairsIn  int64 // pairs fetched by Reduce tasks
-	ShuffleBytes   int64 // approximate bytes crossing the shuffle
-	OutputValues   int64 // values emitted by Reduce tasks
-	Connections    int64 // shuffle fetches (Table 3's metric)
-	RecomputedMaps int64 // Map tasks re-executed for failure recovery
+	MapRecordsIn    int64 // source points read by Map tasks
+	MapPairsOut     int64 // intermediate pairs after combining
+	ReducePairsIn   int64 // pairs fetched by Reduce tasks
+	ShuffleBytes    int64 // approximate bytes crossing the shuffle
+	OutputValues    int64 // values emitted by Reduce tasks
+	Connections     int64 // shuffle fetches (Table 3's metric)
+	RecomputedMaps  int64 // Map tasks re-executed for failure recovery
+	TasksDispatched int64 // Map and Reduce tasks dispatched by the executor
 }
 
 // ReduceOutput is the committed output of one Reduce task: the keys of
@@ -124,9 +136,9 @@ type Config struct {
 	Reader RecordReader
 	Part   partition.Partitioner
 
-	// Ctx, when set, cancels the job: Map record loops, Reduce barrier
-	// waits and worker dispatch all abort promptly once it is done, and
-	// Run returns ctx.Err(). Nil means no cancellation.
+	// Ctx, when set, cancels the job: Map record loops, pending task
+	// dispatch and Reduce execution all abort promptly once it is done,
+	// and Run returns ctx.Err(). Nil means no cancellation.
 	Ctx context.Context
 
 	// Graph supplies I_ℓ and expected counts; required for
@@ -143,10 +155,18 @@ type Config struct {
 	// filter operators; skipped automatically for holistic ones).
 	Combine bool
 
-	// MapWorkers and ReduceWorkers bound task concurrency; both default
-	// to runtime.GOMAXPROCS(0) so the engine scales with the machine.
-	MapWorkers    int
-	ReduceWorkers int
+	// Workers bounds the job's task concurrency. Without an injected
+	// executor it sizes the job's private worker pool (default
+	// runtime.GOMAXPROCS(0)); with Exec set it caps how many of the
+	// job's tasks run concurrently on the shared pool (0 leaves the job
+	// bounded only by the pool itself).
+	Workers int
+
+	// Exec, when set, runs the job's tasks on a shared executor instead
+	// of a private pool, so J concurrent jobs are bounded by one
+	// process-wide worker count rather than J pools. The executor must
+	// outlive the Run call.
+	Exec *exec.Executor
 
 	// MapOrder optionally reorders Map task execution (SIDR's scheduler
 	// feeds dependency-driven order); nil runs splits in slice order.
@@ -210,20 +230,38 @@ type mapOutput struct {
 	sourceCount int64
 }
 
-// job carries the shared state of one run.
+// job carries the shared state of one run: the task graph (dependency
+// counters, enqueue flags) plus the accumulated outputs and telemetry.
 type job struct {
-	cfg   Config
-	op    ops.Operator
-	space coords.Slab // K'^T
+	cfg    Config
+	op     ops.Operator
+	space  coords.Slab // K'^T
+	h      *exec.Handle
+	rOrder []int
 
 	mu       sync.Mutex
-	cond     *sync.Cond
 	mapDone  []bool
 	nDone    int
 	outputs  [][]mapOutput // [split][keyblock]
 	events   []Event
 	counters Counters
 	failed   error
+
+	// Task-graph state, all guarded by mu. remaining[l] is Reduce task
+	// l's dependency counter: the number of Map tasks that must complete
+	// before l is runnable (|I_ℓ| under the dependency barrier, the split
+	// count under the global one). outstanding counts unresolved tasks —
+	// every Map and Reduce task resolves exactly once, by running, by
+	// being dropped from the queue on failure, or (a Reduce never
+	// enqueued) directly in failLocked — and done closes at zero.
+	remaining   []int
+	enqueued    []bool
+	reduceRank  []int // keyblock → position in rOrder (dispatch priority)
+	results     []ReduceOutput
+	reduceErrs  []error
+	outstanding int
+	done        chan struct{}
+	doneClosed  bool
 }
 
 // Run executes the job and blocks until completion.
@@ -239,12 +277,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if (cfg.Barrier == DependencyBarrier || cfg.ValidateCounts || cfg.RecoverByRecompute) && cfg.Graph == nil {
 		return nil, ErrNeedsGraph
-	}
-	if cfg.MapWorkers <= 0 {
-		cfg.MapWorkers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.ReduceWorkers <= 0 {
-		cfg.ReduceWorkers = runtime.GOMAXPROCS(0)
 	}
 	op, err := cfg.Query.Op()
 	if err != nil {
@@ -273,81 +305,89 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	r := cfg.Part.NumKeyblocks()
 	j := &job{
-		cfg:     cfg,
-		op:      op,
-		space:   space,
-		mapDone: make([]bool, len(cfg.Splits)),
-		outputs: make([][]mapOutput, len(cfg.Splits)),
+		cfg:         cfg,
+		op:          op,
+		space:       space,
+		rOrder:      rOrder,
+		mapDone:     make([]bool, len(cfg.Splits)),
+		outputs:     make([][]mapOutput, len(cfg.Splits)),
+		remaining:   make([]int, r),
+		enqueued:    make([]bool, r),
+		reduceRank:  make([]int, r),
+		results:     make([]ReduceOutput, r),
+		reduceErrs:  make([]error, r),
+		outstanding: len(cfg.Splits) + r,
+		done:        make(chan struct{}),
 	}
-	j.cond = sync.NewCond(&j.mu)
+	for rank, l := range rOrder {
+		j.reduceRank[l] = rank
+	}
+
+	// Without an injected executor the job runs on a private pool sized
+	// by Workers; with one, Workers becomes the job's MaxParallel cap on
+	// the shared pool.
+	ex := cfg.Exec
+	maxPar := 0
+	if ex == nil {
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		ex = exec.New(w)
+		defer ex.Close()
+	} else {
+		maxPar = cfg.Workers
+	}
+	j.h = ex.NewHandle(exec.HandleOptions{MaxParallel: maxPar})
+	defer j.h.Close()
+
 	started := time.Now()
 
-	// Cancellation: record ctx.Err() as the job failure and wake every
-	// barrier waiter the moment the context is done. Workers observe the
-	// failure between tasks and inside Map record loops.
+	// Cancellation: record ctx.Err() as the job failure, drop every
+	// pending task and resolve the owed ones the moment the context is
+	// done. Running Map record loops observe the failure inside their
+	// amortised cancellation checks.
 	if cfg.Ctx != nil {
 		stop := context.AfterFunc(cfg.Ctx, func() { j.fail(cfg.Ctx.Err()) })
 		defer stop()
 	}
 
-	r := cfg.Part.NumKeyblocks()
-	results := make([]ReduceOutput, r)
-	reduceErrs := make([]error, r)
-
-	var wg sync.WaitGroup
-	// Reduce workers start first — under SIDR scheduling Reduce tasks are
-	// scheduled before the Map tasks they depend on (§3.3).
-	reduceCh := make(chan int)
-	for w := 0; w < cfg.ReduceWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for l := range reduceCh {
-				if err := j.aborted(); err != nil {
-					results[l] = ReduceOutput{Keyblock: l}
-					reduceErrs[l] = err
-					continue
-				}
-				out, err := j.runReduce(l)
-				if err != nil {
-					j.fail(err)
-				}
-				results[l] = out
-				reduceErrs[l] = err
-			}
-		}()
-	}
-	mapCh := make(chan int)
-	for w := 0; w < cfg.MapWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range mapCh {
-				if j.aborted() != nil {
-					continue
-				}
-				if err := j.runMap(i); err != nil {
-					j.fail(err)
-				}
-			}
-		}()
-	}
-
-	go func() {
-		for _, l := range rOrder {
-			reduceCh <- l
+	// Seed the task graph. Reduce tasks whose dependency counter is
+	// already zero (empty keyblocks; any keyblock when there are no
+	// splits) enqueue immediately — under SIDR scheduling Reduce tasks
+	// are scheduled before the Map tasks they depend on (§3.3), which
+	// exec.Class ordering guarantees for every later enqueue too.
+	j.mu.Lock()
+	for _, l := range rOrder {
+		if cfg.Barrier == DependencyBarrier {
+			j.remaining[l] = len(cfg.Graph.KBToSplits[l])
+		} else {
+			j.remaining[l] = len(cfg.Splits)
 		}
-		close(reduceCh)
-	}()
-	for _, i := range order {
-		mapCh <- i
+		if j.remaining[l] == 0 {
+			j.enqueueReduceLocked(l)
+		}
 	}
-	close(mapCh)
-	wg.Wait()
+	for prio, i := range order {
+		i := i
+		j.h.Submit(exec.Map, prio, func() {
+			err := j.aborted()
+			if err == nil {
+				err = j.runMap(i)
+			}
+			j.mapFinished(i, err)
+		})
+	}
+	j.resolveLocked(0) // a splitless, reducerless job is already done
+	j.mu.Unlock()
+
+	<-j.done
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.counters.TasksDispatched = j.h.Dispatched()
 	if j.failed != nil {
 		// A cancelled job surfaces ctx.Err() itself, not a task-level
 		// wrapping of it, so callers can compare with errors.Is/==.
@@ -358,13 +398,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil, j.failed
 	}
-	for _, err := range reduceErrs {
+	for _, err := range j.reduceErrs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return &Result{
-		Outputs:  results,
+		Outputs:  j.results,
 		Counters: j.counters,
 		Events:   j.events,
 		Started:  started,
@@ -372,14 +412,99 @@ func Run(cfg Config) (*Result, error) {
 	}, nil
 }
 
-// fail records the first error and wakes all waiters.
+// mapFinished resolves Map task i: on success it publishes completion to
+// the task graph, decrementing every dependent Reduce task's counter and
+// enqueueing those that become ready.
+func (j *job) mapFinished(i int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.failLocked(err)
+	} else if j.failed == nil && !j.mapDone[i] {
+		j.mapDone[i] = true
+		j.nDone++
+		if j.cfg.Barrier == DependencyBarrier {
+			for _, l := range j.cfg.Graph.SplitToKB[i] {
+				j.remaining[l]--
+				if j.remaining[l] == 0 {
+					j.enqueueReduceLocked(l)
+				}
+			}
+		} else {
+			// Global barrier: every Reduce task depends on every split.
+			for _, l := range j.rOrder {
+				j.remaining[l]--
+				if j.remaining[l] == 0 {
+					j.enqueueReduceLocked(l)
+				}
+			}
+		}
+	}
+	j.resolveLocked(1)
+}
+
+// enqueueReduceLocked submits Reduce task l, whose dependencies are now
+// met. Caller holds j.mu. Class Reduce outranks queued Map work, and the
+// keyblock's rOrder rank carries ReduceOrder steering into dispatch.
+func (j *job) enqueueReduceLocked(l int) {
+	if j.enqueued[l] {
+		return
+	}
+	j.enqueued[l] = true
+	j.h.Submit(exec.Reduce, j.reduceRank[l], func() {
+		out := ReduceOutput{Keyblock: l}
+		err := j.aborted()
+		if err == nil {
+			out, err = j.runReduce(l)
+		}
+		j.mu.Lock()
+		j.results[l] = out
+		j.reduceErrs[l] = err
+		if err != nil {
+			j.failLocked(err)
+		}
+		j.resolveLocked(1)
+		j.mu.Unlock()
+	})
+}
+
+// resolveLocked accounts n resolved tasks and completes the job when no
+// task remains outstanding. Caller holds j.mu.
+func (j *job) resolveLocked(n int) {
+	j.outstanding -= n
+	if j.outstanding <= 0 && !j.doneClosed {
+		j.doneClosed = true
+		close(j.done)
+	}
+}
+
+// failLocked records the first error, drops every pending task from the
+// executor queue, and resolves the Reduce tasks that were never enqueued
+// so the job can complete. Caller holds j.mu.
+func (j *job) failLocked(err error) {
+	if j.failed != nil {
+		return
+	}
+	j.failed = err
+	// Dropped tasks (queued Maps and enqueued-but-undispatched Reduces)
+	// will never run; account them resolved here. Tasks already running
+	// resolve themselves when their fn returns.
+	j.resolveLocked(j.h.Cancel())
+	for _, l := range j.rOrder {
+		if !j.enqueued[l] {
+			j.enqueued[l] = true
+			j.results[l] = ReduceOutput{Keyblock: l}
+			j.reduceErrs[l] = err
+			j.resolveLocked(1)
+		}
+	}
+}
+
+// fail records the first error and releases every owed task.
 func (j *job) fail(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.failed == nil {
-		j.failed = err
-	}
-	j.cond.Broadcast()
+	j.failLocked(err)
 }
 
 // aborted returns the job's recorded failure, if any.

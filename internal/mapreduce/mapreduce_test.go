@@ -409,7 +409,7 @@ func TestMapOrderRespected(t *testing.T) {
 		order[i] = n - 1 - i
 	}
 	cfg.MapOrder = order
-	cfg.MapWorkers = 1
+	cfg.Workers = 1
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -30,7 +30,7 @@ func (r *FileReader) ReadSplit(slab coords.Slab, emit func(coords.Coord, float64
 		}
 		i := 0
 		var emitErr error
-		row.Each(func(k coords.Coord) bool {
+		row.EachReuse(func(k coords.Coord) bool {
 			if err := emit(k, vals[i]); err != nil {
 				emitErr = err
 				return false
@@ -55,7 +55,7 @@ type FuncReader struct {
 // ReadSplit implements RecordReader.
 func (r *FuncReader) ReadSplit(slab coords.Slab, emit func(coords.Coord, float64) error) error {
 	var emitErr error
-	slab.Each(func(k coords.Coord) bool {
+	slab.EachReuse(func(k coords.Coord) bool {
 		if err := emit(k, r.Fn(k)); err != nil {
 			emitErr = err
 			return false

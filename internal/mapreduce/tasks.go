@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sidr/internal/coords"
@@ -12,7 +13,8 @@ import (
 // runMap executes Map task i: read the split's live region, map every
 // source key into K' via the extraction shape, accumulate per-keyblock
 // intermediate pairs (combining when configured), and publish the outputs
-// with their source-count annotations.
+// with their source-count annotations. Completion bookkeeping (dependency
+// decrements, reduce enqueues) happens in mapFinished after MapEnd.
 func (j *job) runMap(i int) error {
 	j.emit(Event{Kind: MapStart, Detail: i, At: time.Now()})
 	outs, records, err := j.execMap(i)
@@ -30,16 +32,110 @@ func (j *job) runMap(i int) error {
 	}
 	j.mu.Lock()
 	j.outputs[i] = outs
-	if !j.mapDone[i] {
-		j.mapDone[i] = true
-		j.nDone++
-	}
 	j.counters.MapRecordsIn += records
 	j.counters.MapPairsOut += pairsOut
-	j.cond.Broadcast()
 	j.mu.Unlock()
 	j.emit(Event{Kind: MapEnd, Detail: i, At: time.Now()})
 	return nil
+}
+
+// scratchChunk sizes the mapScratch value slab's allocation unit.
+const scratchChunk = 512
+
+// mapScratch is reusable per-Map-task accumulation state: the
+// per-keyblock accumulator maps (buckets retained across tasks), a bump
+// slab for kv.Value cells, and a freelist of pair slices for sealed
+// segments that do not escape the task. Pooled process-wide so repeated
+// Map tasks stop paying per-split allocation churn.
+type mapScratch struct {
+	accums   []map[int64]*kv.Value
+	segments [][][]kv.Pair
+	chunks   [][]kv.Value
+	ci, cn   int // bump position: chunk index, offset within chunk
+	free     [][]kv.Pair
+	kp       coords.Coord // MapKeyInto buffer for the record loop
+}
+
+var scratchPool = sync.Pool{New: func() any { return &mapScratch{} }}
+
+// reset prepares the scratch for a task with r keyblocks. Previously
+// handed-out slab cells are zeroed: their Samples headers may alias
+// arrays that escaped into published pairs, and a zeroed cell starts a
+// fresh array on its first Add instead of appending into a shared one.
+func (s *mapScratch) reset(r int) {
+	for i := 0; i < s.ci && i < len(s.chunks); i++ {
+		c := s.chunks[i]
+		for k := range c {
+			c[k] = kv.Value{}
+		}
+	}
+	if s.ci < len(s.chunks) {
+		c := s.chunks[s.ci]
+		for k := 0; k < s.cn; k++ {
+			c[k] = kv.Value{}
+		}
+	}
+	s.ci, s.cn = 0, 0
+	if cap(s.accums) < r {
+		s.accums = make([]map[int64]*kv.Value, r)
+	} else {
+		s.accums = s.accums[:r]
+	}
+	for i, m := range s.accums {
+		if m != nil {
+			clear(m)
+		} else {
+			s.accums[i] = make(map[int64]*kv.Value)
+		}
+	}
+	if cap(s.segments) < r {
+		s.segments = make([][][]kv.Pair, r)
+	} else {
+		s.segments = s.segments[:r]
+		for i := range s.segments {
+			for k := range s.segments[i] {
+				s.segments[i][k] = nil // drop references to published pairs
+			}
+			s.segments[i] = s.segments[i][:0]
+		}
+	}
+}
+
+// value hands out a zeroed kv.Value cell from the slab.
+func (s *mapScratch) value() *kv.Value {
+	if s.ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]kv.Value, scratchChunk))
+	}
+	c := s.chunks[s.ci]
+	v := &c[s.cn]
+	s.cn++
+	if s.cn == len(c) {
+		s.ci++
+		s.cn = 0
+	}
+	return v
+}
+
+// pairBuf returns an empty pair slice, reusing a recycled segment when
+// one with capacity is available.
+func (s *mapScratch) pairBuf(n int) []kv.Pair {
+	for i := len(s.free) - 1; i >= 0; i-- {
+		if cap(s.free[i]) >= n {
+			buf := s.free[i][:0]
+			s.free = append(s.free[:i], s.free[i+1:]...)
+			return buf
+		}
+	}
+	return make([]kv.Pair, 0, n)
+}
+
+// recycle returns segment slices that did not escape the task (they were
+// merged into a fresh output slice) to the freelist.
+func (s *mapScratch) recycle(segs [][]kv.Pair) {
+	if len(s.free) >= 16 {
+		return
+	}
+	s.free = append(s.free, segs...)
 }
 
 // execMap is the side-effect-free body of a Map task, shared by normal
@@ -59,19 +155,31 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 	// Per-keyblock accumulation keyed by the K' key's row-major offset.
 	// When SortBufferRecords bounds the buffer, full buffers are sealed
 	// into sorted segments (Hadoop's io.sort.mb spills) and merged
-	// map-side after the split is consumed.
-	accums := make([]map[int64]*kv.Value, r)
-	segments := make([][][]kv.Pair, r)
+	// map-side after the split is consumed. Maps, value cells and
+	// (non-escaping) segment slices come from pooled scratch.
+	scratch := scratchPool.Get().(*mapScratch)
+	scratch.reset(r)
+	defer scratchPool.Put(scratch)
+	accums := scratch.accums
+	segments := scratch.segments
 	var records, buffered, seen int64
 
 	// sealSegment converts one keyblock's accumulated buffer into a
-	// sorted pair segment.
+	// sorted pair segment. Single-segment keyblocks publish the segment
+	// directly, so seal buffers are only drawn from the freelist when a
+	// map-side merge will replace them (multi-segment case) — a direct
+	// publish must own fresh memory.
 	sealSegment := func(kb int) error {
 		m := accums[kb]
 		if len(m) == 0 {
 			return nil
 		}
-		pairs := make([]kv.Pair, 0, len(m))
+		var pairs []kv.Pair
+		if len(segments[kb]) > 0 || j.cfg.SortBufferRecords > 0 {
+			pairs = scratch.pairBuf(len(m))
+		} else {
+			pairs = make([]kv.Pair, 0, len(m))
+		}
 		for off, val := range m {
 			kp, err := j.space.Delinearize(off)
 			if err != nil {
@@ -96,7 +204,7 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 		}
 		kv.SortPairs(pairs)
 		segments[kb] = append(segments[kb], pairs)
-		accums[kb] = nil
+		clear(m)
 		return nil
 	}
 	sealAll := func() error {
@@ -118,7 +226,10 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 			}
 		}
 		seen++
-		kp, mapped := q.Extraction.MapKey(k)
+		kp, mapped := q.Extraction.MapKeyInto(k, scratch.kp)
+		if kp != nil {
+			scratch.kp = kp[:0]
+		}
 		if !mapped {
 			return nil // stride gap
 		}
@@ -135,13 +246,9 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 			return err
 		}
 		m := accums[kb]
-		if m == nil {
-			m = make(map[int64]*kv.Value)
-			accums[kb] = m
-		}
 		val := m[off]
 		if val == nil {
-			val = &kv.Value{}
+			val = scratch.value()
 			m[off] = val
 		}
 		val.Add(v, needSamples)
@@ -167,49 +274,39 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 			outs[kb].pairs = segs[0]
 		case combine:
 			// Map-side merge folds equal keys across segments — the
-			// combiner applied during Hadoop's spill merge.
+			// combiner applied during Hadoop's spill merge. The merged
+			// slice is fresh, so the segments return to the freelist.
 			outs[kb].pairs = kv.MergeSorted(segs)
+			scratch.recycle(segs)
 		default:
 			// Without a combiner segments are concatenated and re-sorted
 			// so downstream streams stay key-ordered but unfolded.
-			var all []kv.Pair
+			all := make([]kv.Pair, 0, totalPairs(segs))
 			for _, s := range segs {
 				all = append(all, s...)
 			}
 			kv.SortPairs(all)
 			outs[kb].pairs = all
+			scratch.recycle(segs)
 		}
 	}
 	return outs, records, nil
 }
 
-// barrierMet reports whether Reduce task l may begin processing under the
-// configured barrier mode. Caller holds j.mu.
-func (j *job) barrierMet(l int) bool {
-	if j.cfg.Barrier == GlobalBarrier {
-		return j.nDone == len(j.cfg.Splits)
+func totalPairs(segs [][]kv.Pair) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
 	}
-	for _, s := range j.cfg.Graph.KBToSplits[l] {
-		if !j.mapDone[s] {
-			return false
-		}
-	}
-	return true
+	return n
 }
 
-// runReduce executes Reduce task l: wait for its barrier, fetch and merge
-// its intermediate data, validate the kv-count annotation tally, apply
-// the operator per key, and commit the output.
+// runReduce executes Reduce task l. Its dependency barrier was already
+// satisfied when the task graph enqueued it — readiness is computed from
+// I_ℓ counters, never awaited — so the task fetches and merges its
+// intermediate data, validates the kv-count annotation tally, applies
+// the operator per key, and commits the output.
 func (j *job) runReduce(l int) (ReduceOutput, error) {
-	j.mu.Lock()
-	for !j.barrierMet(l) && j.failed == nil {
-		j.cond.Wait()
-	}
-	if j.failed != nil {
-		j.mu.Unlock()
-		return ReduceOutput{Keyblock: l}, j.failed
-	}
-	j.mu.Unlock()
 	j.emit(Event{Kind: ReduceStart, Detail: l, At: time.Now()})
 
 	out, err := j.execReduce(l)

@@ -61,11 +61,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -73,7 +68,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, wire.Error{Error: err.Error()})
+}
+
+// rejectFull answers a queue-full submission with a 429 whose detail
+// separates executor saturation from pure admission saturation: the job
+// queue being full with an idle executor means jobs are arriving faster
+// than workers pick them up, while a saturated executor means the
+// machine is out of task capacity.
+func (s *Server) rejectFull(w http.ResponseWriter, err error) {
+	st := s.mgr.ExecStats()
+	var detail string
+	if st.Queued > 0 || st.Running >= st.Workers {
+		detail = fmt.Sprintf("executor saturated: %d/%d workers busy, %d tasks queued",
+			st.Running, st.Workers, st.Queued)
+	} else {
+		detail = fmt.Sprintf("admission queue full; executor has capacity (%d/%d workers busy)",
+			st.Running, st.Workers)
+	}
+	writeJSON(w, http.StatusTooManyRequests, wire.Error{Error: err.Error(), Detail: detail})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -85,7 +98,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.mgr.Submit(req)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		s.rejectFull(w, err)
 	case errors.Is(err, jobs.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
@@ -184,6 +197,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Gauge("sidrd_datasets_open").Set(int64(s.registry.OpenHandles()))
+	st := s.mgr.ExecStats()
+	s.metrics.Gauge("sidrd_exec_workers").Set(int64(st.Workers))
+	s.metrics.Gauge("sidrd_exec_queue_depth").Set(int64(st.Queued))
+	s.metrics.Gauge("sidrd_exec_tasks_runnable").Set(int64(st.Runnable))
+	s.metrics.Gauge("sidrd_exec_tasks_running").Set(int64(st.Running))
+	s.metrics.Gauge("sidrd_exec_peak_running").Set(int64(st.PeakRunning))
+	disp := s.metrics.Counter("sidrd_exec_tasks_dispatched_total")
+	disp.Add(st.Dispatched - disp.Value()) // sync the counter to the executor's total
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.WriteText(w)
 }

@@ -34,8 +34,17 @@ type fixture struct {
 
 func newFixture(t *testing.T, registry *Registry) *fixture {
 	t.Helper()
+	return newFixtureCfg(t, registry, jobs.Config{})
+}
+
+// newFixtureCfg is newFixture with manager knobs (queue depth, worker
+// counts) under test control; cfg.Datasets and cfg.Metrics are set here.
+func newFixtureCfg(t *testing.T, registry *Registry, cfg jobs.Config) *fixture {
+	t.Helper()
 	reg := metrics.New()
-	mgr, err := jobs.NewManager(jobs.Config{Datasets: registry, Metrics: reg})
+	cfg.Datasets = registry
+	cfg.Metrics = reg
+	mgr, err := jobs.NewManager(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,4 +478,70 @@ func TestHTTPErrorsAndHealth(t *testing.T) {
 	if !strings.Contains(f.metricsText(), "sidrd_http_requests_total") {
 		t.Fatal("metrics missing request counter")
 	}
+}
+
+// TestQueueFullDetailAndExecGauges drives the daemon to admission
+// rejection while the shared executor is busy: the 429 must carry a
+// detail separating executor saturation from queue saturation
+// (satellite 6), and /metrics must expose the executor gauges.
+func TestQueueFullDetailAndExecGauges(t *testing.T) {
+	gate := make(chan struct{})
+	gateClosed := false
+	defer func() {
+		if !gateClosed {
+			close(gate)
+		}
+	}()
+	registry := NewRegistry()
+	if err := registry.AddSynthetic("gated", []int64{16}, func(k []int64) float64 {
+		<-gate
+		return float64(k[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := newFixtureCfg(t, registry, jobs.Config{MaxConcurrent: 1, ExecWorkers: 1, QueueDepth: 1})
+
+	req := jobs.Request{Dataset: "gated", Query: "avg v[0 : 16] es {4}", Workers: 1}
+	running := f.submit(req)
+	f.waitState(running.ID, "running")
+	f.submit(req) // fills the depth-1 queue
+
+	// Third submission must be rejected with a structured 429.
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(f.ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission = %d, want 429", resp.StatusCode)
+	}
+	var we wire.Error
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Error == "" || we.Detail == "" {
+		t.Fatalf("429 envelope incomplete: %+v", we)
+	}
+	if !strings.Contains(we.Detail, "executor saturated") {
+		t.Fatalf("429 detail = %q, want executor saturation called out", we.Detail)
+	}
+
+	text := f.metricsText()
+	for _, m := range []string{
+		"sidrd_exec_workers 1",
+		"sidrd_exec_queue_depth",
+		"sidrd_exec_tasks_runnable",
+		"sidrd_exec_tasks_running 1",
+		"sidrd_exec_peak_running 1",
+		"sidrd_exec_tasks_dispatched_total",
+	} {
+		if !strings.Contains(text, m) {
+			t.Fatalf("metrics missing %q:\n%s", m, text)
+		}
+	}
+
+	close(gate)
+	gateClosed = true
+	f.waitState(running.ID, "done")
 }

@@ -10,6 +10,16 @@ import (
 	"sidr"
 )
 
+// Error is the JSON error envelope on every non-2xx response. Detail,
+// when present, narrows the cause: a 429 carries whether the rejection
+// is pure admission saturation (job queue full, executor has spare
+// capacity) or the task executor itself is saturated, so clients can
+// tell "too many jobs" apart from "not enough workers".
+type Error struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+}
+
 // Result is the JSON form of a completed sidr.Result.
 type Result struct {
 	Keys        [][]int64   `json:"keys"`

@@ -24,16 +24,24 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"time"
 
 	"sidr/internal/coords"
 	"sidr/internal/core"
+	"sidr/internal/exec"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
 	"sidr/internal/query"
 )
+
+// Executor is a bounded shared worker pool that many concurrent runs can
+// be scheduled onto; see RunOptions.Exec. Create with NewExecutor and
+// Close it when no more runs will use it.
+type Executor = exec.Executor
+
+// NewExecutor starts a shared pool of the given size (minimum 1).
+func NewExecutor(workers int) *Executor { return exec.New(workers) }
 
 // Engine selects execution semantics: stock Hadoop, SciHadoop, or SIDR.
 type Engine = core.Engine
@@ -160,6 +168,9 @@ type Result struct {
 	Elapsed time.Duration
 	// Connections counts shuffle fetches performed.
 	Connections int64
+	// TasksDispatched counts the Map and Reduce tasks the executor
+	// dispatched for this run.
+	TasksDispatched int64
 }
 
 // RunOptions tunes execution.
@@ -176,9 +187,17 @@ type RunOptions struct {
 	// Priority orders keyblock scheduling for computational steering
 	// (SIDR only).
 	Priority []int
-	// Workers bounds Map and Reduce concurrency (default
-	// runtime.GOMAXPROCS(0) each, so the engine scales with the machine).
+	// Workers bounds the run's task concurrency. Without an injected
+	// executor it sizes the run's private worker pool (default
+	// runtime.GOMAXPROCS(0), so the engine scales with the machine);
+	// with Exec set it caps how many of the run's tasks execute
+	// concurrently on the shared pool (0 = bounded only by the pool).
 	Workers int
+	// Exec, when set, runs the query's Map and Reduce tasks on a shared
+	// bounded executor instead of a private per-run pool, so many
+	// concurrent runs stay within one process-wide worker budget. The
+	// executor must outlive the call.
+	Exec *exec.Executor
 	// OnPartial receives each keyblock's output as soon as it commits.
 	// Callbacks may arrive concurrently.
 	OnPartial func(PartialResult)
@@ -243,16 +262,12 @@ func (p *Prepared) Run(ctx context.Context, ds *Dataset, opts RunOptions) (*Resu
 	if !coords.Shape(ds.shape).Equal(p.shape) {
 		return nil, fmt.Errorf("sidr: dataset shape %v does not match prepared shape %v", ds.shape, p.shape)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	res := &Result{}
 	start := time.Now()
 	mrRes, err := p.plan.RunLocal(ds.reader(), func(cfg *mapreduce.Config) {
 		cfg.Ctx = ctx
-		cfg.MapWorkers = workers
-		cfg.ReduceWorkers = workers
+		cfg.Workers = opts.Workers
+		cfg.Exec = opts.Exec
 		cfg.OnReduceOutput = func(out mapreduce.ReduceOutput) {
 			pr := toPartial(out)
 			if opts.OnPartial != nil {
@@ -265,6 +280,7 @@ func (p *Prepared) Run(ctx context.Context, ds *Dataset, opts RunOptions) (*Resu
 	}
 	res.Elapsed = time.Since(start)
 	res.Connections = mrRes.Counters.Connections
+	res.TasksDispatched = mrRes.Counters.TasksDispatched
 
 	// Rebuild partials in commit order from the event stream and attach
 	// outputs, then flatten into the sorted global result.
