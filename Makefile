@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve bench clean
+.PHONY: build test race vet serve bench smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ serve:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# smoke runs the multi-process cluster smoke test (sidrd + 2 workers).
+smoke:
+	scripts/cluster_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,117 @@
+// Command sidr-worker is one worker process of the distributed runtime:
+// it registers with a coordinator (a sidrd with clustering enabled, or a
+// standalone cluster.Coordinator), executes the Map task attempts the
+// coordinator dispatches to it, writes partition+ keyblock spills with
+// the kv codec, and serves them from its shuffle endpoint until the
+// coordinator's Reduce tasks have fetched their I_ℓ dependency sets.
+//
+// Usage:
+//
+//	sidr-worker -addr 127.0.0.1:7101 -coordinator http://127.0.0.1:7171 \
+//	    -name worker-1 -spill-dir /tmp/sidr-worker-1
+//
+// The worker heartbeats every -heartbeat; miss the coordinator's
+// deadline and it is evicted, its spills declared lost, and its Map
+// tasks re-executed elsewhere. SIGINT/SIGTERM shut it down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"sidr/internal/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address")
+		coordinator = flag.String("coordinator", "", "coordinator base URL (e.g. http://127.0.0.1:7171)")
+		name        = flag.String("name", "", "worker identity (default: worker-<port>)")
+		spillDir    = flag.String("spill-dir", "", "spill directory (default: a temp dir)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator dials back (default: http://<addr>)")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "heartbeat period")
+	)
+	flag.Parse()
+	if err := run(*addr, *coordinator, *name, *spillDir, *advertise, *heartbeat); err != nil {
+		fmt.Fprintf(os.Stderr, "sidr-worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, coordinator, name, spillDir, advertise string, heartbeat time.Duration) error {
+	if coordinator == "" {
+		return fmt.Errorf("-coordinator is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	boundAddr := ln.Addr().String()
+	if name == "" {
+		_, port, _ := net.SplitHostPort(boundAddr)
+		name = "worker-" + port
+	}
+	if advertise == "" {
+		advertise = "http://" + boundAddr
+	}
+	cleanup := func() {}
+	if spillDir == "" {
+		dir, err := os.MkdirTemp("", "sidr-worker-*")
+		if err != nil {
+			return err
+		}
+		spillDir = dir
+		cleanup = func() { os.RemoveAll(dir) }
+	} else {
+		spillDir = filepath.Clean(spillDir)
+	}
+	defer cleanup()
+
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Name:           name,
+		SpillDir:       spillDir,
+		AdvertiseURL:   advertise,
+		CoordinatorURL: coordinator,
+		Heartbeat:      heartbeat,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go w.Start(ctx)
+
+	httpSrv := &http.Server{Handler: w}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("sidr-worker: %q serving on %s (spills in %s), coordinator %s", name, boundAddr, spillDir, coordinator)
+		errCh <- httpSrv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("sidr-worker: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sidr-worker: http shutdown: %v", err)
+	}
+	log.Printf("sidr-worker: bye")
+	return nil
+}

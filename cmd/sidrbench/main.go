@@ -30,13 +30,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, failures)")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		runs   = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
-		curves = flag.Bool("curves", false, "dump full completion curves, not just summaries")
-		dir    = flag.String("dir", os.TempDir(), "scratch directory for file-IO experiments")
-		micro  = flag.Int("micropairs", experiments.PartitionMicroPairs, "pair count for the partition micro-benchmark")
-		jsonTo = flag.String("json", "", "write a machine-readable benchmark summary to this file and exit")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, failures)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
+		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
+		dir      = flag.String("dir", os.TempDir(), "scratch directory for file-IO experiments")
+		micro    = flag.Int("micropairs", experiments.PartitionMicroPairs, "pair count for the partition micro-benchmark")
+		shufPair = flag.Int("shufflepairs", 50000, "pair count for the shuffle micro-benchmark spill")
+		shufN    = flag.Int("shufflefetches", 200, "timed fetches in the shuffle micro-benchmark")
+		jsonTo   = flag.String("json", "", "write a machine-readable benchmark summary to this file and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(), "usage: sidrbench [flags]")
@@ -47,7 +49,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonTo != "" {
-		if err := writeBenchJSON(*jsonTo, *seed, *micro); err != nil {
+		if err := writeBenchJSON(*jsonTo, *seed, *micro, *shufPair, *shufN); err != nil {
 			fmt.Fprintf(os.Stderr, "sidrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -183,6 +185,15 @@ func main() {
 		fmt.Println("  " + res.Format())
 		return nil
 	})
+	run("shufflemicro", func() error {
+		fmt.Println("networked-shuffle micro-benchmark: spill write → loopback HTTP fetch → kv-count validate")
+		res, err := shuffleMicro(*shufPair, *shufN)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + res.Format())
+		return nil
+	})
 }
 
 // benchCurve is one Figure 9/10 curve's headline numbers.
@@ -193,7 +204,8 @@ type benchCurve struct {
 	MapFracAtFirst float64 `json:"map_frac_at_first"`
 }
 
-// benchReport is the BENCH_PR2.json schema: the cross-PR perf snapshot.
+// benchReport is the BENCH_PR*.json schema: the cross-PR perf snapshot.
+// sidrbench/2 adds the networked-shuffle micro-benchmark.
 type benchReport struct {
 	Schema string       `json:"schema"`
 	Seed   int64        `json:"seed"`
@@ -212,6 +224,7 @@ type benchReport struct {
 		AllocsPerOp float64 `json:"allocs_per_op"`
 		BytesPerOp  float64 `json:"bytes_per_op"`
 	} `json:"partition_micro"`
+	ShuffleMicro shuffleMicroResult `json:"shuffle_micro"`
 }
 
 func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
@@ -229,8 +242,8 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 
 // writeBenchJSON runs the headline experiments and one real in-process
 // engine query, and writes the summary file.
-func writeBenchJSON(path string, seed int64, microPairs int) error {
-	rep := benchReport{Schema: "sidrbench/1", Seed: seed}
+func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int) error {
+	rep := benchReport{Schema: "sidrbench/2", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
 
 	rs, err := experiments.Figure9(cfg)
@@ -275,6 +288,10 @@ func writeBenchJSON(path string, seed int64, microPairs int) error {
 	rep.PartitionMicro.NsPerOp = ns
 	rep.PartitionMicro.AllocsPerOp = allocs
 	rep.PartitionMicro.BytesPerOp = bytes
+
+	if rep.ShuffleMicro, err = shuffleMicro(shufflePairs, shuffleFetches); err != nil {
+		return err
+	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

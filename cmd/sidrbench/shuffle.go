@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sidr/internal/cluster"
+	"sidr/internal/coords"
+	"sidr/internal/kv"
+)
+
+// shuffleMicroResult is the networked-shuffle micro-benchmark: one
+// partition+ keyblock spill written with the kv codec, then fetched
+// repeatedly from a real cluster.Worker shuffle endpoint over loopback
+// HTTP, with the kv-count annotation validated on every fetch — the
+// exact per-dependency fetch path a clustered Reduce task performs.
+type shuffleMicroResult struct {
+	Pairs      int     `json:"pairs"`
+	SpillBytes int64   `json:"spill_bytes"`
+	Fetches    int     `json:"fetches"`
+	NsPerFetch float64 `json:"ns_per_fetch"`
+	MBPerSec   float64 `json:"mb_per_s"`
+}
+
+func (r shuffleMicroResult) Format() string {
+	return fmt.Sprintf("%d pairs (%d B spill), %d fetches: %.0f ns/fetch, %.1f MB/s",
+		r.Pairs, r.SpillBytes, r.Fetches, r.NsPerFetch, r.MBPerSec)
+}
+
+// shuffleMicro writes one spill and times fetch+decode+validate round
+// trips against the worker's shuffle handler on a loopback listener.
+func shuffleMicro(pairs, fetches int) (shuffleMicroResult, error) {
+	res := shuffleMicroResult{Pairs: pairs, Fetches: fetches}
+	dir, err := os.MkdirTemp("", "sidrbench-shuffle-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := cluster.NewWorker(cluster.WorkerConfig{Name: "bench", SpillDir: dir})
+	if err != nil {
+		return res, err
+	}
+	defer w.Close()
+
+	// One sorted spill with aggregate values plus a few samples each, to
+	// exercise both fixed and variable-length parts of the codec.
+	ps := make([]kv.Pair, pairs)
+	for i := range ps {
+		x := float64(i%97) * 0.5
+		ps[i] = kv.Pair{
+			Key: coords.NewCoord(int64(i), 0, 0),
+			Value: kv.Value{
+				Sum: x, SumSq: x * x, Min: x, Max: x, Count: 1,
+				Samples: []float64{x, x + 1, x + 2, x + 3},
+			},
+		}
+	}
+	sourceCount := int64(pairs)
+	// The worker serves spills from its documented on-disk layout:
+	// spillDir/{job}/{split}-{attempt}/kb-{l}.spill.
+	path := filepath.Join(dir, "bench", "0-0", "kb-0.spill")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return res, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return res, err
+	}
+	if err := kv.WriteSpill(f, 3, sourceCount, ps); err != nil {
+		f.Close()
+		return res, err
+	}
+	if err := f.Close(); err != nil {
+		return res, err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return res, err
+	}
+	res.SpillBytes = info.Size()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	srv := &http.Server{Handler: w}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := "http://" + ln.Addr().String() + cluster.ShufflePath("bench", 0, 0, 0)
+
+	fetch := func() error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("shuffle fetch returned %d", resp.StatusCode)
+		}
+		h, got, err := kv.ReadSpill(resp.Body)
+		if err != nil {
+			return err
+		}
+		if h.SourceCount != sourceCount || len(got) != pairs {
+			return fmt.Errorf("kv-count validation failed: %d/%d pairs, annotation %d want %d",
+				len(got), pairs, h.SourceCount, sourceCount)
+		}
+		return nil
+	}
+	for i := 0; i < 3; i++ { // warm up connections and page cache
+		if err := fetch(); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < fetches; i++ {
+		if err := fetch(); err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+	res.NsPerFetch = float64(elapsed.Nanoseconds()) / float64(fetches)
+	res.MBPerSec = float64(res.SpillBytes) * float64(fetches) / elapsed.Seconds() / (1 << 20)
+	return res, nil
+}

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"sidr/internal/cluster"
 	"sidr/internal/jobs"
 	"sidr/internal/metrics"
 	"sidr/internal/server"
@@ -51,15 +52,17 @@ func main() {
 		planCache = flag.Int("plan-cache", 128, "LRU plan cache entries (-1 disables)")
 		retain    = flag.Int("retain-jobs", 256, "finished jobs kept for status/stream lookups before eviction (-1 keeps all)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+		clusterOn = flag.Bool("cluster", false, "embed the cluster coordinator: accept sidr-worker registrations and route {\"cluster\":true} jobs through the distributed runtime")
+		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "evict workers that miss heartbeats for this long (with -cluster)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain); err != nil {
+	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration) error {
+func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
 	if dataDir != "" {
@@ -69,6 +72,19 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 		}
 		log.Printf("sidrd: serving %d dataset(s) from %s", n, dataDir)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var coord *cluster.Coordinator
+	if clusterOn {
+		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			HeartbeatTimeout: hbTimeout,
+			Metrics:          reg,
+			Logf:             log.Printf,
+		})
+		go coord.Start(ctx)
+		log.Printf("sidrd: clustering enabled (heartbeat timeout %v); workers register at /v1/cluster/register", hbTimeout)
+	}
 	mgr, err := jobs.NewManager(jobs.Config{
 		MaxConcurrent: maxJobs,
 		ExecWorkers:   execWorkers,
@@ -76,15 +92,14 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 		PlanCacheSize: planCache,
 		RetainJobs:    retain,
 		Datasets:      registry,
+		Cluster:       coord,
 		Metrics:       reg,
 	})
 	if err != nil {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: server.New(mgr, registry, reg)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	httpSrv := &http.Server{Addr: addr, Handler: server.New(mgr, registry, reg, coord)}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sidr"
+	"sidr/internal/coords"
+	"sidr/internal/datagen"
+	"sidr/internal/exec"
+	"sidr/internal/metrics"
+)
+
+// The tests run a quickstart-shaped structural query — a daily mean over
+// a seeded synthetic temperature grid — against real worker HTTP servers
+// on distinct loopback ports.
+const (
+	testQueryText = "avg temp[0,0,0 : 30,24,24] es {1,4,4}"
+	testSeed      = 42
+)
+
+func testJobPlan() JobPlan {
+	return JobPlan{Query: testQueryText, Engine: "sidr", Reducers: 4, SplitPoints: 1500}
+}
+
+func testDataset() DatasetSpec {
+	return DatasetSpec{Kind: "synthetic", Generator: "temperature", Seed: testSeed, Shape: []int64{30, 24, 24}}
+}
+
+// testWorker is one in-process worker instance on its own port.
+type testWorker struct {
+	w    *Worker
+	srv  *httptest.Server
+	dir  string
+	once sync.Once
+}
+
+// kill simulates losing the worker process and its disk.
+func (tw *testWorker) kill() {
+	tw.once.Do(func() {
+		tw.srv.CloseClientConnections()
+		tw.srv.Close()
+		os.RemoveAll(tw.dir)
+	})
+}
+
+// startCluster brings up a coordinator and n registered in-process
+// workers, each serving on its own port.
+func startCluster(t *testing.T, n int, cfg CoordinatorConfig) (*Coordinator, []*testWorker) {
+	t.Helper()
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 30 * time.Second // tests drive liveness explicitly
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+		cfg.RetryMax = 20 * time.Millisecond
+	}
+	c := NewCoordinator(cfg)
+	var workers []*testWorker
+	for i := 0; i < n; i++ {
+		dir := t.TempDir()
+		w, err := NewWorker(WorkerConfig{Name: fmt.Sprintf("w%d", i), SpillDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw := &testWorker{w: w, srv: httptest.NewServer(w), dir: dir}
+		t.Cleanup(tw.kill)
+		t.Cleanup(func() { tw.w.Close() })
+		if err := c.Register(fmt.Sprintf("w%d", i), tw.srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, tw)
+	}
+	return c, workers
+}
+
+func runClusterJob(t *testing.T, c *Coordinator, tweak func(*JobSpec)) (*JobResult, error) {
+	t.Helper()
+	ex := exec.New(4)
+	t.Cleanup(ex.Close)
+	spec := JobSpec{Plan: testJobPlan(), Dataset: testDataset(), Exec: ex}
+	if tweak != nil {
+		tweak(&spec)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return c.Run(ctx, spec)
+}
+
+// inProcessRun executes the identical query on the in-process engine.
+func inProcessRun(t *testing.T) *sidr.Result {
+	t.Helper()
+	gen := datagen.Temperature(testSeed)
+	ds, err := sidr.Synthetic(testDataset().Shape, func(k []int64) float64 { return gen(coords.Coord(k)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sidr.ParseQuery(testQueryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := testJobPlan()
+	res, err := sidr.Run(ds, q, sidr.RunOptions{Engine: sidr.SIDR, Reducers: jp.Reducers, SplitPoints: jp.SplitPoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// flatten orders a clustered job's outputs exactly like the sidr facade
+// flattens in-process results: global row-major key sort.
+func flatten(res *JobResult) ([][]int64, [][]float64) {
+	type row struct {
+		key  coords.Coord
+		vals []float64
+	}
+	var rows []row
+	for _, out := range res.Outputs {
+		for i, k := range out.Keys {
+			rows = append(rows, row{key: k, vals: out.Values[i]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key.Less(rows[j].key) })
+	keys := make([][]int64, len(rows))
+	vals := make([][]float64, len(rows))
+	for i, r := range rows {
+		keys[i] = append([]int64(nil), r.key...)
+		vals[i] = r.vals
+	}
+	return keys, vals
+}
+
+// TestClusterMatchesInProcessEngine is the end-to-end acceptance test:
+// a job across a coordinator and two worker instances on distinct ports
+// must produce byte-identical output to the in-process engine, and its
+// Reduce tasks must open exactly Σ_ℓ |I_ℓ| shuffle connections (Fig. 6).
+func TestClusterMatchesInProcessEngine(t *testing.T) {
+	c, workers := startCluster(t, 2, CoordinatorConfig{})
+	res, err := runClusterJob(t, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := inProcessRun(t)
+
+	keys, vals := flatten(res)
+	if len(keys) == 0 {
+		t.Fatal("cluster job produced no output")
+	}
+	if !reflect.DeepEqual(keys, local.Keys) {
+		t.Fatalf("cluster keys differ from in-process keys: %d vs %d rows", len(keys), len(local.Keys))
+	}
+	if !reflect.DeepEqual(vals, local.Values) {
+		t.Fatal("cluster values differ from in-process values (not byte-identical)")
+	}
+
+	want := res.Plan.Graph.SIDRConnections()
+	if res.Counters.Connections != want {
+		t.Fatalf("shuffle connections = %d, want Σ|I_ℓ| = %d", res.Counters.Connections, want)
+	}
+	all := int64(len(res.Plan.Splits)) * int64(res.Plan.Part.NumKeyblocks())
+	if want >= all {
+		t.Fatalf("test query is not structural enough: Σ|I_ℓ| = %d is not < maps×reduces = %d", want, all)
+	}
+	// Both workers actually executed Map tasks.
+	for _, tw := range workers {
+		if tw.w.MapsDone() == 0 {
+			t.Fatalf("worker did no map work; not a distributed run")
+		}
+	}
+}
+
+// TestShuffleAccountingMetrics pins the counters the daemon exports.
+func TestShuffleAccountingMetrics(t *testing.T) {
+	reg := metrics.New()
+	c, _ := startCluster(t, 2, CoordinatorConfig{Metrics: reg})
+	res, err := runClusterJob(t, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sidrd_shuffle_connections_total").Value(); got != res.Plan.Graph.SIDRConnections() {
+		t.Fatalf("sidrd_shuffle_connections_total = %d, want %d", got, res.Plan.Graph.SIDRConnections())
+	}
+	if reg.Counter("sidrd_shuffle_bytes_total").Value() == 0 {
+		t.Fatal("sidrd_shuffle_bytes_total stayed zero")
+	}
+	if reg.Counter("sidrd_cluster_tasks_dispatched_total").Value() < int64(len(res.Plan.Splits)) {
+		t.Fatal("dispatched counter below split count")
+	}
+	if reg.Histogram("sidrd_shuffle_fetch_seconds", nil).Count() != res.Counters.Connections {
+		t.Fatal("fetch latency histogram count != connections")
+	}
+	if res.Counters.ShuffleBytes != reg.Counter("sidrd_shuffle_bytes_total").Value() {
+		t.Fatalf("job bytes %d != metric bytes %d", res.Counters.ShuffleBytes,
+			reg.Counter("sidrd_shuffle_bytes_total").Value())
+	}
+}
+
+// tamperSourceCount wraps a worker and lowers every non-zero shuffle
+// response's kv-count annotation (the little-endian u64 at header bytes
+// 10..18) by one — the §3.2.1 failure a Reduce task must refuse to
+// finalize on.
+func tamperSourceCount(inner *Worker) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/shuffle/") {
+			inner.ServeHTTP(rw, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		if rec.Code == http.StatusOK && len(body) >= 18 {
+			if src := binary.LittleEndian.Uint64(body[10:18]); src > 0 {
+				binary.LittleEndian.PutUint64(body[10:18], src-1)
+			}
+		}
+		rw.WriteHeader(rec.Code)
+		rw.Write(body)
+	})
+}
+
+// TestShortKVCountNeverFinalizes: a reduce whose annotation tally comes
+// up short must never finalize — the job fails with ErrCountMismatch and
+// no partial is ever delivered.
+func TestShortKVCountNeverFinalizes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWorker(WorkerConfig{Name: "w0", SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	srv := httptest.NewServer(tamperSourceCount(w))
+	defer srv.Close()
+
+	c := NewCoordinator(CoordinatorConfig{
+		HeartbeatTimeout: 30 * time.Second,
+		RetryBase:        time.Millisecond,
+		RetryMax:         10 * time.Millisecond,
+	})
+	if err := c.Register("w0", srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	var partials int64
+	res, err := runClusterJob(t, c, func(spec *JobSpec) {
+		spec.OnPartial = func(ReduceResult) { partials++ }
+	})
+	if err == nil {
+		t.Fatalf("job finalized despite short kv-counts: %+v", res.Counters)
+	}
+	if !errors.Is(err, ErrCountMismatch) {
+		t.Fatalf("err = %v, want ErrCountMismatch", err)
+	}
+	if partials != 0 {
+		t.Fatalf("%d reduces finalized with short kv-counts", partials)
+	}
+}
+
+// TestWorkerLossReexecution is the fault acceptance test: one worker is
+// killed mid-job (its process and spills gone); the coordinator must
+// re-execute the lost Map tasks on the survivor and complete the job
+// with output identical to the in-process engine.
+func TestWorkerLossReexecution(t *testing.T) {
+	reg := metrics.New()
+	c, workers := startCluster(t, 2, CoordinatorConfig{Metrics: reg})
+
+	// Kill w0 the moment its first Map result is accepted: the result's
+	// spills die with it, before any dependent reduce can fetch them.
+	c.onMapResult = func(_ string, _ int, worker string) {
+		if worker == "w0" {
+			workers[0].kill()
+		}
+	}
+	res, err := runClusterJob(t, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Reexecuted == 0 {
+		t.Fatal("no map tasks were re-executed after worker loss")
+	}
+	if got := reg.Counter("sidrd_cluster_reexecuted_total").Value(); got == 0 {
+		t.Fatal("sidrd_cluster_reexecuted_total stayed zero")
+	}
+
+	local := inProcessRun(t)
+	keys, vals := flatten(res)
+	if !reflect.DeepEqual(keys, local.Keys) || !reflect.DeepEqual(vals, local.Values) {
+		t.Fatal("post-recovery output differs from in-process engine")
+	}
+}
+
+// TestStaleAttemptDiscarded pins attempt-ID idempotency: a Map result
+// from a superseded attempt must not complete the task or decrement
+// dependency counters.
+func TestStaleAttemptDiscarded(t *testing.T) {
+	plan, err := testJobPlan().NewPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := exec.New(1)
+	defer ex.Close()
+	c := NewCoordinator(CoordinatorConfig{})
+	j := &clusterJob{
+		c:          c,
+		spec:       JobSpec{ID: "job-stale", Plan: testJobPlan()},
+		plan:       plan,
+		ctx:        context.Background(),
+		handle:     ex.NewHandle(exec.HandleOptions{}),
+		maps:       make([]mapTask, len(plan.Splits)),
+		remaining:  make([]int, plan.Part.NumKeyblocks()),
+		enqueued:   make([]bool, plan.Part.NumKeyblocks()),
+		outputs:    make([]ReduceResult, plan.Part.NumKeyblocks()),
+		reduceDone: make([]bool, plan.Part.NumKeyblocks()),
+		done:       make(chan struct{}),
+	}
+	defer j.handle.Close()
+	for l := range j.remaining {
+		j.remaining[l] = len(plan.Graph.KBToSplits[l])
+	}
+	j.reducesLeft = plan.Part.NumKeyblocks()
+	before := append([]int(nil), j.remaining...)
+
+	// The task was re-armed to attempt 1; a late attempt-0 result lands.
+	j.maps[0].attempt = 1
+	j.recordMapResult(0, 0, "w0", "http://stale", &MapResponse{Split: 0, Attempt: 0})
+	if j.maps[0].done {
+		t.Fatal("stale attempt completed the task")
+	}
+	if !reflect.DeepEqual(before, j.remaining) {
+		t.Fatal("stale attempt decremented dependency counters")
+	}
+
+	// The current attempt is accepted.
+	j.recordMapResult(0, 1, "w0", "http://current", &MapResponse{Split: 0, Attempt: 1})
+	if !j.maps[0].done || j.maps[0].url != "http://current" {
+		t.Fatal("current attempt was not recorded")
+	}
+}
+
+// TestHeartbeatEviction pins deadline-based eviction and re-registration.
+func TestHeartbeatEviction(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{HeartbeatTimeout: 50 * time.Millisecond})
+	if err := c.Register("w0", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.AliveWorkers(); n != 1 {
+		t.Fatalf("alive = %d after register, want 1", n)
+	}
+	if !c.Heartbeat("w0") {
+		t.Fatal("heartbeat for live worker rejected")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if n := c.AliveWorkers(); n != 0 {
+		t.Fatalf("alive = %d after deadline, want 0", n)
+	}
+	if c.Heartbeat("w0") {
+		t.Fatal("heartbeat for evicted worker accepted; it must re-register")
+	}
+	ws := c.Workers()
+	if len(ws) != 1 || ws[0].Alive {
+		t.Fatalf("workers list = %+v, want one dead entry", ws)
+	}
+	if err := c.Register("w0", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.AliveWorkers(); n != 1 {
+		t.Fatal("re-registration did not revive the worker")
+	}
+}
+
+// TestLocalityAwarePlacement: a split whose block locations name a live
+// worker must be placed on that worker.
+func TestLocalityAwarePlacement(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{HeartbeatTimeout: time.Minute})
+	for _, n := range []string{"host-a", "host-b", "host-c"} {
+		if err := c.Register(n, "http://"+n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name, _, err := c.pickWorker([]string{"host-b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "host-b" {
+		t.Fatalf("placed on %q, want locality host %q", name, "host-b")
+	}
+	c.releaseWorker(name, false)
+
+	// Without hints, least-loaded wins.
+	n1, _, _ := c.pickWorker(nil, nil)
+	n2, _, _ := c.pickWorker(nil, nil)
+	if n1 == n2 {
+		t.Fatalf("consecutive placements both chose %q despite load", n1)
+	}
+}
+
+// TestNoWorkers: a run against an empty worker table fails fast.
+func TestNoWorkers(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	_, err := runClusterJob(t, c, nil)
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}

@@ -1,0 +1,973 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sidr/internal/coords"
+	"sidr/internal/core"
+	"sidr/internal/exec"
+	"sidr/internal/hdfs"
+	"sidr/internal/kv"
+	"sidr/internal/metrics"
+	"sidr/internal/sched"
+)
+
+// CoordinatorConfig tunes the coordinator.
+type CoordinatorConfig struct {
+	// HeartbeatTimeout is how long a worker may go without a heartbeat
+	// before it is evicted (default 5s).
+	HeartbeatTimeout time.Duration
+	// FetchRetries is how many times one shuffle fetch is attempted
+	// against a spill's hosting worker before the spill is declared lost
+	// (default 4).
+	FetchRetries int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// retries (defaults 25ms and 1s); actual sleeps are jittered.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// MaxTaskAttempts bounds how many attempts one Map task may consume
+	// across dispatch retries and loss-driven re-executions (default 5).
+	MaxTaskAttempts int
+	// Metrics receives the sidrd_cluster_* / sidrd_shuffle_* instruments
+	// (default: a private registry).
+	Metrics *metrics.Registry
+	// Client performs dispatch and shuffle requests (default: a plain
+	// client; per-request contexts bound lifetimes).
+	Client *http.Client
+	// Seed seeds backoff jitter; 0 uses a fixed seed. Jitter only
+	// desynchronises retries, so determinism is harmless.
+	Seed int64
+	// Logf, when set, receives coordinator lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the worker table and drives clustered jobs: it
+// dispatches Map task attempts to workers over HTTP, tracks their
+// spills, and runs Reduce tasks that fetch exactly their I_ℓ dependency
+// set from the workers' shuffle endpoints.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	jobSeq  int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mWorkersAlive *metrics.Gauge
+	mDispatched   *metrics.Counter
+	mRetried      *metrics.Counter
+	mReexecuted   *metrics.Counter
+	mShuffleBytes *metrics.Counter
+	mConnections  *metrics.Counter
+	mFetchSeconds *metrics.Histogram
+
+	// onMapResult is a test hook observing accepted Map results.
+	onMapResult func(jobID string, split int, worker string)
+}
+
+// workerState is the coordinator's record of one worker.
+type workerState struct {
+	name     string
+	url      string
+	lastSeen time.Time
+	evicted  bool
+	running  int
+	mapsDone int64
+}
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.FetchRetries <= 0 {
+		cfg.FetchRetries = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Second
+	}
+	if cfg.MaxTaskAttempts <= 0 {
+		cfg.MaxTaskAttempts = 5
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		client:  cfg.Client,
+		workers: make(map[string]*workerState),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+
+		mWorkersAlive: cfg.Metrics.Gauge("sidrd_cluster_workers_alive"),
+		mDispatched:   cfg.Metrics.Counter("sidrd_cluster_tasks_dispatched_total"),
+		mRetried:      cfg.Metrics.Counter("sidrd_cluster_tasks_retried_total"),
+		mReexecuted:   cfg.Metrics.Counter("sidrd_cluster_reexecuted_total"),
+		mShuffleBytes: cfg.Metrics.Counter("sidrd_shuffle_bytes_total"),
+		mConnections:  cfg.Metrics.Counter("sidrd_shuffle_connections_total"),
+		mFetchSeconds: cfg.Metrics.Histogram("sidrd_shuffle_fetch_seconds",
+			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
+	}
+	return c
+}
+
+// Start runs the eviction reaper until ctx is done, so workers_alive
+// drops even while no job is picking workers.
+func (c *Coordinator) Start(ctx context.Context) {
+	t := time.NewTicker(c.cfg.HeartbeatTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			c.pruneLocked(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Register adds (or revives) a worker.
+func (c *Coordinator) Register(name, url string) error {
+	if name == "" || url == "" {
+		return fmt.Errorf("cluster: register needs name and url")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil {
+		w = &workerState{name: name}
+		c.workers[name] = w
+	}
+	w.url = strings.TrimSuffix(url, "/")
+	w.lastSeen = time.Now()
+	w.evicted = false
+	c.pruneLocked(time.Now())
+	c.logf("worker %q registered at %s", name, w.url)
+	return nil
+}
+
+// Heartbeat refreshes a worker's deadline; false means the worker is
+// unknown (it should re-register).
+func (c *Coordinator) Heartbeat(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil || w.evicted {
+		return false
+	}
+	w.lastSeen = time.Now()
+	c.pruneLocked(time.Now())
+	return true
+}
+
+// Workers lists the worker table, alive first then by name.
+func (c *Coordinator) Workers() []WorkerInfo {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pruneLocked(now)
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			Name:      w.name,
+			URL:       w.url,
+			Alive:     !w.evicted,
+			Running:   w.running,
+			MapsDone:  w.mapsDone,
+			LastSeenS: now.Sub(w.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Alive != out[j].Alive {
+			return out[i].Alive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AliveWorkers returns how many workers are currently live.
+func (c *Coordinator) AliveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pruneLocked(time.Now())
+	n := 0
+	for _, w := range c.workers {
+		if !w.evicted {
+			n++
+		}
+	}
+	return n
+}
+
+// pruneLocked applies deadline-based eviction and refreshes the
+// workers_alive gauge. Caller holds c.mu.
+func (c *Coordinator) pruneLocked(now time.Time) {
+	alive := int64(0)
+	for _, w := range c.workers {
+		if !w.evicted && now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			w.evicted = true
+			c.logf("worker %q evicted: no heartbeat for %s", w.name, now.Sub(w.lastSeen).Round(time.Millisecond))
+		}
+		if !w.evicted {
+			alive++
+		}
+	}
+	c.mWorkersAlive.Set(alive)
+}
+
+// markDead evicts a worker on direct evidence (connection failure,
+// lost spill) without waiting for the heartbeat deadline.
+func (c *Coordinator) markDead(name string) {
+	if name == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[name]; w != nil && !w.evicted {
+		w.evicted = true
+		c.logf("worker %q marked dead", name)
+	}
+	c.pruneLocked(time.Now())
+}
+
+// pickWorker chooses a live worker for a Map task, preferring the
+// split's block-location hosts (locality-aware placement) and breaking
+// ties by least running tasks. not lists worker names to avoid (prior
+// failed attempts of the same dispatch).
+func (c *Coordinator) pickWorker(hosts []string, not map[string]bool) (name, url string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pruneLocked(time.Now())
+	var best *workerState
+	bestLocal := false
+	isLocal := func(w *workerState) bool {
+		for _, h := range hosts {
+			if h == w.name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range c.workers {
+		if w.evicted || not[w.name] {
+			continue
+		}
+		local := isLocal(w)
+		switch {
+		case best == nil,
+			local && !bestLocal,
+			local == bestLocal && w.running < best.running,
+			local == bestLocal && w.running == best.running && w.name < best.name:
+			best, bestLocal = w, local
+		}
+	}
+	if best == nil {
+		// Fall back to any live worker when every one was excluded.
+		for _, w := range c.workers {
+			if !w.evicted {
+				if best == nil || w.running < best.running ||
+					(w.running == best.running && w.name < best.name) {
+					best = w
+				}
+			}
+		}
+	}
+	if best == nil {
+		return "", "", ErrNoWorkers
+	}
+	best.running++
+	return best.name, best.url, nil
+}
+
+// releaseWorker undoes pickWorker's running increment, crediting done
+// maps on success.
+func (c *Coordinator) releaseWorker(name string, mapDone bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[name]; w != nil {
+		w.running--
+		if mapDone {
+			w.mapsDone++
+		}
+	}
+}
+
+// backoff returns the jittered exponential delay before retry n (0-based):
+// base·2ⁿ capped at RetryMax, then uniformly jittered in [d/2, d).
+func (c *Coordinator) backoff(n int) time.Duration {
+	d := c.cfg.RetryBase << uint(n)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.rngMu.Unlock()
+	return d/2 + j
+}
+
+// sleep waits for d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Mount registers the coordinator's HTTP endpoints on mux:
+// POST /v1/cluster/register, POST /v1/cluster/heartbeat,
+// GET /v1/cluster/workers.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/cluster/register", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Register(req.Name, req.URL); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/cluster/heartbeat", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req HeartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !c.Heartbeat(req.Name) {
+			http.Error(rw, "unknown worker; re-register", http.StatusNotFound)
+			return
+		}
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/cluster/workers", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(struct {
+			Workers []WorkerInfo `json:"workers"`
+		}{c.Workers()})
+	})
+}
+
+// JobSpec describes one clustered job.
+type JobSpec struct {
+	// ID names the job on the wire and in spill paths; empty generates
+	// one.
+	ID string
+	// Plan is the plan-defining tuple workers re-derive the plan from.
+	Plan JobPlan
+	// Dataset tells workers how to open the input.
+	Dataset DatasetSpec
+	// Namespace and File optionally attach HDFS block locations to
+	// splits for locality-aware placement (coordinator side only; split
+	// geometry is unaffected, so worker plans stay identical).
+	Namespace *hdfs.Namespace
+	File      string
+	// Exec runs the job's task graph (required). Reduce tasks outrank
+	// queued Map dispatch on it, preserving reduce-first scheduling.
+	Exec *exec.Executor
+	// Workers caps the job's concurrently running tasks (0 = pool bound).
+	Workers int
+	// OnPartial receives each keyblock's output the moment it commits.
+	// Callbacks may arrive concurrently.
+	OnPartial func(ReduceResult)
+}
+
+// ReduceResult is one finalized keyblock output.
+type ReduceResult struct {
+	Keyblock int
+	Keys     []coords.Coord
+	Values   [][]float64
+}
+
+// Counters aggregates one job's bookkeeping.
+type Counters struct {
+	// MapsDispatched counts Map attempt dispatches sent to workers.
+	MapsDispatched int64
+	// Retried counts dispatches that failed and were re-sent elsewhere.
+	Retried int64
+	// Reexecuted counts Map tasks re-executed because their spills were
+	// lost with a worker.
+	Reexecuted int64
+	// Connections counts successful shuffle fetches — Σ_ℓ |I_ℓ| on the
+	// happy path (Fig. 6 / Table 3).
+	Connections int64
+	// ShuffleBytes counts spill bytes fetched.
+	ShuffleBytes int64
+	// Records counts source records read by accepted Map attempts.
+	Records int64
+}
+
+// JobResult is a completed clustered job.
+type JobResult struct {
+	// Outputs holds every keyblock's finalized output, indexed by
+	// keyblock.
+	Outputs []ReduceResult
+	// Plan is the coordinator-side plan the job ran under.
+	Plan *core.Plan
+	Counters Counters
+}
+
+// clusterJob is the in-flight state of one Run.
+type clusterJob struct {
+	c      *Coordinator
+	spec   JobSpec
+	plan   *core.Plan
+	ctx    context.Context
+	cancel context.CancelFunc
+	handle *exec.Handle
+	body   []byte // MapRequest template fields (plan+dataset), marshalled once
+
+	mu         sync.Mutex
+	maps       []mapTask
+	remaining  []int  // open I_ℓ dependencies per keyblock
+	enqueued   []bool // reduce l submitted (or running)
+	outputs    []ReduceResult
+	reduceDone []bool
+	reducesLeft int
+	counters   Counters
+	err        error
+	done       chan struct{}
+}
+
+// mapTask tracks one Map task's current attempt.
+type mapTask struct {
+	attempt    int    // current attempt ID; results from other attempts are stale
+	done       bool   // current attempt completed and spills are hosted
+	worker     string // hosting worker name (done only)
+	url        string // hosting worker base URL (done only)
+	dispatches int    // attempts consumed, for the MaxTaskAttempts bound
+}
+
+// Run executes a clustered job and blocks until it completes or fails.
+// Map tasks are dispatched to workers (locality first), Reduce tasks
+// run in the coordinator and fetch exactly their I_ℓ spills from the
+// workers' shuffle endpoints, validated against the spill headers'
+// kv-count annotations before finalizing.
+func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	if spec.Exec == nil {
+		return nil, fmt.Errorf("cluster: job needs an executor")
+	}
+	if spec.ID == "" {
+		c.mu.Lock()
+		c.jobSeq++
+		spec.ID = fmt.Sprintf("job-%d", c.jobSeq)
+		c.mu.Unlock()
+	}
+	if !validJobID(spec.ID) {
+		return nil, fmt.Errorf("cluster: invalid job id %q", spec.ID)
+	}
+	if c.AliveWorkers() == 0 {
+		return nil, ErrNoWorkers
+	}
+	plan, err := spec.Plan.newPlan(spec.Namespace, spec.File)
+	if err != nil {
+		return nil, err
+	}
+
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	j := &clusterJob{
+		c:      c,
+		spec:   spec,
+		plan:   plan,
+		ctx:    jctx,
+		cancel: cancel,
+		handle: spec.Exec.NewHandle(exec.HandleOptions{MaxParallel: spec.Workers}),
+		maps:   make([]mapTask, len(plan.Splits)),
+		remaining:  make([]int, plan.Part.NumKeyblocks()),
+		enqueued:   make([]bool, plan.Part.NumKeyblocks()),
+		outputs:    make([]ReduceResult, plan.Part.NumKeyblocks()),
+		reduceDone: make([]bool, plan.Part.NumKeyblocks()),
+		done:       make(chan struct{}),
+	}
+	defer j.handle.Close()
+	for l := range j.remaining {
+		j.remaining[l] = len(plan.Graph.KBToSplits[l])
+	}
+	j.reducesLeft = plan.Part.NumKeyblocks()
+
+	// Keyblocks with no dependencies finalize immediately as empty.
+	j.mu.Lock()
+	for l, n := range j.remaining {
+		if n == 0 {
+			j.reduceDone[l] = true
+			j.outputs[l] = ReduceResult{Keyblock: l}
+			j.reducesLeft--
+		}
+	}
+	resolved := j.reducesLeft == 0
+	j.mu.Unlock()
+	if resolved {
+		return j.result(), nil
+	}
+
+	// Cancellation watchdog.
+	go func() {
+		<-jctx.Done()
+		j.fail(jctx.Err())
+	}()
+
+	// Submit every Map task in dependency-driven order: splits feeding
+	// the front of the keyblock priority list dispatch first (§3.3), so
+	// early keyblocks' dependencies complete early.
+	order := sched.DependencyDrivenMapOrder(plan.Graph, plan.Priority)
+	for pos, split := range order {
+		j.submitMap(split, pos)
+	}
+
+	<-j.done
+	j.mu.Lock()
+	err = j.err
+	j.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return j.result(), nil
+}
+
+// result snapshots the completed job.
+func (j *clusterJob) result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &JobResult{Outputs: append([]ReduceResult(nil), j.outputs...), Plan: j.plan, Counters: j.counters}
+}
+
+// fail records the job's first error, cancels pending work and resolves
+// Run.
+func (j *clusterJob) fail(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.err == nil && j.reducesLeft > 0 {
+		j.err = err
+		j.reducesLeft = -1 // poison: no later success path
+		j.handle.Cancel()
+		j.cancel()
+		close(j.done)
+	}
+	j.mu.Unlock()
+}
+
+// failed reports whether the job already resolved (error or success).
+func (j *clusterJob) resolvedLocked() bool { return j.reducesLeft <= 0 }
+
+// submitMap enqueues a dispatch of map task i at its current attempt.
+func (j *clusterJob) submitMap(i, priority int) {
+	j.mu.Lock()
+	attempt := j.maps[i].attempt
+	j.mu.Unlock()
+	j.handle.Submit(exec.Map, priority, func() { j.dispatchMap(i, attempt) })
+}
+
+// dispatchMap sends map task i's attempt to a worker, retrying on other
+// workers (with backoff) when dispatch fails. Workers that refuse a
+// connection are marked dead.
+func (j *clusterJob) dispatchMap(i, attempt int) {
+	c := j.c
+	j.mu.Lock()
+	if j.resolvedLocked() || j.maps[i].attempt != attempt || j.maps[i].done {
+		j.mu.Unlock()
+		return // stale or already satisfied
+	}
+	j.maps[i].dispatches++
+	if j.maps[i].dispatches > c.cfg.MaxTaskAttempts {
+		j.mu.Unlock()
+		j.fail(fmt.Errorf("%w: map task %d exceeded %d attempts", ErrRetryExhausted, i, c.cfg.MaxTaskAttempts))
+		return
+	}
+	j.mu.Unlock()
+
+	hosts := j.plan.Splits[i].Hosts
+	tried := make(map[string]bool)
+	for try := 0; ; try++ {
+		if j.ctx.Err() != nil {
+			return
+		}
+		name, url, err := c.pickWorker(hosts, tried)
+		if err != nil {
+			j.fail(fmt.Errorf("map task %d: %w", i, err))
+			return
+		}
+		resp, err := j.postMap(url, i, attempt)
+		c.releaseWorker(name, err == nil)
+		if err == nil {
+			j.recordMapResult(i, attempt, name, url, resp)
+			return
+		}
+		// The worker failed the dispatch: mark it dead (its spills are
+		// suspect too) and retry the attempt elsewhere after a jittered
+		// backoff.
+		c.markDead(name)
+		tried[name] = true
+		c.mRetried.Inc()
+		j.mu.Lock()
+		j.counters.Retried++
+		j.mu.Unlock()
+		c.logf("map %s/%d attempt %d on %q failed (%v); retrying", j.spec.ID, i, attempt, name, err)
+		if try >= c.cfg.MaxTaskAttempts {
+			j.fail(fmt.Errorf("%w: map task %d: %v", ErrRetryExhausted, i, err))
+			return
+		}
+		if sleep(j.ctx, c.backoff(try)) != nil {
+			return
+		}
+	}
+}
+
+// postMap performs one /v1/map dispatch.
+func (j *clusterJob) postMap(baseURL string, split, attempt int) (*MapResponse, error) {
+	j.c.mDispatched.Inc()
+	j.mu.Lock()
+	j.counters.MapsDispatched++
+	j.mu.Unlock()
+	body, err := json.Marshal(MapRequest{
+		JobID:   j.spec.ID,
+		Split:   split,
+		Attempt: attempt,
+		Plan:    j.spec.Plan,
+		Dataset: j.spec.Dataset,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(j.ctx, http.MethodPost, baseURL+"/v1/map", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := j.c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var mr MapResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, err
+	}
+	return &mr, nil
+}
+
+// recordMapResult accepts a completed Map attempt, discarding stale
+// attempts (idempotency under re-execution), and decrements dependency
+// counters — enqueueing every Reduce task whose I_ℓ just completed.
+func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, resp *MapResponse) {
+	j.mu.Lock()
+	if j.resolvedLocked() || j.maps[i].attempt != attempt || resp.Attempt != attempt {
+		j.mu.Unlock()
+		j.c.logf("discarding stale map result %s/%d attempt %d (current %d)", j.spec.ID, i, attempt, j.maps[i].attempt)
+		return
+	}
+	m := &j.maps[i]
+	m.done = true
+	m.worker = worker
+	m.url = url
+	j.counters.Records += resp.Records
+	var ready []int
+	for _, kb := range j.plan.Graph.SplitToKB[i] {
+		if j.reduceDone[kb] || j.enqueued[kb] {
+			continue
+		}
+		j.remaining[kb]--
+		if j.remaining[kb] == 0 {
+			j.enqueued[kb] = true
+			ready = append(ready, kb)
+		}
+	}
+	j.mu.Unlock()
+	if j.c.onMapResult != nil {
+		j.c.onMapResult(j.spec.ID, i, worker)
+	}
+	for _, kb := range ready {
+		j.submitReduce(kb)
+	}
+}
+
+// submitReduce enqueues reduce task l; Reduce class outranks every
+// queued Map dispatch on the handle (reduce-first scheduling, §3.3).
+func (j *clusterJob) submitReduce(l int) {
+	priority := l
+	if j.plan.Priority != nil {
+		for pos, kb := range j.plan.Priority {
+			if kb == l {
+				priority = pos
+				break
+			}
+		}
+	}
+	j.handle.Submit(exec.Reduce, priority, func() { j.runReduce(l) })
+}
+
+// runReduce fetches keyblock l's I_ℓ spills point-to-point from their
+// hosting workers, tallies the kv-count annotations against the
+// dependency graph's expected count, and finalizes the keyblock. Lost
+// spills trigger Map re-execution instead of finalizing short.
+func (j *clusterJob) runReduce(l int) {
+	type dep struct {
+		split   int
+		attempt int
+		worker  string
+		url     string
+	}
+	j.mu.Lock()
+	if j.resolvedLocked() || j.reduceDone[l] {
+		j.mu.Unlock()
+		return
+	}
+	deps := make([]dep, 0, len(j.plan.Graph.KBToSplits[l]))
+	for _, s := range j.plan.Graph.KBToSplits[l] {
+		m := j.maps[s]
+		if !m.done {
+			// A dependency regressed (its worker died and the task is
+			// re-executing); this enqueue is stale. rearm already reset
+			// enqueued[l], so the reduce returns when deps re-complete.
+			j.mu.Unlock()
+			return
+		}
+		deps = append(deps, dep{split: s, attempt: m.attempt, worker: m.worker, url: m.url})
+	}
+	j.mu.Unlock()
+
+	// Fetch I_ℓ in ascending split order so the k-way merge sees streams
+	// in the same order as the in-process engine (stream-index
+	// tie-breaks make merge output order-sensitive).
+	streams := make([][]kv.Pair, 0, len(deps))
+	var tally, bytes int64
+	for _, d := range deps {
+		pairs, src, n, err := j.fetchSpill(d.url, d.split, d.attempt, l)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				return
+			}
+			// The spill is lost with its worker: evict it and rearm the
+			// reduce — reset + re-dispatch the Map tasks whose spills
+			// died with the worker, then wait for redelivery.
+			j.c.logf("reduce %s/kb%d: spill for split %d lost on %q: %v", j.spec.ID, l, d.split, d.worker, err)
+			j.c.markDead(d.worker)
+			j.rearm(l)
+			return
+		}
+		streams = append(streams, pairs)
+		tally += src
+		bytes += n
+	}
+
+	// The §3.2.1 integrity gate: the annotation tally must equal the
+	// planner's expected source count or the reduce never finalizes.
+	if want := j.plan.Graph.ExpectedCount[l]; tally != want {
+		j.fail(fmt.Errorf("%w: keyblock %d tallied %d source pairs, expected %d", ErrCountMismatch, l, tally, want))
+		return
+	}
+
+	merged := kv.MergeSorted(streams)
+	op, err := j.plan.Query.Op()
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	out := ReduceResult{Keyblock: l, Keys: make([]coords.Coord, 0, len(merged)), Values: make([][]float64, 0, len(merged))}
+	for _, p := range merged {
+		out.Keys = append(out.Keys, p.Key)
+		out.Values = append(out.Values, op.Apply(p.Value, j.plan.Query.Param))
+	}
+
+	j.mu.Lock()
+	if j.resolvedLocked() || j.reduceDone[l] {
+		j.mu.Unlock()
+		return
+	}
+	j.reduceDone[l] = true
+	j.outputs[l] = out
+	j.counters.ShuffleBytes += bytes
+	j.reducesLeft--
+	finished := j.reducesLeft == 0
+	j.mu.Unlock()
+
+	if j.spec.OnPartial != nil {
+		j.spec.OnPartial(out)
+	}
+	if finished {
+		close(j.done)
+	}
+}
+
+// fetchSpill streams one spill from a worker's shuffle endpoint with
+// jittered exponential backoff, returning its pairs, kv-count
+// annotation and byte size. Only a successful fetch counts as a shuffle
+// connection, so a completed job's connection count is exactly Σ|I_ℓ|.
+func (j *clusterJob) fetchSpill(baseURL string, split, attempt, kb int) ([]kv.Pair, int64, int64, error) {
+	c := j.c
+	var lastErr error
+	for try := 0; try < c.cfg.FetchRetries; try++ {
+		if try > 0 {
+			if sleep(j.ctx, c.backoff(try-1)) != nil {
+				return nil, 0, 0, j.ctx.Err()
+			}
+		}
+		start := time.Now()
+		pairs, src, n, err := j.fetchSpillOnce(baseURL, split, attempt, kb)
+		if err == nil {
+			c.mFetchSeconds.Observe(time.Since(start).Seconds())
+			c.mConnections.Inc()
+			c.mShuffleBytes.Add(n)
+			j.mu.Lock()
+			j.counters.Connections++
+			j.mu.Unlock()
+			return pairs, src, n, nil
+		}
+		lastErr = err
+		if j.ctx.Err() != nil {
+			return nil, 0, 0, j.ctx.Err()
+		}
+	}
+	return nil, 0, 0, fmt.Errorf("%w: %v", ErrRetryExhausted, lastErr)
+}
+
+func (j *clusterJob) fetchSpillOnce(baseURL string, split, attempt, kb int) ([]kv.Pair, int64, int64, error) {
+	req, err := http.NewRequestWithContext(j.ctx, http.MethodGet,
+		baseURL+ShufflePath(j.spec.ID, split, attempt, kb), nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := j.c.client.Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, 0, fmt.Errorf("shuffle fetch returned %d", resp.StatusCode)
+	}
+	cr := &countingReader{r: resp.Body}
+	h, pairs, err := kv.ReadSpill(cr)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("spill decode: %w", err)
+	}
+	return pairs, h.SourceCount, cr.n, nil
+}
+
+// countingReader counts bytes for the shuffle-bytes accounting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// rearm handles a lost spill for reduce l: every I_ℓ dependency whose
+// hosting worker is gone is reset to a fresh attempt ID and
+// re-dispatched, the reduce's dependency counter is rebuilt to the
+// number of open dependencies, and the reduce re-enqueues when they
+// complete. Superseded attempts that straggle in are discarded by the
+// attempt check in recordMapResult.
+func (j *clusterJob) rearm(l int) {
+	c := j.c
+	now := time.Now()
+	c.mu.Lock()
+	deadWorker := func(name string) bool {
+		w := c.workers[name]
+		return w == nil || w.evicted || now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout
+	}
+	c.mu.Unlock()
+
+	j.mu.Lock()
+	if j.resolvedLocked() || j.reduceDone[l] {
+		j.mu.Unlock()
+		return
+	}
+	type redo struct{ split, priority int }
+	var redispatch []redo
+	open := 0
+	for _, s := range j.plan.Graph.KBToSplits[l] {
+		m := &j.maps[s]
+		switch {
+		case m.done && deadWorker(m.worker):
+			// The spill died with its worker: invalidate the attempt and
+			// re-execute. Counters of sibling keyblocks that already
+			// consumed this split stay correct — finalized reduces keep
+			// their outputs, and enqueued ones rearm themselves when
+			// their own fetch fails.
+			m.attempt++
+			m.done = false
+			m.worker, m.url = "", ""
+			redispatch = append(redispatch, redo{split: s, priority: s})
+			open++
+			c.mReexecuted.Inc()
+			j.counters.Reexecuted++
+			c.logf("re-executing map %s/%d as attempt %d", j.spec.ID, s, m.attempt)
+		case !m.done:
+			// Already being re-executed on behalf of another keyblock.
+			open++
+		}
+	}
+	if open == 0 {
+		// Every dependency is hosted on a live worker — the failed fetch
+		// targeted a superseded attempt. Re-run the reduce against the
+		// current attempts.
+		j.mu.Unlock()
+		j.submitReduce(l)
+		return
+	}
+	j.enqueued[l] = false
+	j.remaining[l] = open
+	j.mu.Unlock()
+	for _, r := range redispatch {
+		j.submitMap(r.split, r.priority)
+	}
+}

@@ -1,0 +1,186 @@
+// Package cluster is the multi-process distributed runtime: a
+// coordinator (embedded in sidrd, or standalone) that dispatches Map
+// tasks over HTTP to worker processes, and workers that execute them,
+// materialise partition+ keyblock spills with the internal/kv codec,
+// and serve those spills from a shuffle endpoint.
+//
+// The runtime realises the paper's cluster-scale claims for real,
+// across process boundaries:
+//
+//   - Reduce tasks fetch only their I_ℓ dependency set — point-to-point
+//     streamed HTTP fetches, O(Σ|I_ℓ|) total shuffle connections instead
+//     of O(maps×reduces) (§3.3, Fig. 6, Table 3).
+//   - Every spill carries the §3.2.1 kv-count annotation in its header;
+//     a Reduce task tallies the annotations of its fetched spills
+//     against the dependency graph's expected count and is not allowed
+//     to finalize on a mismatch.
+//   - Early results without a global barrier: each Reduce task runs the
+//     moment the splits in its I_ℓ are mapped, driven by the same
+//     dependency-counter task graph (on internal/exec) the in-process
+//     engine uses, with Reduce-class dispatch outranking queued Map
+//     dispatch.
+//
+// Robustness is part of the subsystem: workers heartbeat and are
+// evicted on a deadline, fetches retry with exponential backoff plus
+// jitter, Map tasks whose spills were lost with a worker are
+// re-executed under a fresh attempt ID, and late results from
+// superseded attempts are discarded.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"sidr/internal/core"
+	"sidr/internal/hdfs"
+	"sidr/internal/query"
+)
+
+// Errors surfaced by the runtime. The daemon maps them onto the
+// wire.Error detail vocabulary ("no-workers", "shuffle-retry-exhausted").
+var (
+	// ErrNoWorkers means the coordinator has no live worker to dispatch
+	// to — every registered worker is gone or evicted.
+	ErrNoWorkers = errors.New("cluster: no live workers")
+	// ErrRetryExhausted means a dispatch or shuffle fetch kept failing
+	// after every retry and re-execution budget was spent.
+	ErrRetryExhausted = errors.New("cluster: shuffle retry budget exhausted")
+	// ErrCountMismatch means a Reduce task's kv-count annotation tally
+	// did not equal the dependency graph's expected source count; the
+	// task refused to finalize (§3.2.1).
+	ErrCountMismatch = errors.New("cluster: kv-count annotation mismatch")
+	// ErrStaleAttempt rejects a Map result carrying a superseded attempt
+	// ID (the task was re-dispatched while this attempt ran).
+	ErrStaleAttempt = errors.New("cluster: stale map attempt")
+)
+
+// DatasetSpec tells a worker how to open the job's dataset by itself.
+// Specs must be resolvable on every worker: a file spec names a path
+// visible to the worker process; a synthetic spec names one of the
+// deterministic internal/datagen generators, which are pure functions
+// of (seed, coordinate) and therefore reproduce bit-identically
+// anywhere.
+type DatasetSpec struct {
+	// Kind is "file" or "synthetic".
+	Kind string `json:"kind"`
+	// Path is the ncfile container path (file datasets).
+	Path string `json:"path,omitempty"`
+	// Variable is the ncfile variable to read (file datasets).
+	Variable string `json:"variable,omitempty"`
+	// Generator names a datagen generator for synthetic datasets:
+	// "windspeed", "gaussian", "temperature" or "evenkeyed".
+	Generator string `json:"generator,omitempty"`
+	// Shape is the synthetic dataset's extents.
+	Shape []int64 `json:"shape,omitempty"`
+	// Seed seeds the generator.
+	Seed int64 `json:"seed,omitempty"`
+	// Mean and Std parameterise the gaussian generator (Std 0 means 1).
+	Mean float64 `json:"mean,omitempty"`
+	Std  float64 `json:"std,omitempty"`
+}
+
+// JobPlan is the plan-defining tuple shipped with every Map task. A
+// plan (splits, K'^T, partitioner, keyblocks, I_ℓ) is a pure function
+// of this tuple — SIDR's routing is computable before execution (§3) —
+// so the worker re-derives exactly the coordinator's plan from these
+// few scalars instead of receiving serialized split geometry.
+type JobPlan struct {
+	Query       string `json:"query"`
+	Engine      string `json:"engine"`
+	Reducers    int    `json:"reducers"`
+	SplitPoints int64  `json:"split_points"`
+	MaxSkew     int64  `json:"max_skew,omitempty"`
+}
+
+// NewPlan derives the coordinator-identical core.Plan from the tuple.
+func (jp JobPlan) NewPlan() (*core.Plan, error) {
+	return jp.newPlan(nil, "")
+}
+
+// newPlan optionally attaches HDFS block locations (coordinator side).
+// Locality hints never change split geometry, so plans with and without
+// them are otherwise identical.
+func (jp JobPlan) newPlan(ns *hdfs.Namespace, file string) (*core.Plan, error) {
+	engine, err := core.ParseEngine(jp.Engine)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(jp.Query)
+	if err != nil {
+		return nil, err
+	}
+	if jp.Reducers < 1 {
+		return nil, fmt.Errorf("cluster: job plan needs reducers >= 1, got %d", jp.Reducers)
+	}
+	if jp.SplitPoints <= 0 {
+		return nil, fmt.Errorf("cluster: job plan needs explicit split_points, got %d", jp.SplitPoints)
+	}
+	return core.NewPlan(q, engine, core.Options{
+		Reducers:    jp.Reducers,
+		SplitPoints: jp.SplitPoints,
+		MaxSkew:     jp.MaxSkew,
+		Namespace:   ns,
+		File:        file,
+	})
+}
+
+// MapRequest asks a worker to execute one Map task attempt.
+type MapRequest struct {
+	JobID   string      `json:"job_id"`
+	Split   int         `json:"split"`
+	Attempt int         `json:"attempt"`
+	Plan    JobPlan     `json:"plan"`
+	Dataset DatasetSpec `json:"dataset"`
+}
+
+// KeyblockMeta summarises one keyblock's share of a completed Map task:
+// the spill's pair count, its kv-count annotation, and its serialised
+// size. Keyblocks the task produced no data for are omitted.
+type KeyblockMeta struct {
+	Keyblock    int   `json:"keyblock"`
+	Pairs       int   `json:"pairs"`
+	SourceCount int64 `json:"source_count"`
+	Bytes       int64 `json:"bytes"`
+}
+
+// MapResponse reports a completed Map task attempt. The spills named by
+// Outputs are fetchable from the worker's shuffle endpoint until the
+// job is released.
+type MapResponse struct {
+	JobID   string         `json:"job_id"`
+	Split   int            `json:"split"`
+	Attempt int            `json:"attempt"`
+	Records int64          `json:"records"`
+	Outputs []KeyblockMeta `json:"outputs"`
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is the worker's stable identity; locality hints match against
+	// it. Re-registering an evicted name revives it.
+	Name string `json:"name"`
+	// URL is the base URL the coordinator dials the worker at.
+	URL string `json:"url"`
+}
+
+// HeartbeatRequest keeps a registered worker alive.
+type HeartbeatRequest struct {
+	Name string `json:"name"`
+}
+
+// WorkerInfo is the coordinator's view of one worker, as listed by
+// GET /v1/cluster/workers.
+type WorkerInfo struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Alive     bool   `json:"alive"`
+	Running   int    `json:"running"`
+	MapsDone  int64  `json:"maps_done"`
+	LastSeenS float64 `json:"last_seen_s"` // seconds since last heartbeat
+}
+
+// ShufflePath returns the worker-relative URL of one spill:
+// /v1/shuffle/{job}/{split}/{attempt}/{keyblock}.
+func ShufflePath(jobID string, split, attempt, keyblock int) string {
+	return fmt.Sprintf("/v1/shuffle/%s/%d/%d/%d", jobID, split, attempt, keyblock)
+}

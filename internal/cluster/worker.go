@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sidr/internal/coords"
+	"sidr/internal/core"
+	"sidr/internal/datagen"
+	"sidr/internal/kv"
+	"sidr/internal/mapreduce"
+	"sidr/internal/ncfile"
+)
+
+// WorkerConfig configures one worker process (or in-process instance).
+type WorkerConfig struct {
+	// Name is the worker's stable identity. Locality hints on input
+	// splits are matched against it, so naming workers after the hosts
+	// of an hdfs.Namespace gives locality-aware Map placement.
+	Name string
+	// SpillDir is where Map attempt spills are materialised and served
+	// from. Required.
+	SpillDir string
+	// AdvertiseURL is the base URL the coordinator should dial this
+	// worker at (e.g. "http://127.0.0.1:7101").
+	AdvertiseURL string
+	// CoordinatorURL, when set, is registered with and heartbeated by
+	// Start.
+	CoordinatorURL string
+	// Heartbeat is the heartbeat period (default 1s).
+	Heartbeat time.Duration
+	// Client performs registration/heartbeat requests (default: a
+	// 5-second-timeout client).
+	Client *http.Client
+	// Logf, when set, receives worker lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+// Worker executes Map task attempts on behalf of a coordinator and
+// serves the resulting partition+ keyblock spills over the shuffle
+// endpoint. It is an http.Handler; mount it on any server.
+type Worker struct {
+	cfg      WorkerConfig
+	mux      *http.ServeMux
+	client   *http.Client
+	mapsDone atomic.Int64
+	running  atomic.Int64
+
+	mu   sync.Mutex
+	jobs map[string]*workerJob
+}
+
+// workerJob caches one job's derived plan and opened dataset so every
+// Map attempt of the job shares them. Plans are pure functions of the
+// JobPlan tuple, so the first request's tuple is authoritative.
+type workerJob struct {
+	plan   *core.Plan
+	input  mapreduce.MapInput
+	closer io.Closer // ncfile handle for file datasets
+}
+
+// NewWorker builds a worker. SpillDir is created if missing.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: worker needs a name")
+	}
+	if cfg.SpillDir == "" {
+		return nil, fmt.Errorf("cluster: worker needs a spill dir")
+	}
+	if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	w := &Worker{cfg: cfg, client: cfg.Client, jobs: make(map[string]*workerJob)}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc("/v1/map", w.handleMap)
+	w.mux.HandleFunc("/v1/shuffle/", w.handleShuffle)
+	w.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	return w, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+
+// MapsDone returns how many Map attempts completed successfully.
+func (w *Worker) MapsDone() int64 { return w.mapsDone.Load() }
+
+// Close releases cached dataset handles. Spill files are left on disk;
+// the owner of SpillDir reclaims them.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var first error
+	for id, j := range w.jobs {
+		if j.closer != nil {
+			if err := j.closer.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		delete(w.jobs, id)
+	}
+	return first
+}
+
+// Start registers with the coordinator and heartbeats until ctx is
+// done. It retries registration until it succeeds, and re-registers
+// when the coordinator forgets the worker (e.g. after a restart).
+func (w *Worker) Start(ctx context.Context) {
+	if w.cfg.CoordinatorURL == "" {
+		return
+	}
+	registered := false
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		if !registered {
+			registered = w.register(ctx)
+		} else if !w.heartbeat(ctx) {
+			registered = false
+			continue // re-register immediately
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) bool {
+	body, _ := json.Marshal(RegisterRequest{Name: w.cfg.Name, URL: w.cfg.AdvertiseURL})
+	ok := w.post(ctx, "/v1/cluster/register", body)
+	if ok {
+		w.logf("registered with %s as %q", w.cfg.CoordinatorURL, w.cfg.Name)
+	}
+	return ok
+}
+
+// heartbeat returns false when the worker should re-register.
+func (w *Worker) heartbeat(ctx context.Context) bool {
+	body, _ := json.Marshal(HeartbeatRequest{Name: w.cfg.Name})
+	return w.post(ctx, "/v1/cluster/heartbeat", body)
+}
+
+func (w *Worker) post(ctx context.Context, path string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(w.cfg.CoordinatorURL, "/")+path, strings.NewReader(string(body)))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// jobFor returns the cached job state, building it from the request's
+// plan tuple and dataset spec on first use.
+func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if j, ok := w.jobs[req.JobID]; ok {
+		return j, nil
+	}
+	plan, err := req.Plan.NewPlan()
+	if err != nil {
+		return nil, err
+	}
+	reader, closer, err := OpenDataset(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	op, err := plan.Query.Op()
+	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, err
+	}
+	j := &workerJob{
+		plan: plan,
+		input: mapreduce.MapInput{
+			Query:   plan.Query,
+			Op:      op,
+			Space:   plan.Space,
+			Part:    plan.Part,
+			Reader:  reader,
+			Combine: true,
+		},
+		closer: closer,
+	}
+	w.jobs[req.JobID] = j
+	return j, nil
+}
+
+// OpenDataset resolves a DatasetSpec into a record reader. The
+// returned closer is non-nil for file datasets.
+func OpenDataset(spec DatasetSpec) (mapreduce.RecordReader, io.Closer, error) {
+	switch spec.Kind {
+	case "file":
+		f, err := ncfile.Open(spec.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &mapreduce.FileReader{File: f, Var: spec.Variable}, f, nil
+	case "synthetic":
+		fn, err := GeneratorFunc(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &mapreduce.FuncReader{Fn: fn}, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("cluster: unknown dataset kind %q", spec.Kind)
+	}
+}
+
+// GeneratorFunc resolves a synthetic spec's generator to its pure
+// coordinate function. Generators are deterministic in (seed,
+// coordinate), so every worker — and the coordinator's own registry —
+// reproduces the same dataset bit-identically from the spec alone.
+func GeneratorFunc(spec DatasetSpec) (func(coords.Coord) float64, error) {
+	switch spec.Generator {
+	case "windspeed":
+		return datagen.Windspeed(spec.Seed), nil
+	case "gaussian":
+		mean, std := spec.Mean, spec.Std
+		if std == 0 {
+			std = 1
+		}
+		return datagen.Gaussian(spec.Seed, mean, std), nil
+	case "temperature":
+		return datagen.Temperature(spec.Seed), nil
+	case "evenkeyed":
+		return datagen.EvenKeyed(spec.Seed), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown synthetic generator %q", spec.Generator)
+	}
+}
+
+// handleMap executes one Map task attempt: run the shared ExecMap path,
+// spill each fed keyblock's pairs with the kv codec (kv-count annotation
+// in the header), and report the outputs. A spill is written for every
+// keyblock in the plan's SplitToKB[split] — even empty ones — so a
+// Reduce task performs exactly |I_ℓ| fetches and its annotation tally is
+// complete.
+func (w *Worker) handleMap(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req MapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad map request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.JobID == "" || !validJobID(req.JobID) {
+		http.Error(rw, "bad job id", http.StatusBadRequest)
+		return
+	}
+	j, err := w.jobFor(&req)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Split < 0 || req.Split >= len(j.plan.Splits) {
+		http.Error(rw, fmt.Sprintf("split %d out of range [0,%d)", req.Split, len(j.plan.Splits)), http.StatusBadRequest)
+		return
+	}
+
+	w.running.Add(1)
+	defer w.running.Add(-1)
+	in := j.input
+	in.Ctx = r.Context()
+	outs, records, err := mapreduce.ExecMap(in, j.plan.Splits[req.Split])
+	if err != nil {
+		http.Error(rw, "map execution: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	rank := j.plan.Space.Shape.Rank()
+	resp := MapResponse{JobID: req.JobID, Split: req.Split, Attempt: req.Attempt, Records: records}
+	for _, kb := range j.plan.Graph.SplitToKB[req.Split] {
+		path := w.spillPath(req.JobID, req.Split, req.Attempt, kb)
+		n, err := writeSpillFile(path, rank, outs[kb].SourceCount, outs[kb].Pairs)
+		if err != nil {
+			http.Error(rw, "spill write: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Outputs = append(resp.Outputs, KeyblockMeta{
+			Keyblock:    kb,
+			Pairs:       len(outs[kb].Pairs),
+			SourceCount: outs[kb].SourceCount,
+			Bytes:       n,
+		})
+	}
+	w.mapsDone.Add(1)
+	w.logf("map job=%s split=%d attempt=%d records=%d keyblocks=%d",
+		req.JobID, req.Split, req.Attempt, records, len(resp.Outputs))
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(resp)
+}
+
+// writeSpillFile writes a spill atomically (temp file + rename) so a
+// concurrent shuffle fetch never observes a half-written spill and a
+// duplicate attempt's re-write is idempotent. Returns the byte size.
+func writeSpillFile(path string, rank int, sourceCount int64, pairs []kv.Pair) (int64, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".spill-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := kv.WriteSpill(tmp, rank, sourceCount, pairs); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// spillPath lays spills out as spillDir/job/split-attempt/kb-N.spill.
+func (w *Worker) spillPath(jobID string, split, attempt, kb int) string {
+	return filepath.Join(w.cfg.SpillDir, jobID,
+		fmt.Sprintf("%d-%d", split, attempt), fmt.Sprintf("kb-%d.spill", kb))
+}
+
+// validJobID rejects path-traversal in the url-embedded job id.
+func validJobID(id string) bool {
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return id != ""
+}
+
+// handleShuffle streams one spill: GET /v1/shuffle/{job}/{split}/{attempt}/{kb}.
+func (w *Worker) handleShuffle(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/shuffle/"), "/")
+	if len(parts) != 4 || !validJobID(parts[0]) {
+		http.Error(rw, "want /v1/shuffle/{job}/{split}/{attempt}/{kb}", http.StatusBadRequest)
+		return
+	}
+	nums := make([]int, 3)
+	for i, s := range parts[1:] {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(rw, "bad shuffle path component "+s, http.StatusBadRequest)
+			return
+		}
+		nums[i] = n
+	}
+	path := w.spillPath(parts[0], nums[0], nums[1], nums[2])
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(rw, "no such spill", http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.FormatInt(info.Size(), 10))
+	io.Copy(rw, f)
+}

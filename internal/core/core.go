@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"sidr/internal/coords"
 	"sidr/internal/depgraph"
@@ -43,6 +44,23 @@ const (
 	// reduce-first scheduling.
 	EngineSIDR
 )
+
+// ParseEngine maps a wire engine name ("hadoop", "scihadoop", "sidr" or
+// empty for the default) to an Engine — the inverse of the lower-cased
+// String, shared by the daemon's JSON surface and the cluster protocol
+// so coordinator and workers derive identical plans from the same text.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(s) {
+	case "", "sidr":
+		return EngineSIDR, nil
+	case "hadoop":
+		return EngineHadoop, nil
+	case "scihadoop":
+		return EngineSciHadoop, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine %q", s)
+	}
+}
 
 // String names the engine the way the paper's figures label them.
 func (e Engine) String() string {

@@ -68,6 +68,11 @@ type Request struct {
 	SplitPoints int64 `json:"split_points,omitempty"`
 	// MaxSkew bounds partition+ keyblock skew (SIDR engine only).
 	MaxSkew int64 `json:"max_skew,omitempty"`
+	// Cluster routes the job through the distributed runtime: Map tasks
+	// dispatch to registered sidr-worker processes and Reduce tasks fetch
+	// their I_ℓ spills over the networked shuffle. Requires the manager
+	// to be configured with a coordinator.
+	Cluster bool `json:"cluster,omitempty"`
 }
 
 // Snapshot is a point-in-time view of a job for status responses.
@@ -78,6 +83,7 @@ type Snapshot struct {
 	Query    string    `json:"query"`
 	Engine   string    `json:"engine"`
 	Reducers int       `json:"reducers"`
+	Cluster  bool      `json:"cluster,omitempty"`
 	Partials int       `json:"partials"`
 	PlanHit  bool      `json:"plan_cache_hit"`
 	Error    string    `json:"error,omitempty"`
@@ -146,6 +152,7 @@ func (j *Job) Snapshot() Snapshot {
 		Query:    j.Req.Query,
 		Engine:   j.Req.Engine,
 		Reducers: j.Req.Reducers,
+		Cluster:  j.Req.Cluster,
 		Partials: len(j.partials),
 		PlanHit:  j.planHit,
 		Created:  j.created,

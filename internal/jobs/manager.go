@@ -5,14 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sidr"
+	"sidr/internal/cluster"
+	"sidr/internal/coords"
+	"sidr/internal/core"
 	"sidr/internal/exec"
 	"sidr/internal/metrics"
+	"sidr/internal/query"
 )
 
 // Errors reported by Submit and lookup paths.
@@ -24,6 +28,9 @@ var (
 	ErrShuttingDown = errors.New("jobs: manager shutting down")
 	// ErrUnknownJob is returned for lookups of ids never issued.
 	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrClusterDisabled rejects cluster-routed submissions when the
+	// manager has no coordinator configured.
+	ErrClusterDisabled = errors.New("jobs: clustered execution not enabled")
 )
 
 // DatasetProvider resolves dataset names to open datasets. Acquire
@@ -32,6 +39,15 @@ var (
 // jobs share them.
 type DatasetProvider interface {
 	Acquire(name, variable string) (*sidr.Dataset, func(), error)
+}
+
+// DatasetSpecProvider is the optional second half of a DatasetProvider:
+// it describes a registered dataset as a cluster.DatasetSpec that
+// sidr-worker processes can resolve on their own (a file path, or a
+// deterministic synthetic generator). Cluster-routed jobs require the
+// manager's provider to implement it.
+type DatasetSpecProvider interface {
+	DatasetSpec(name, variable string) (cluster.DatasetSpec, error)
 }
 
 // Config parametrises a Manager.
@@ -58,6 +74,12 @@ type Config struct {
 	RetainJobs int
 	// Datasets resolves dataset names (required).
 	Datasets DatasetProvider
+	// Cluster, when set, enables Request.Cluster jobs: the coordinator
+	// dispatches their Map tasks to registered worker processes and runs
+	// their Reduce tasks over the networked shuffle. Reduce tasks still
+	// execute on this manager's shared executor, so reduce-first
+	// scheduling and the process-wide concurrency budget apply.
+	Cluster *cluster.Coordinator
 	// Metrics receives job and plan-cache instrumentation (default: a
 	// private registry).
 	Metrics *metrics.Registry
@@ -143,18 +165,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// parseEngine maps the wire engine name to a sidr.Engine.
+// parseEngine maps the wire engine name to a sidr.Engine. The mapping
+// lives in internal/core so the daemon, the CLIs and the cluster
+// workers all accept the same vocabulary.
 func parseEngine(s string) (sidr.Engine, error) {
-	switch strings.ToLower(s) {
-	case "", "sidr":
-		return sidr.SIDR, nil
-	case "hadoop":
-		return sidr.Hadoop, nil
-	case "scihadoop":
-		return sidr.SciHadoop, nil
-	default:
-		return 0, fmt.Errorf("jobs: unknown engine %q", s)
+	e, err := core.ParseEngine(s)
+	if err != nil {
+		return 0, fmt.Errorf("jobs: %w", err)
 	}
+	return e, nil
 }
 
 // Submit validates the request, admits it into the queue (or rejects
@@ -168,6 +187,20 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 	if req.Dataset == "" {
 		return nil, fmt.Errorf("jobs: request needs a dataset")
+	}
+	if req.Cluster {
+		// Reject unroutable cluster jobs at the door: no coordinator, a
+		// provider that cannot describe datasets to workers, or an empty
+		// worker table all fail fast instead of queueing a doomed job.
+		if m.cfg.Cluster == nil {
+			return nil, ErrClusterDisabled
+		}
+		if _, ok := m.cfg.Datasets.(DatasetSpecProvider); !ok {
+			return nil, fmt.Errorf("jobs: dataset provider cannot describe datasets to cluster workers")
+		}
+		if m.cfg.Cluster.AliveWorkers() == 0 {
+			return nil, cluster.ErrNoWorkers
+		}
 	}
 	j := newJob(fmt.Sprintf("job-%06d", m.seq.Add(1)), req)
 
@@ -292,6 +325,9 @@ func (m *Manager) prune() {
 // execute resolves the dataset, prepares (or reuses) the plan, and runs
 // the query under the job's context.
 func (m *Manager) execute(j *Job) (*sidr.Result, error) {
+	if j.Req.Cluster {
+		return m.executeCluster(j)
+	}
 	q, err := sidr.ParseQuery(j.Req.Query)
 	if err != nil {
 		return nil, err
@@ -320,6 +356,101 @@ func (m *Manager) execute(j *Job) (*sidr.Result, error) {
 		return nil, err
 	}
 	return prep.Run(j.ctx, ds, opts)
+}
+
+// executeCluster runs the job on the distributed runtime: the
+// coordinator dispatches Map tasks to worker processes and runs Reduce
+// tasks on the manager's shared executor, fetching each I_ℓ dependency
+// set over the networked shuffle. The result is assembled exactly like
+// the in-process engine's — same defaults, same global row-major sort —
+// so the two paths are byte-identical for the same request.
+func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
+	coord := m.cfg.Cluster
+	if coord == nil {
+		return nil, ErrClusterDisabled
+	}
+	specs, ok := m.cfg.Datasets.(DatasetSpecProvider)
+	if !ok {
+		return nil, fmt.Errorf("jobs: dataset provider cannot describe datasets to cluster workers")
+	}
+	q, err := query.Parse(j.Req.Query)
+	if err != nil {
+		return nil, err
+	}
+	dspec, err := specs.DatasetSpec(j.Req.Dataset, q.Variable)
+	if err != nil {
+		return nil, err
+	}
+	// Normalise plan parameters with the same defaults sidr.Prepare
+	// applies, so in-process and clustered runs of one request derive the
+	// same plan.
+	reducers := j.Req.Reducers
+	if reducers <= 0 {
+		reducers = 4
+	}
+	splitPoints := j.Req.SplitPoints
+	if splitPoints <= 0 {
+		splitPoints = q.Input.Size()/8 + 1
+	}
+
+	start := time.Now()
+	var (
+		partMu sync.Mutex
+		first  time.Duration
+	)
+	res := &sidr.Result{}
+	cres, err := coord.Run(j.ctx, cluster.JobSpec{
+		ID:      j.ID,
+		Plan:    cluster.JobPlan{Query: q.String(), Engine: j.Req.Engine, Reducers: reducers, SplitPoints: splitPoints, MaxSkew: j.Req.MaxSkew},
+		Dataset: dspec,
+		Exec:    m.exec,
+		Workers: j.Req.Workers,
+		OnPartial: func(rr cluster.ReduceResult) {
+			pr := toPartialResult(rr)
+			partMu.Lock()
+			if first == 0 {
+				first = time.Since(start)
+			}
+			res.Partials = append(res.Partials, pr)
+			partMu.Unlock()
+			j.addPartial(pr)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.FirstResult = first
+	res.Connections = cres.Counters.Connections
+	res.TasksDispatched = cres.Counters.MapsDispatched + int64(len(cres.Outputs))
+
+	type row struct {
+		key  coords.Coord
+		vals []float64
+	}
+	var rows []row
+	for _, out := range cres.Outputs {
+		for i, k := range out.Keys {
+			rows = append(rows, row{key: k, vals: out.Values[i]})
+		}
+	}
+	sort.Slice(rows, func(i, k int) bool { return rows[i].key.Less(rows[k].key) })
+	for _, r := range rows {
+		res.Keys = append(res.Keys, append([]int64(nil), r.key...))
+		res.Values = append(res.Values, r.vals)
+	}
+	return res, nil
+}
+
+// toPartialResult converts one finalized keyblock into the facade's
+// partial-result form.
+func toPartialResult(rr cluster.ReduceResult) sidr.PartialResult {
+	pr := sidr.PartialResult{Keyblock: rr.Keyblock, At: time.Now()}
+	for i, k := range rr.Keys {
+		pr.Keys = append(pr.Keys, append([]int64(nil), k...))
+		pr.Values = append(pr.Values, rr.Values[i])
+	}
+	return pr
 }
 
 // prepare returns a cached plan for the request or derives and caches a

@@ -184,7 +184,10 @@ func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
 		return le.Uint32(b4[:]), nil
 	}
 
-	pairs := make([]Pair, 0, h.Pairs)
+	// Cap preallocation: the header's counts are untrusted input, and a
+	// corrupt count must not allocate gigabytes before the truncated
+	// stream is noticed. append grows as data actually arrives.
+	pairs := make([]Pair, 0, min(h.Pairs, 1024))
 	for i := 0; i < h.Pairs; i++ {
 		key := make(coords.Coord, h.Rank)
 		for d := 0; d < h.Rank; d++ {
@@ -218,14 +221,13 @@ func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
 			return h, nil, err
 		}
 		if ns > 0 {
-			if int64(ns) > int64(1)<<32 {
-				return h, nil, fmt.Errorf("kv: implausible sample count %d", ns)
-			}
-			v.Samples = make([]float64, ns)
-			for s := range v.Samples {
-				if v.Samples[s], err = getF(); err != nil {
+			v.Samples = make([]float64, 0, min(int(ns), 1024))
+			for s := uint32(0); s < ns; s++ {
+				f, err := getF()
+				if err != nil {
 					return h, nil, err
 				}
+				v.Samples = append(v.Samples, f)
 			}
 		}
 		pairs = append(pairs, Pair{Key: key, Value: v})

@@ -1,0 +1,140 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"sidr/internal/coords"
+)
+
+// encodeSpill is a test helper that must never fail for valid inputs.
+func encodeSpill(t testing.TB, rank int, sourceCount int64, pairs []Pair) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, rank, sourceCount, pairs); err != nil {
+		t.Fatalf("WriteSpill: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSpill feeds arbitrary bytes to the spill decoder. Two
+// properties must hold for every input: the decoder never panics
+// (corrupt and truncated spills are rejected with an error), and any
+// input it accepts survives an encode→decode→encode round trip as a
+// byte-identical fixed point — the codec is the shuffle's wire format,
+// so decode must lose nothing WriteSpill can express.
+func FuzzReadSpill(f *testing.F) {
+	// Well-formed seeds across the codec's shapes: empty, aggregate-only
+	// values, sampled values, multiple pairs, special floats.
+	f.Add(encodeSpill(f, 1, 0, nil))
+	f.Add(encodeSpill(f, 3, 1500, []Pair{
+		{Key: coords.NewCoord(0, 1, 2), Value: Value{Sum: 3.5, SumSq: 12.25, Min: 3.5, Max: 3.5, Count: 1}},
+		{Key: coords.NewCoord(4, 5, 6), Value: Value{Sum: -1, SumSq: 1, Min: -1, Max: 0, Count: 2}},
+	}))
+	f.Add(encodeSpill(f, 2, 7, []Pair{
+		{Key: coords.NewCoord(9, 9), Value: Value{Count: 3, Samples: []float64{1.5, math.Inf(1), math.NaN()}}},
+	}))
+	// Corruption seeds: bad magic, bad version, truncated header and body.
+	good := encodeSpill(f, 2, 42, []Pair{{Key: coords.NewCoord(1, 2), Value: Value{Sum: 1, Count: 1}}})
+	bad := append([]byte(nil), good...)
+	copy(bad, "JUNK")
+	f.Add(bad)
+	badVer := append([]byte(nil), good...)
+	badVer[4] = 0xff
+	f.Add(badVer)
+	f.Add(good[:5])
+	f.Add(good[:len(good)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, pairs, err := ReadSpill(bytes.NewReader(data))
+		if err != nil {
+			return // graceful rejection is the required behaviour
+		}
+		if len(pairs) != h.Pairs {
+			t.Fatalf("decoded %d pairs, header says %d", len(pairs), h.Pairs)
+		}
+		first := encodeSpill(t, h.Rank, h.SourceCount, pairs)
+		h2, pairs2, err := ReadSpill(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-decoding accepted spill: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("header changed across round trip: %+v != %+v", h2, h)
+		}
+		second := encodeSpill(t, h2.Rank, h2.SourceCount, pairs2)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encode→decode→encode is not a fixed point:\n%x\n%x", first, second)
+		}
+	})
+}
+
+// TestReadSpillRejectsBadMagic pins the sentinel error for a foreign
+// file handed to the shuffle decoder.
+func TestReadSpillRejectsBadMagic(t *testing.T) {
+	data := encodeSpill(t, 1, 1, []Pair{{Key: coords.NewCoord(0), Value: Value{Count: 1}}})
+	copy(data, "NOPE")
+	if _, _, err := ReadSpill(bytes.NewReader(data)); !errors.Is(err, ErrBadSpillMagic) {
+		t.Fatalf("err = %v, want ErrBadSpillMagic", err)
+	}
+	if _, err := ReadSpillHeader(bytes.NewReader(data)); !errors.Is(err, ErrBadSpillMagic) {
+		t.Fatalf("header err = %v, want ErrBadSpillMagic", err)
+	}
+}
+
+// TestReadSpillRejectsEveryTruncation: no strict prefix of a valid
+// spill may decode successfully — a short read mid-shuffle must surface
+// as an error, never as a silently shorter spill.
+func TestReadSpillRejectsEveryTruncation(t *testing.T) {
+	data := encodeSpill(t, 2, 99, []Pair{
+		{Key: coords.NewCoord(1, 2), Value: Value{Sum: 4, SumSq: 16, Min: 4, Max: 4, Count: 1}},
+		{Key: coords.NewCoord(3, 4), Value: Value{Count: 2, Samples: []float64{0.5, 0.25}}},
+	})
+	if _, _, err := ReadSpill(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full spill failed to decode: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, _, err := ReadSpill(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(data))
+		}
+	}
+}
+
+// TestReadSpillRejectsHugeCounts: implausible header counts must fail
+// on the truncated stream without first allocating per-count memory.
+func TestReadSpillRejectsHugeCounts(t *testing.T) {
+	data := encodeSpill(t, 1, 5, nil)
+	// Patch nPairs (u32 at offset 4+2+4+8 = 18) to the u32 maximum.
+	for i := 18; i < 22; i++ {
+		data[i] = 0xff
+	}
+	if _, _, err := ReadSpill(bytes.NewReader(data)); err == nil {
+		t.Fatal("spill claiming 4 billion pairs decoded without error")
+	}
+	// And a huge per-pair sample count.
+	pair := encodeSpill(t, 1, 1, []Pair{{Key: coords.NewCoord(7), Value: Value{Count: 1}}})
+	// nSamples is the final u32 of the single trailing pair.
+	for i := len(pair) - 4; i < len(pair); i++ {
+		pair[i] = 0xff
+	}
+	if _, _, err := ReadSpill(bytes.NewReader(pair)); err == nil {
+		t.Fatal("pair claiming 4 billion samples decoded without error")
+	}
+}
+
+// TestReadSpillHeaderStopsAtHeader: ReadSpillHeader must work on a
+// stream that carries only the header bytes (§3.2.1's point is reading
+// the annotation without parsing pair bodies).
+func TestReadSpillHeaderStopsAtHeader(t *testing.T) {
+	data := encodeSpill(t, 3, 12345, []Pair{{Key: coords.NewCoord(1, 2, 3), Value: Value{Count: 5}}})
+	const headerLen = 4 + 2 + 4 + 8 + 4
+	h, err := ReadSpillHeader(io.LimitReader(bytes.NewReader(data), headerLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 3 || h.SourceCount != 12345 || h.Pairs != 1 {
+		t.Fatalf("header = %+v", h)
+	}
+}

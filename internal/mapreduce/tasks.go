@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,8 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/kv"
 	"sidr/internal/ops"
+	"sidr/internal/partition"
+	"sidr/internal/query"
 )
 
 // runMap executes Map task i: read the split's live region, map every
@@ -138,20 +141,77 @@ func (s *mapScratch) recycle(segs [][]kv.Pair) {
 	s.free = append(s.free, segs...)
 }
 
+// MapInput bundles everything one Map task needs to execute outside a
+// full job. The distributed runtime (internal/cluster) uses it to run
+// single Map tasks on remote worker processes through exactly the same
+// map path — accumulation, combining, sort-buffer sealing — the
+// in-process engine uses, so a clustered job's intermediate data is
+// bit-identical to a local run's.
+type MapInput struct {
+	Query  *query.Query
+	Op     ops.Operator
+	Space  coords.Slab // K'^T, the intermediate keyspace
+	Part   partition.Partitioner
+	Reader RecordReader
+
+	// Combine enables map-side combining (applied only when lossless for
+	// the operator).
+	Combine bool
+	// SortBufferRecords bounds the map-side accumulation buffer (see
+	// Config.SortBufferRecords). Zero means unbounded.
+	SortBufferRecords int64
+	// Ctx, when set, aborts the record loop when done.
+	Ctx context.Context
+}
+
+// MapOut is one keyblock's share of a standalone Map task's output:
+// the sorted intermediate pairs plus the §3.2.1 kv-count annotation.
+type MapOut struct {
+	Pairs       []kv.Pair
+	SourceCount int64
+}
+
 // execMap is the side-effect-free body of a Map task, shared by normal
 // execution and failure-recovery re-execution.
 func (j *job) execMap(i int) ([]mapOutput, int64, error) {
-	split := j.cfg.Splits[i]
-	q := j.cfg.Query
+	in := MapInput{
+		Query:             j.cfg.Query,
+		Op:                j.op,
+		Space:             j.space,
+		Part:              j.cfg.Part,
+		Reader:            j.cfg.Reader,
+		Combine:           j.cfg.Combine,
+		SortBufferRecords: j.cfg.SortBufferRecords,
+		Ctx:               j.cfg.Ctx,
+	}
+	outs, records, err := ExecMap(in, j.cfg.Splits[i])
+	if err != nil {
+		return nil, 0, fmt.Errorf("mapreduce: map task %d: %w", i, err)
+	}
+	converted := make([]mapOutput, len(outs))
+	for l, o := range outs {
+		converted[l] = mapOutput{pairs: o.Pairs, sourceCount: o.SourceCount}
+	}
+	return converted, records, nil
+}
+
+// ExecMap runs one Map task standalone: read the split's live region,
+// map every source key into K' via the extraction shape, accumulate
+// per-keyblock intermediate pairs (combining when configured), and
+// return the per-keyblock outputs with their source-count annotations.
+// The returned slice is indexed by keyblock. The second return value is
+// the number of source records read.
+func ExecMap(in MapInput, split InputSplit) ([]MapOut, int64, error) {
+	q := in.Query
 	live, ok := split.Slab.Intersect(q.Input)
 	if !ok {
-		return make([]mapOutput, j.cfg.Part.NumKeyblocks()), 0, nil
+		return make([]MapOut, in.Part.NumKeyblocks()), 0, nil
 	}
-	needSamples := j.op.NeedsSamples()
-	combine := j.cfg.Combine && ops.CombinerLossless(j.op)
+	needSamples := in.Op.NeedsSamples()
+	combine := in.Combine && ops.CombinerLossless(in.Op)
 
-	r := j.cfg.Part.NumKeyblocks()
-	outs := make([]mapOutput, r)
+	r := in.Part.NumKeyblocks()
+	outs := make([]MapOut, r)
 	// Per-keyblock accumulation keyed by the K' key's row-major offset.
 	// When SortBufferRecords bounds the buffer, full buffers are sealed
 	// into sorted segments (Hadoop's io.sort.mb spills) and merged
@@ -175,19 +235,19 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 			return nil
 		}
 		var pairs []kv.Pair
-		if len(segments[kb]) > 0 || j.cfg.SortBufferRecords > 0 {
+		if len(segments[kb]) > 0 || in.SortBufferRecords > 0 {
 			pairs = scratch.pairBuf(len(m))
 		} else {
 			pairs = make([]kv.Pair, 0, len(m))
 		}
 		for off, val := range m {
-			kp, err := j.space.Delinearize(off)
+			kp, err := in.Space.Delinearize(off)
 			if err != nil {
 				return err
 			}
 			out := *val
-			if combine && j.op.Kind() == ops.Filter {
-				out = ops.PreFilter(j.op, out, q.Param)
+			if combine && in.Op.Kind() == ops.Filter {
+				out = ops.PreFilter(in.Op, out, q.Param)
 			}
 			if !combine && out.Count > 1 && out.Samples != nil {
 				// Without a combiner each source pair ships separately;
@@ -217,11 +277,11 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 		return nil
 	}
 
-	err := j.cfg.Reader.ReadSplit(live, func(k coords.Coord, v float64) error {
+	err := in.Reader.ReadSplit(live, func(k coords.Coord, v float64) error {
 		// Cancellation check amortised over the record loop so slow
 		// readers abort promptly without a per-point atomic.
-		if seen&63 == 0 && j.cfg.Ctx != nil {
-			if err := j.cfg.Ctx.Err(); err != nil {
+		if seen&63 == 0 && in.Ctx != nil {
+			if err := in.Ctx.Err(); err != nil {
 				return err
 			}
 		}
@@ -233,15 +293,15 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 		if !mapped {
 			return nil // stride gap
 		}
-		if !j.space.Contains(kp) {
+		if !in.Space.Contains(kp) {
 			return nil // discarded partial tile (KeepPartial == false semantics)
 		}
 		records++
-		kb, err := j.cfg.Part.Partition(kp)
+		kb, err := in.Part.Partition(kp)
 		if err != nil {
 			return err
 		}
-		off, err := j.space.Linearize(kp)
+		off, err := in.Space.Linearize(kp)
 		if err != nil {
 			return err
 		}
@@ -252,15 +312,15 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 			m[off] = val
 		}
 		val.Add(v, needSamples)
-		outs[kb].sourceCount++
+		outs[kb].SourceCount++
 		buffered++
-		if j.cfg.SortBufferRecords > 0 && buffered >= j.cfg.SortBufferRecords {
+		if in.SortBufferRecords > 0 && buffered >= in.SortBufferRecords {
 			return sealAll()
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, 0, fmt.Errorf("mapreduce: map task %d: %w", i, err)
+		return nil, 0, err
 	}
 	if err := sealAll(); err != nil {
 		return nil, 0, err
@@ -271,12 +331,12 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 		case len(segs) == 0:
 			// No data for this keyblock.
 		case len(segs) == 1:
-			outs[kb].pairs = segs[0]
+			outs[kb].Pairs = segs[0]
 		case combine:
 			// Map-side merge folds equal keys across segments — the
 			// combiner applied during Hadoop's spill merge. The merged
 			// slice is fresh, so the segments return to the freelist.
-			outs[kb].pairs = kv.MergeSorted(segs)
+			outs[kb].Pairs = kv.MergeSorted(segs)
 			scratch.recycle(segs)
 		default:
 			// Without a combiner segments are concatenated and re-sorted
@@ -286,7 +346,7 @@ func (j *job) execMap(i int) ([]mapOutput, int64, error) {
 				all = append(all, s...)
 			}
 			kv.SortPairs(all)
-			outs[kb].pairs = all
+			outs[kb].Pairs = all
 			scratch.recycle(segs)
 		}
 	}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sidr"
+	"sidr/internal/cluster"
+	"sidr/internal/datagen"
+	"sidr/internal/jobs"
+	"sidr/internal/metrics"
+	"sidr/internal/wire"
+)
+
+// clusterRegistry builds a registry with one generator-backed synthetic
+// dataset that cluster workers can reproduce from its spec.
+func clusterRegistry(t *testing.T) *Registry {
+	t.Helper()
+	registry := NewRegistry()
+	if err := registry.AddGenerated("temp", cluster.DatasetSpec{
+		Kind:      "synthetic",
+		Generator: "temperature",
+		Shape:     []int64{30, 24, 24},
+		Seed:      7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return registry
+}
+
+// startServerWorkers spawns n in-process cluster workers on distinct
+// httptest ports and registers them with the coordinator.
+func startServerWorkers(t *testing.T, coord *cluster.Coordinator, n int) []*httptest.Server {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Name:     fmt.Sprintf("srvw%d", i),
+			SpillDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w)
+		t.Cleanup(srv.Close)
+		if err := coord.Register(fmt.Sprintf("srvw%d", i), srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	return servers
+}
+
+func postQuery(t *testing.T, url string, req jobs.Request) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+var clusterReq = jobs.Request{
+	Dataset:     "temp",
+	Query:       "avg temp[0,0,0 : 30,24,24] es {1,4,4}",
+	Engine:      "sidr",
+	Reducers:    4,
+	SplitPoints: 1500,
+	Cluster:     true,
+}
+
+// TestClusterSubmitNoWorkers pins the wire contract for a cluster
+// submission with an empty worker table: 503 and a JSON error envelope
+// whose detail is exactly "no-workers".
+func TestClusterSubmitNoWorkers(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{HeartbeatTimeout: time.Hour, Metrics: metrics.New()})
+	f := newFixtureCfg(t, clusterRegistry(t), jobs.Config{Cluster: coord})
+
+	resp := postQuery(t, f.ts.URL, clusterReq)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `"detail":"no-workers"`) {
+		t.Fatalf("response %q does not carry detail \"no-workers\"", raw)
+	}
+	var we wire.Error
+	if err := json.Unmarshal(raw, &we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Detail != wire.DetailNoWorkers {
+		t.Fatalf("detail = %q, want %q", we.Detail, wire.DetailNoWorkers)
+	}
+	if we.Error == "" {
+		t.Fatal("error envelope lost its message")
+	}
+}
+
+// TestClusterSubmitDisabled rejects cluster jobs when the daemon has no
+// coordinator at all — a client error, not a retryable 503.
+func TestClusterSubmitDisabled(t *testing.T) {
+	f := newFixtureCfg(t, clusterRegistry(t), jobs.Config{})
+	resp := postQuery(t, f.ts.URL, clusterReq)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var we wire.Error
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Detail != "" {
+		t.Fatalf("disabled-cluster rejection carries detail %q, want none", we.Detail)
+	}
+}
+
+// TestErrorDetailVocabulary pins errorDetail's mapping and the JSON
+// encoding of the detail vocabulary itself.
+func TestErrorDetailVocabulary(t *testing.T) {
+	if d := errorDetail(fmt.Errorf("submit: %w", cluster.ErrNoWorkers)); d != wire.DetailNoWorkers {
+		t.Fatalf("ErrNoWorkers detail = %q", d)
+	}
+	if d := errorDetail(fmt.Errorf("map task 3: %w: dial refused", cluster.ErrRetryExhausted)); d != wire.DetailShuffleRetryExhausted {
+		t.Fatalf("ErrRetryExhausted detail = %q", d)
+	}
+	if d := errorDetail(fmt.Errorf("some other failure")); d != "" {
+		t.Fatalf("unrelated error detail = %q, want empty", d)
+	}
+	b, err := json.Marshal(wire.Error{Error: "boom", Detail: wire.DetailShuffleRetryExhausted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"error":"boom","detail":"shuffle-retry-exhausted"}`; string(b) != want {
+		t.Fatalf("wire.Error JSON = %s, want %s", b, want)
+	}
+}
+
+// TestClusterEndToEndThroughDaemon is the daemon-path acceptance test:
+// a cluster job submitted over HTTP runs across two worker processes
+// (in-process instances on distinct ports), streams partials, and its
+// terminal result is byte-identical to the in-process engine's answer
+// for the same request.
+func TestClusterEndToEndThroughDaemon(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout: time.Hour,
+		RetryBase:        time.Millisecond,
+		RetryMax:         20 * time.Millisecond,
+		Metrics:          metrics.New(),
+	})
+	startServerWorkers(t, coord, 2)
+	f := newFixtureCfg(t, clusterRegistry(t), jobs.Config{Cluster: coord})
+
+	resp := postQuery(t, f.ts.URL, clusterReq)
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !snap.Cluster {
+		t.Fatal("snapshot does not mark the job as clustered")
+	}
+
+	stream, err := http.Get(f.ts.URL + "/v1/jobs/" + snap.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	partials := 0
+	var done *wire.StreamEvent
+	for scanner.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		switch ev.Type {
+		case wire.EventPartial:
+			partials++
+		case wire.EventDone:
+			done = &ev
+		default:
+			t.Fatalf("unexpected stream event %+v", ev)
+		}
+		if done != nil {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done == nil || done.Result == nil {
+		t.Fatal("stream ended without a done event carrying the result")
+	}
+	if partials == 0 {
+		t.Fatal("no partial events streamed before the terminal event")
+	}
+
+	// The in-process engine over the exact same generated dataset.
+	gen := datagen.Temperature(7)
+	ds, err := sidr.Synthetic([]int64{30, 24, 24}, func(k []int64) float64 { return gen(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sidr.ParseQuery(clusterReq.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sidr.Run(ds, q, sidr.RunOptions{
+		Engine:      sidr.SIDR,
+		Reducers:    clusterReq.Reducers,
+		SplitPoints: clusterReq.SplitPoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Result.Keys) != len(direct.Keys) {
+		t.Fatalf("cluster result has %d rows, in-process %d", len(done.Result.Keys), len(direct.Keys))
+	}
+	for i := range direct.Keys {
+		if fmt.Sprint(done.Result.Keys[i]) != fmt.Sprint(direct.Keys[i]) ||
+			fmt.Sprint(done.Result.Values[i]) != fmt.Sprint(direct.Values[i]) {
+			t.Fatalf("row %d: cluster %v=%v, in-process %v=%v", i,
+				done.Result.Keys[i], done.Result.Values[i], direct.Keys[i], direct.Values[i])
+		}
+	}
+	if done.Result.Connections <= 0 {
+		t.Fatal("cluster result reports no shuffle connections")
+	}
+}
+
+// TestClusterFailedStreamCarriesDetail: a worker that dies between
+// registration and dispatch makes the job fail mid-run with no live
+// workers left; the failed terminal stream event must carry the
+// "no-workers" detail.
+func TestClusterFailedStreamCarriesDetail(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout: time.Hour,
+		RetryBase:        time.Millisecond,
+		RetryMax:         5 * time.Millisecond,
+		Metrics:          metrics.New(),
+	})
+	servers := startServerWorkers(t, coord, 1)
+	f := newFixtureCfg(t, clusterRegistry(t), jobs.Config{Cluster: coord})
+	servers[0].Close() // dies after registering: dispatch will find nobody
+
+	resp := postQuery(t, f.ts.URL, clusterReq)
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(f.ts.URL + "/v1/jobs/" + snap.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var final *wire.StreamEvent
+	for scanner.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != wire.EventPartial {
+			final = &ev
+			break
+		}
+	}
+	if final == nil {
+		t.Fatal("stream ended without a terminal event")
+	}
+	if final.Type != wire.EventFailed {
+		t.Fatalf("terminal event type = %q, want failed", final.Type)
+	}
+	if final.Detail != wire.DetailNoWorkers {
+		t.Fatalf("failed event detail = %q (error %q), want %q", final.Detail, final.Error, wire.DetailNoWorkers)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"sidr"
+	"sidr/internal/cluster"
+	"sidr/internal/coords"
 	"sidr/internal/ncfile"
 )
 
@@ -31,6 +33,7 @@ type source struct {
 	path  string                    // file datasets
 	shape []int64                   // synthetic datasets
 	fn    func(k []int64) float64   // synthetic datasets
+	spec  *cluster.DatasetSpec      // generator-backed synthetics (cluster-resolvable)
 }
 
 // handle is one refcounted open dataset, keyed by (dataset, variable).
@@ -96,6 +99,60 @@ func (r *Registry) AddSynthetic(name string, shape []int64, fn func(k []int64) f
 	}
 	r.sources[name] = &source{info: info, shape: append([]int64(nil), shape...), fn: fn}
 	return nil
+}
+
+// AddGenerated registers a synthetic dataset backed by one of the
+// deterministic datagen generators. Unlike AddSynthetic's opaque
+// function, a generated dataset is described by a cluster.DatasetSpec,
+// so sidr-worker processes can reproduce it bit-identically from the
+// spec alone and cluster-routed jobs can use it.
+func (r *Registry) AddGenerated(name string, spec cluster.DatasetSpec) error {
+	if spec.Kind != "synthetic" {
+		return fmt.Errorf("server: generated dataset %q needs kind \"synthetic\", got %q", name, spec.Kind)
+	}
+	if len(spec.Shape) == 0 {
+		return fmt.Errorf("server: generated dataset %q needs a shape", name)
+	}
+	fn, err := cluster.GeneratorFunc(spec)
+	if err != nil {
+		return err
+	}
+	info := DatasetInfo{Name: name, Kind: "synthetic",
+		Variables: []VariableInfo{{Name: "*", Shape: append([]int64(nil), spec.Shape...)}}}
+	specCopy := spec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sources[name]; dup {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	r.sources[name] = &source{
+		info:  info,
+		shape: append([]int64(nil), spec.Shape...),
+		fn:    func(k []int64) float64 { return fn(coords.Coord(k)) },
+		spec:  &specCopy,
+	}
+	return nil
+}
+
+// DatasetSpec describes a registered dataset in a form a cluster worker
+// can resolve by itself: file datasets by path+variable, generated
+// synthetics by their generator spec. Opaque AddSynthetic functions are
+// not describable. Implements jobs.DatasetSpecProvider.
+func (r *Registry) DatasetSpec(name, variable string) (cluster.DatasetSpec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.sources[name]
+	if !ok {
+		return cluster.DatasetSpec{}, fmt.Errorf("server: unknown dataset %q", name)
+	}
+	switch {
+	case src.spec != nil:
+		return *src.spec, nil
+	case src.path != "":
+		return cluster.DatasetSpec{Kind: "file", Path: src.path, Variable: variable}, nil
+	default:
+		return cluster.DatasetSpec{}, fmt.Errorf("server: synthetic dataset %q has no generator spec; cluster workers cannot reproduce it", name)
+	}
 }
 
 // ScanDir registers every *.ncf file in dir under its basename (without

@@ -21,6 +21,7 @@ import (
 	"net/http"
 
 	"sidr"
+	"sidr/internal/cluster"
 	"sidr/internal/jobs"
 	"sidr/internal/metrics"
 	"sidr/internal/wire"
@@ -35,8 +36,11 @@ type Server struct {
 	requests *metrics.Counter
 }
 
-// New wires the handler set. All three dependencies are required.
-func New(mgr *jobs.Manager, registry *Registry, reg *metrics.Registry) *Server {
+// New wires the handler set. The first three dependencies are required;
+// coord may be nil for a daemon without clustering. When set, the
+// coordinator's worker endpoints (/v1/cluster/register, heartbeat,
+// workers) are mounted alongside the query API.
+func New(mgr *jobs.Manager, registry *Registry, reg *metrics.Registry, coord *cluster.Coordinator) *Server {
 	s := &Server{
 		mgr:      mgr,
 		registry: registry,
@@ -52,6 +56,9 @@ func New(mgr *jobs.Manager, registry *Registry, reg *metrics.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if coord != nil {
+		coord.Mount(s.mux)
+	}
 	return s
 }
 
@@ -68,7 +75,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, wire.Error{Error: err.Error()})
+	writeJSON(w, status, wire.Error{Error: err.Error(), Detail: errorDetail(err)})
+}
+
+// errorDetail maps runtime errors onto the wire detail vocabulary so
+// clients can react to cluster saturation without parsing error text.
+func errorDetail(err error) string {
+	switch {
+	case errors.Is(err, cluster.ErrNoWorkers):
+		return wire.DetailNoWorkers
+	case errors.Is(err, cluster.ErrRetryExhausted):
+		return wire.DetailShuffleRetryExhausted
+	}
+	return ""
 }
 
 // rejectFull answers a queue-full submission with a 429 whose detail
@@ -100,6 +119,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.rejectFull(w, err)
 	case errors.Is(err, jobs.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, cluster.ErrNoWorkers):
+		// The cluster has no live worker: retryable once workers
+		// register, so 503 rather than a client error.
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -185,6 +208,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		final.Type = wire.EventFailed
 		if jerr := j.Err(); jerr != nil {
 			final.Error = jerr.Error()
+			final.Detail = errorDetail(jerr)
 		}
 	}
 	enc.Encode(final)

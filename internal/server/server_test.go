@@ -48,7 +48,7 @@ func newFixtureCfg(t *testing.T, registry *Registry, cfg jobs.Config) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(mgr, registry, reg))
+	ts := httptest.NewServer(New(mgr, registry, reg, cfg.Cluster))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -20,6 +20,17 @@ type Error struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// Detail vocabulary for cluster/shuffle saturation. Clients match these
+// exact strings, so they are part of the wire contract.
+const (
+	// DetailNoWorkers: the distributed runtime has no live worker — the
+	// job cannot be dispatched (or lost its last worker mid-run).
+	DetailNoWorkers = "no-workers"
+	// DetailShuffleRetryExhausted: a shuffle fetch or task dispatch kept
+	// failing after every retry and re-execution budget was spent.
+	DetailShuffleRetryExhausted = "shuffle-retry-exhausted"
+)
+
 // Result is the JSON form of a completed sidr.Result.
 type Result struct {
 	Keys        [][]int64   `json:"keys"`
@@ -93,4 +104,7 @@ type StreamEvent struct {
 	Partial *Partial `json:"partial,omitempty"`
 	Result  *Result  `json:"result,omitempty"`
 	Error   string   `json:"error,omitempty"`
+	// Detail carries the same saturation vocabulary as Error.Detail on
+	// "failed" events (e.g. DetailNoWorkers).
+	Detail string `json:"detail,omitempty"`
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke test of the distributed runtime.
+#
+# Builds the binaries, generates a quickstart-shaped dataset, launches a
+# clustered sidrd plus two sidr-worker processes, runs one query through
+# POST /v1/query with {"cluster":true}, and asserts the streamed result
+# is identical to the in-process engine's answer for the same request.
+#
+# Usage: scripts/cluster_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-7171}"
+BASE="http://127.0.0.1:${PORT}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+DATA="$WORK/data"
+mkdir -p "$BIN" "$DATA"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+(cd "$ROOT" && go build -o "$BIN" ./cmd/sidrd ./cmd/sidr-worker ./cmd/datagen)
+
+echo "== dataset (quickstart shape)"
+"$BIN/datagen" -out "$DATA/temperature.ncf" -var temperature \
+  -shape 365,50,40 -kind temperature -seed 1
+
+echo "== launch sidrd (clustered) + 2 workers"
+"$BIN/sidrd" -addr "127.0.0.1:${PORT}" -data "$DATA" -cluster \
+  >"$WORK/sidrd.log" 2>&1 &
+PIDS+=($!)
+for i in 1 2; do
+  "$BIN/sidr-worker" -coordinator "$BASE" -name "smoke-w$i" \
+    -spill-dir "$WORK/spill$i" >"$WORK/worker$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+echo "== wait for daemon + worker registration"
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+for _ in $(seq 1 100); do
+  alive=$(curl -fsS "$BASE/v1/cluster/workers" \
+    | python3 -c 'import json,sys; print(sum(1 for w in json.load(sys.stdin)["workers"] if w["alive"]))')
+  [ "$alive" -ge 2 ] && break
+  sleep 0.1
+done
+[ "$alive" -ge 2 ] || { echo "FAIL: only $alive workers registered"; exit 1; }
+echo "   $alive workers alive"
+
+QUERY='avg temperature[0,0,0 : 364,50,40] es {7,5,1}'
+submit() { # submit <cluster-bool> -> prints job id
+  curl -fsS "$BASE/v1/query" -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"temperature\",\"query\":\"$QUERY\",\"engine\":\"sidr\",\"reducers\":4,\"cluster\":$1}" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'
+}
+result_of() { # result_of <job-id> -> prints the done event's result JSON
+  curl -fsSN "$BASE/v1/jobs/$1/stream" | python3 -c '
+import json, sys
+for line in sys.stdin:
+    ev = json.loads(line)
+    if ev["type"] == "done":
+        r = ev["result"]
+        print(json.dumps({"keys": r["keys"], "values": r["values"], "rows": r["rows"]}, sort_keys=True))
+        sys.exit(0)
+    if ev["type"] in ("failed", "cancelled"):
+        sys.exit(f"job {ev}")
+sys.exit("stream ended without a terminal event")'
+}
+
+echo "== clustered run"
+CJOB=$(submit true)
+result_of "$CJOB" >"$WORK/cluster.json"
+echo "   job $CJOB done ($(python3 -c "import json;print(json.load(open('$WORK/cluster.json'))['rows'])") rows)"
+
+echo "== in-process run"
+LJOB=$(submit false)
+result_of "$LJOB" >"$WORK/local.json"
+
+echo "== compare"
+if ! cmp -s "$WORK/cluster.json" "$WORK/local.json"; then
+  echo "FAIL: clustered result differs from in-process result"
+  diff "$WORK/cluster.json" "$WORK/local.json" | head -5
+  exit 1
+fi
+
+mc=$(curl -fsS "$BASE/metrics" | grep -E '^sidrd_(cluster_tasks_dispatched_total|shuffle_connections_total)' || true)
+echo "$mc" | sed 's/^/   /'
+echo "$mc" | grep -q 'sidrd_shuffle_connections_total' || { echo "FAIL: no shuffle metrics"; exit 1; }
+
+echo "PASS: clustered result identical to in-process engine"
