@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -17,7 +18,9 @@ import (
 
 	"sidr"
 	"sidr/internal/coords"
+	"sidr/internal/core"
 	"sidr/internal/datagen"
+	"sidr/internal/depgraph"
 	"sidr/internal/exec"
 	"sidr/internal/metrics"
 )
@@ -147,11 +150,37 @@ func flatten(res *JobResult) ([][]int64, [][]float64) {
 // Reduce tasks must open exactly Σ_ℓ |I_ℓ| shuffle connections (Fig. 6).
 func TestClusterMatchesInProcessEngine(t *testing.T) {
 	c, workers := startCluster(t, 2, CoordinatorConfig{})
-	res, err := runClusterJob(t, c, nil)
+	var (
+		partMu   sync.Mutex
+		partials int
+	)
+	res, err := runClusterJob(t, c, func(spec *JobSpec) {
+		spec.OnPartial = func(ReduceResult) {
+			partMu.Lock()
+			partials++
+			partMu.Unlock()
+		}
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	local := inProcessRun(t)
+
+	// Run must not return before every OnPartial callback has been
+	// delivered (one per keyblock with dependencies; empty keyblocks
+	// finalize without a callback).
+	withDeps := 0
+	for _, deps := range res.Plan.Graph.KBToSplits {
+		if len(deps) > 0 {
+			withDeps++
+		}
+	}
+	partMu.Lock()
+	delivered := partials
+	partMu.Unlock()
+	if delivered != withDeps {
+		t.Fatalf("Run returned with %d of %d partial callbacks delivered", delivered, withDeps)
+	}
 
 	keys, vals := flatten(res)
 	if len(keys) == 0 {
@@ -316,18 +345,14 @@ func TestStaleAttemptDiscarded(t *testing.T) {
 		ctx:        context.Background(),
 		handle:     ex.NewHandle(exec.HandleOptions{}),
 		maps:       make([]mapTask, len(plan.Splits)),
-		remaining:  make([]int, plan.Part.NumKeyblocks()),
 		enqueued:   make([]bool, plan.Part.NumKeyblocks()),
 		outputs:    make([]ReduceResult, plan.Part.NumKeyblocks()),
 		reduceDone: make([]bool, plan.Part.NumKeyblocks()),
 		done:       make(chan struct{}),
 	}
 	defer j.handle.Close()
-	for l := range j.remaining {
-		j.remaining[l] = len(plan.Graph.KBToSplits[l])
-	}
 	j.reducesLeft = plan.Part.NumKeyblocks()
-	before := append([]int(nil), j.remaining...)
+	before := append([]bool(nil), j.enqueued...)
 
 	// The task was re-armed to attempt 1; a late attempt-0 result lands.
 	j.maps[0].attempt = 1
@@ -335,8 +360,8 @@ func TestStaleAttemptDiscarded(t *testing.T) {
 	if j.maps[0].done {
 		t.Fatal("stale attempt completed the task")
 	}
-	if !reflect.DeepEqual(before, j.remaining) {
-		t.Fatal("stale attempt decremented dependency counters")
+	if !reflect.DeepEqual(before, j.enqueued) {
+		t.Fatal("stale attempt changed reduce enqueue state")
 	}
 
 	// The current attempt is accepted.
@@ -409,5 +434,213 @@ func TestNoWorkers(t *testing.T) {
 	_, err := runClusterJob(t, c, nil)
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// syntheticJob builds a clusterJob over a hand-written dependency graph
+// — 2 splits, each feeding both of 2 keyblocks — for white-box
+// scheduling tests that must not depend on planner geometry.
+func syntheticJob(c *Coordinator, h *exec.Handle) *clusterJob {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &clusterJob{
+		c:    c,
+		spec: JobSpec{ID: "job-synth"},
+		plan: &core.Plan{Graph: &depgraph.Graph{
+			SplitToKB:  [][]int{{0, 1}, {0, 1}},
+			KBToSplits: [][]int{{0, 1}, {0, 1}},
+		}},
+		ctx:        ctx,
+		cancel:     cancel,
+		handle:     h,
+		maps:       make([]mapTask, 2),
+		enqueued:   make([]bool, 2),
+		outputs:    make([]ReduceResult, 2),
+		reduceDone: make([]bool, 2),
+		done:       make(chan struct{}),
+	}
+	j.reducesLeft = 2
+	return j
+}
+
+// TestRearmRepairsSiblingKeyblocks is the regression test for the
+// re-execution hang: when rearm resets a split that feeds several
+// keyblocks, the sibling keyblocks' enqueued flags must be cleared too,
+// or recordMapResult skips them forever and the job never resolves.
+func TestRearmRepairsSiblingKeyblocks(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{HeartbeatTimeout: time.Minute})
+	if err := c.Register("live", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	ex := exec.New(1)
+	defer ex.Close()
+	h := ex.NewHandle(exec.HandleOptions{})
+	h.Close() // redispatches must not actually run during the test
+	j := syntheticJob(c, h)
+
+	// Both splits mapped — split 0 on a worker that is now gone, split 1
+	// on the live one — and both reduces enqueued.
+	j.maps[0] = mapTask{done: true, worker: "gone", url: "http://gone"}
+	j.maps[1] = mapTask{done: true, worker: "live", url: "http://127.0.0.1:1"}
+	j.enqueued[0], j.enqueued[1] = true, true
+
+	// Reduce 0's fetch of split 0's spill failed; it rearms.
+	j.rearm(0)
+
+	if j.maps[0].done || j.maps[0].attempt != 1 {
+		t.Fatalf("lost split not reset for re-execution: %+v", j.maps[0])
+	}
+	if !j.maps[1].done || j.maps[1].attempt != 0 {
+		t.Fatalf("healthy split was disturbed: %+v", j.maps[1])
+	}
+	if j.enqueued[0] {
+		t.Fatal("rearmed keyblock still marked enqueued")
+	}
+	if j.enqueued[1] {
+		t.Fatal("sibling keyblock not repaired: recordMapResult would skip it forever and the job would hang")
+	}
+	if j.counters.Reexecuted != 1 {
+		t.Fatalf("reexecuted = %d, want 1", j.counters.Reexecuted)
+	}
+	// The redispatch hit the closed handle, which must fail the job
+	// instead of leaving Run blocked on a task that will never run.
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("rejected submission did not resolve the job")
+	}
+	if !errors.Is(j.err, ErrExecutorClosed) {
+		t.Fatalf("err = %v, want ErrExecutorClosed", j.err)
+	}
+}
+
+// TestStaleReduceRunClearsEnqueue: a queued runReduce that observes an
+// open (re-executing) dependency must clear its enqueue flag so the
+// fresh attempt's recordMapResult re-enqueues it.
+func TestStaleReduceRunClearsEnqueue(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	ex := exec.New(1)
+	defer ex.Close()
+	h := ex.NewHandle(exec.HandleOptions{})
+	defer h.Close()
+	j := syntheticJob(c, h)
+	j.maps[0] = mapTask{attempt: 1} // re-executing, not done
+	j.maps[1] = mapTask{done: true, worker: "w", url: "http://w"}
+	j.enqueued[0] = true
+
+	j.runReduce(0) // dependency 0 open: must early-return
+
+	if j.enqueued[0] {
+		t.Fatal("stale reduce run left enqueued set; the keyblock would never re-enqueue")
+	}
+}
+
+// TestReexecutedAttemptCannotDoubleSatisfy: readiness is recomputed
+// from completed attempts, so a split that completed, was invalidated,
+// and completed again counts once — a keyblock must not be enqueued
+// while part of its I_ℓ is still open.
+func TestReexecutedAttemptCannotDoubleSatisfy(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	ex := exec.New(1)
+	defer ex.Close()
+	h := ex.NewHandle(exec.HandleOptions{})
+	h.Close() // keep enqueued reduces from actually running
+	j := syntheticJob(c, h)
+
+	// Split 0's re-executed attempt completes while split 1 is open.
+	j.maps[0] = mapTask{attempt: 1}
+	j.recordMapResult(0, 1, "w1", "http://w1", &MapResponse{Split: 0, Attempt: 1})
+	if j.enqueued[0] || j.enqueued[1] {
+		t.Fatal("keyblock enqueued before its full I_ℓ completed (double-satisfied dependency)")
+	}
+	// Split 1 completes: now both keyblocks are ready.
+	j.recordMapResult(1, 0, "w1", "http://w1", &MapResponse{Split: 1, Attempt: 0})
+	if !j.enqueued[0] || !j.enqueued[1] {
+		t.Fatalf("keyblocks not enqueued after full I_ℓ completed: %v", j.enqueued)
+	}
+}
+
+// TestClosedExecutorFailsJob: a job whose executor is shut down must
+// fail with ErrExecutorClosed instead of blocking on tasks that will
+// never run.
+func TestClosedExecutorFailsJob(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{HeartbeatTimeout: time.Minute})
+	if err := c.Register("w0", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	ex := exec.New(1)
+	ex.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := c.Run(ctx, JobSpec{Plan: testJobPlan(), Dataset: testDataset(), Exec: ex})
+	if !errors.Is(err, ErrExecutorClosed) {
+		t.Fatalf("err = %v, want ErrExecutorClosed", err)
+	}
+}
+
+// TestJobReleaseCleansWorkerState: once Run returns, the workers'
+// cached job state and spill directories for that job are gone.
+func TestJobReleaseCleansWorkerState(t *testing.T) {
+	c, workers := startCluster(t, 1, CoordinatorConfig{})
+	if _, err := runClusterJob(t, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	tw := workers[0]
+	tw.w.mu.Lock()
+	cached := len(tw.w.jobs)
+	tw.w.mu.Unlock()
+	if cached != 0 {
+		t.Fatalf("worker still caches %d job(s) after release", cached)
+	}
+	entries, err := os.ReadDir(tw.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill dir not cleaned after release: %d entries", len(entries))
+	}
+}
+
+// TestJobIDReuseReplacesStaleCache: a restarted coordinator that reuses
+// a generated job ID with a different {plan,dataset} tuple must not be
+// served the old job's cached plan or spills.
+func TestJobIDReuseReplacesStaleCache(t *testing.T) {
+	w, err := NewWorker(WorkerConfig{Name: "w0", SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	req1 := &MapRequest{JobID: "job-1", Plan: testJobPlan(), Dataset: testDataset()}
+	j1, err := w.jobFor(req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spill the dead coordinator's job left behind.
+	stale := w.spillPath("job-1", 0, 0, 0)
+	if err := os.MkdirAll(filepath.Dir(stale), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stale, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds := testDataset()
+	ds.Seed++ // a new job wearing the recycled ID
+	req2 := &MapRequest{JobID: "job-1", Plan: testJobPlan(), Dataset: ds}
+	j2, err := w.jobFor(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 == j2 {
+		t.Fatal("stale cache entry reused for a different plan/dataset")
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale spill survived replacement; the new job could be served old data")
+	}
+	j3, err := w.jobFor(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3 != j2 {
+		t.Fatal("matching fingerprint did not reuse the cache entry")
 	}
 }

@@ -458,11 +458,13 @@ type clusterJob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	handle *exec.Handle
-	body   []byte // MapRequest template fields (plan+dataset), marshalled once
+
+	// partials tracks in-flight OnPartial callbacks; done is only closed
+	// after it drains, so Run never returns while a callback is running.
+	partials sync.WaitGroup
 
 	mu         sync.Mutex
 	maps       []mapTask
-	remaining  []int  // open I_ℓ dependencies per keyblock
 	enqueued   []bool // reduce l submitted (or running)
 	outputs    []ReduceResult
 	reduceDone []bool
@@ -517,22 +519,18 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 		cancel: cancel,
 		handle: spec.Exec.NewHandle(exec.HandleOptions{MaxParallel: spec.Workers}),
 		maps:   make([]mapTask, len(plan.Splits)),
-		remaining:  make([]int, plan.Part.NumKeyblocks()),
 		enqueued:   make([]bool, plan.Part.NumKeyblocks()),
 		outputs:    make([]ReduceResult, plan.Part.NumKeyblocks()),
 		reduceDone: make([]bool, plan.Part.NumKeyblocks()),
 		done:       make(chan struct{}),
 	}
 	defer j.handle.Close()
-	for l := range j.remaining {
-		j.remaining[l] = len(plan.Graph.KBToSplits[l])
-	}
 	j.reducesLeft = plan.Part.NumKeyblocks()
 
 	// Keyblocks with no dependencies finalize immediately as empty.
 	j.mu.Lock()
-	for l, n := range j.remaining {
-		if n == 0 {
+	for l := range j.reduceDone {
+		if len(plan.Graph.KBToSplits[l]) == 0 {
 			j.reduceDone[l] = true
 			j.outputs[l] = ReduceResult{Keyblock: l}
 			j.reducesLeft--
@@ -559,6 +557,12 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 	}
 
 	<-j.done
+	// The job is resolved either way: drop queued tasks, abort in-flight
+	// dispatches and fetches, then release worker-side state (cached
+	// plan/dataset and spills) before handing the result back.
+	j.handle.Close()
+	j.cancel()
+	c.releaseJob(spec.ID)
 	j.mu.Lock()
 	err = j.err
 	j.mu.Unlock()
@@ -566,6 +570,49 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 		return nil, err
 	}
 	return j.result(), nil
+}
+
+// releaseJob tells every live worker to drop one job's cached state and
+// delete its spills. Best-effort with a short deadline: a worker that
+// misses the release still replaces the stale entry on the next job's
+// fingerprint mismatch (see Worker.jobFor).
+func (c *Coordinator) releaseJob(jobID string) {
+	c.mu.Lock()
+	urls := make([]string, 0, len(c.workers))
+	for _, w := range c.workers {
+		if !w.evicted {
+			urls = append(urls, w.url)
+		}
+	}
+	c.mu.Unlock()
+	if len(urls) == 0 {
+		return
+	}
+	body, err := json.Marshal(ReleaseRequest{JobID: jobID})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/v1/release", strings.NewReader(string(body)))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(u)
+	}
+	wg.Wait()
 }
 
 // result snapshots the completed job.
@@ -576,31 +623,51 @@ func (j *clusterJob) result() *JobResult {
 }
 
 // fail records the job's first error, cancels pending work and resolves
-// Run.
+// Run. In-flight OnPartial callbacks are drained before done closes, so
+// no callback ever races Run's caller.
 func (j *clusterJob) fail(err error) {
 	if err == nil {
 		return
 	}
 	j.mu.Lock()
-	if j.err == nil && j.reducesLeft > 0 {
-		j.err = err
-		j.reducesLeft = -1 // poison: no later success path
-		j.handle.Cancel()
-		j.cancel()
-		close(j.done)
+	if j.err != nil || j.reducesLeft <= 0 {
+		j.mu.Unlock()
+		return
 	}
+	j.err = err
+	j.reducesLeft = -1 // poison: no later success path
+	j.handle.Cancel()
+	j.cancel()
 	j.mu.Unlock()
+	j.partials.Wait()
+	close(j.done)
 }
 
 // failed reports whether the job already resolved (error or success).
 func (j *clusterJob) resolvedLocked() bool { return j.reducesLeft <= 0 }
+
+// readyLocked reports whether every I_ℓ dependency of keyblock l is
+// satisfied by a completed Map attempt. Readiness is always recomputed
+// from maps[].done — never cached in a counter — so re-executed
+// attempts can neither double-satisfy nor strand a dependency.
+// Caller holds j.mu.
+func (j *clusterJob) readyLocked(l int) bool {
+	for _, s := range j.plan.Graph.KBToSplits[l] {
+		if !j.maps[s].done {
+			return false
+		}
+	}
+	return true
+}
 
 // submitMap enqueues a dispatch of map task i at its current attempt.
 func (j *clusterJob) submitMap(i, priority int) {
 	j.mu.Lock()
 	attempt := j.maps[i].attempt
 	j.mu.Unlock()
-	j.handle.Submit(exec.Map, priority, func() { j.dispatchMap(i, attempt) })
+	if !j.handle.Submit(exec.Map, priority, func() { j.dispatchMap(i, attempt) }) {
+		j.fail(fmt.Errorf("%w: map task %d rejected", ErrExecutorClosed, i))
+	}
 }
 
 // dispatchMap sends map task i's attempt to a worker, retrying on other
@@ -699,8 +766,8 @@ func (j *clusterJob) postMap(baseURL string, split, attempt int) (*MapResponse, 
 }
 
 // recordMapResult accepts a completed Map attempt, discarding stale
-// attempts (idempotency under re-execution), and decrements dependency
-// counters — enqueueing every Reduce task whose I_ℓ just completed.
+// attempts (idempotency under re-execution), and enqueues every Reduce
+// task whose I_ℓ just completed.
 func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, resp *MapResponse) {
 	j.mu.Lock()
 	if j.resolvedLocked() || j.maps[i].attempt != attempt || resp.Attempt != attempt {
@@ -718,8 +785,7 @@ func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, resp *M
 		if j.reduceDone[kb] || j.enqueued[kb] {
 			continue
 		}
-		j.remaining[kb]--
-		if j.remaining[kb] == 0 {
+		if j.readyLocked(kb) {
 			j.enqueued[kb] = true
 			ready = append(ready, kb)
 		}
@@ -745,7 +811,9 @@ func (j *clusterJob) submitReduce(l int) {
 			}
 		}
 	}
-	j.handle.Submit(exec.Reduce, priority, func() { j.runReduce(l) })
+	if !j.handle.Submit(exec.Reduce, priority, func() { j.runReduce(l) }) {
+		j.fail(fmt.Errorf("%w: reduce task %d rejected", ErrExecutorClosed, l))
+	}
 }
 
 // runReduce fetches keyblock l's I_ℓ spills point-to-point from their
@@ -769,8 +837,12 @@ func (j *clusterJob) runReduce(l int) {
 		m := j.maps[s]
 		if !m.done {
 			// A dependency regressed (its worker died and the task is
-			// re-executing); this enqueue is stale. rearm already reset
-			// enqueued[l], so the reduce returns when deps re-complete.
+			// re-executing), so this enqueue is stale. Clearing
+			// enqueued[l] here — in the same critical section that
+			// observed the open dependency, before its recordMapResult
+			// can run — guarantees the reduce is re-enqueued when the
+			// fresh attempt completes.
+			j.enqueued[l] = false
 			j.mu.Unlock()
 			return
 		}
@@ -829,13 +901,23 @@ func (j *clusterJob) runReduce(l int) {
 	j.reduceDone[l] = true
 	j.outputs[l] = out
 	j.counters.ShuffleBytes += bytes
-	j.reducesLeft--
-	finished := j.reducesLeft == 0
+	j.partials.Add(1)
 	j.mu.Unlock()
 
+	// OnPartial runs before this reduce is counted done, so done (and
+	// with it Run) cannot resolve while any callback is still running.
 	if j.spec.OnPartial != nil {
 		j.spec.OnPartial(out)
 	}
+	j.partials.Done()
+
+	j.mu.Lock()
+	finished := false
+	if j.reducesLeft > 0 { // not poisoned by fail
+		j.reducesLeft--
+		finished = j.reducesLeft == 0
+	}
+	j.mu.Unlock()
 	if finished {
 		close(j.done)
 	}
@@ -912,10 +994,12 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // rearm handles a lost spill for reduce l: every I_ℓ dependency whose
 // hosting worker is gone is reset to a fresh attempt ID and
-// re-dispatched, the reduce's dependency counter is rebuilt to the
-// number of open dependencies, and the reduce re-enqueues when they
-// complete. Superseded attempts that straggle in are discarded by the
-// attempt check in recordMapResult.
+// re-dispatched, and the reduce re-enqueues (via recordMapResult's
+// readiness recomputation) when they complete. Sibling keyblocks fed by
+// a reset split are repaired too — their enqueued flags are cleared so
+// the fresh attempt re-enqueues them instead of recordMapResult
+// skipping them forever. Superseded attempts that straggle in are
+// discarded by the attempt check in recordMapResult.
 func (j *clusterJob) rearm(l int) {
 	c := j.c
 	now := time.Now()
@@ -939,10 +1023,7 @@ func (j *clusterJob) rearm(l int) {
 		switch {
 		case m.done && deadWorker(m.worker):
 			// The spill died with its worker: invalidate the attempt and
-			// re-execute. Counters of sibling keyblocks that already
-			// consumed this split stay correct — finalized reduces keep
-			// their outputs, and enqueued ones rearm themselves when
-			// their own fetch fails.
+			// re-execute.
 			m.attempt++
 			m.done = false
 			m.worker, m.url = "", ""
@@ -965,7 +1046,20 @@ func (j *clusterJob) rearm(l int) {
 		return
 	}
 	j.enqueued[l] = false
-	j.remaining[l] = open
+	// Repair the sibling keyblocks of every reset split: a sibling whose
+	// enqueue consumed the now-invalidated attempt would otherwise be
+	// skipped by recordMapResult (enqueued still true) while its queued
+	// runReduce early-returns on the open dependency — stranding the
+	// job. Clearing the flag lets the fresh attempt re-enqueue it;
+	// finalized siblings keep their outputs (any completed attempt's
+	// spill is valid data).
+	for _, r := range redispatch {
+		for _, kb := range j.plan.Graph.SplitToKB[r.split] {
+			if !j.reduceDone[kb] {
+				j.enqueued[kb] = false
+			}
+		}
+	}
 	j.mu.Unlock()
 	for _, r := range redispatch {
 		j.submitMap(r.split, r.priority)

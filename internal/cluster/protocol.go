@@ -24,7 +24,10 @@
 // evicted on a deadline, fetches retry with exponential backoff plus
 // jitter, Map tasks whose spills were lost with a worker are
 // re-executed under a fresh attempt ID, and late results from
-// superseded attempts are discarded.
+// superseded attempts are discarded. When a job resolves the
+// coordinator broadcasts a release, dropping the workers' cached job
+// state and spills; workers also replace cached state whose job ID is
+// reused with a different plan/dataset tuple.
 package cluster
 
 import (
@@ -52,6 +55,10 @@ var (
 	// ErrStaleAttempt rejects a Map result carrying a superseded attempt
 	// ID (the task was re-dispatched while this attempt ran).
 	ErrStaleAttempt = errors.New("cluster: stale map attempt")
+	// ErrExecutorClosed means the shared executor (or the job's handle)
+	// was closed while the job still had tasks to submit — the daemon is
+	// shutting down under the job.
+	ErrExecutorClosed = errors.New("cluster: executor closed")
 )
 
 // DatasetSpec tells a worker how to open the job's dataset by itself.
@@ -166,6 +173,13 @@ type RegisterRequest struct {
 // HeartbeatRequest keeps a registered worker alive.
 type HeartbeatRequest struct {
 	Name string `json:"name"`
+}
+
+// ReleaseRequest asks a worker to drop one job's cached plan/dataset
+// state and delete its spills. The coordinator broadcasts it to live
+// workers when a job resolves (success or failure).
+type ReleaseRequest struct {
+	JobID string `json:"job_id"`
 }
 
 // WorkerInfo is the coordinator's view of one worker, as listed by

@@ -61,12 +61,27 @@ type Worker struct {
 }
 
 // workerJob caches one job's derived plan and opened dataset so every
-// Map attempt of the job shares them. Plans are pure functions of the
-// JobPlan tuple, so the first request's tuple is authoritative.
+// Map attempt of the job shares them. The entry is bound to the
+// {Plan,Dataset} tuple via fingerprint: a request reusing the job ID
+// with a different tuple (a restarted coordinator regenerating IDs)
+// replaces the entry — and its spills — instead of silently executing
+// against the stale plan. Entries live until released (POST
+// /v1/release) or replaced.
 type workerJob struct {
-	plan   *core.Plan
-	input  mapreduce.MapInput
-	closer io.Closer // ncfile handle for file datasets
+	fingerprint string // canonical {Plan,Dataset} encoding
+	plan        *core.Plan
+	input       mapreduce.MapInput
+	closer      io.Closer // ncfile handle for file datasets
+}
+
+// jobFingerprint canonically encodes the plan-and-dataset tuple a job's
+// cached state is valid for.
+func jobFingerprint(req *MapRequest) string {
+	b, _ := json.Marshal(struct {
+		Plan    JobPlan     `json:"plan"`
+		Dataset DatasetSpec `json:"dataset"`
+	}{req.Plan, req.Dataset})
+	return string(b)
 }
 
 // NewWorker builds a worker. SpillDir is created if missing.
@@ -90,6 +105,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc("/v1/map", w.handleMap)
 	w.mux.HandleFunc("/v1/shuffle/", w.handleShuffle)
+	w.mux.HandleFunc("/v1/release", w.handleRelease)
 	w.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
@@ -182,12 +198,21 @@ func (w *Worker) logf(format string, args ...any) {
 }
 
 // jobFor returns the cached job state, building it from the request's
-// plan tuple and dataset spec on first use.
+// plan tuple and dataset spec on first use. A cached entry is reused
+// only when its fingerprint matches the request; on mismatch the stale
+// entry and its spills are dropped first, so a restarted coordinator
+// that reuses a generated job ID never runs against the old job's plan
+// or is served its spills.
 func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
+	fp := jobFingerprint(req)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if j, ok := w.jobs[req.JobID]; ok {
-		return j, nil
+		if j.fingerprint == fp {
+			return j, nil
+		}
+		w.logf("job %s re-submitted with a different plan/dataset; dropping stale state", req.JobID)
+		w.releaseLocked(req.JobID)
 	}
 	plan, err := req.Plan.NewPlan()
 	if err != nil {
@@ -205,7 +230,8 @@ func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
 		return nil, err
 	}
 	j := &workerJob{
-		plan: plan,
+		fingerprint: fp,
+		plan:        plan,
 		input: mapreduce.MapInput{
 			Query:   plan.Query,
 			Op:      op,
@@ -218,6 +244,42 @@ func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
 	}
 	w.jobs[req.JobID] = j
 	return j, nil
+}
+
+// releaseLocked drops one job's cached state and deletes its spill
+// directory. Caller holds w.mu.
+func (w *Worker) releaseLocked(jobID string) {
+	if j, ok := w.jobs[jobID]; ok {
+		if j.closer != nil {
+			j.closer.Close()
+		}
+		delete(w.jobs, jobID)
+	}
+	os.RemoveAll(filepath.Join(w.cfg.SpillDir, jobID))
+}
+
+// handleRelease drops a resolved job's cached state and spills:
+// POST /v1/release {"job_id": ...}. Releasing an unknown job is a no-op
+// (the coordinator broadcasts releases to every live worker).
+func (w *Worker) handleRelease(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad release request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !validJobID(req.JobID) {
+		http.Error(rw, "bad job id", http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	w.releaseLocked(req.JobID)
+	w.mu.Unlock()
+	w.logf("released job %s", req.JobID)
+	rw.WriteHeader(http.StatusOK)
 }
 
 // OpenDataset resolves a DatasetSpec into a record reader. The
