@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"sidr/internal/cluster"
+	"sidr/internal/faultinject"
 )
 
 func main() {
@@ -40,15 +41,18 @@ func main() {
 		spillDir    = flag.String("spill-dir", "", "spill directory (default: a temp dir)")
 		advertise   = flag.String("advertise", "", "base URL the coordinator dials back (default: http://<addr>)")
 		heartbeat   = flag.Duration("heartbeat", time.Second, "heartbeat period")
+		dialTO      = flag.Duration("dial-timeout", 0, "coordinator dial/TLS timeout (0 = 2s)")
+		headerTO    = flag.Duration("header-timeout", 0, "coordinator response-header timeout (0 = 5s)")
+		chaos       = flag.String("chaos", "", "fault-injection spec, e.g. \"seed=42,kill-after-maps=5,hang=0.05,match=/v1/shuffle/,flip=0.01\" (see internal/faultinject)")
 	)
 	flag.Parse()
-	if err := run(*addr, *coordinator, *name, *spillDir, *advertise, *heartbeat); err != nil {
+	if err := run(*addr, *coordinator, *name, *spillDir, *advertise, *heartbeat, *dialTO, *headerTO, *chaos); err != nil {
 		fmt.Fprintf(os.Stderr, "sidr-worker: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, coordinator, name, spillDir, advertise string, heartbeat time.Duration) error {
+func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO, headerTO time.Duration, chaos string) error {
 	if coordinator == "" {
 		return fmt.Errorf("-coordinator is required")
 	}
@@ -77,12 +81,24 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat time.Dur
 	}
 	defer cleanup()
 
+	var inj *faultinject.Injector
+	if chaos != "" {
+		spec, err := faultinject.Parse(chaos)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		inj = faultinject.New(spec)
+		log.Printf("sidr-worker: CHAOS enabled: %s", chaos)
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Name:           name,
 		SpillDir:       spillDir,
 		AdvertiseURL:   advertise,
 		CoordinatorURL: coordinator,
 		Heartbeat:      heartbeat,
+		DialTimeout:    dialTO,
+		HeaderTimeout:  headerTO,
+		Chaos:          inj,
 		Logf:           log.Printf,
 	})
 	if err != nil {
@@ -94,7 +110,13 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat time.Dur
 	defer stop()
 	go w.Start(ctx)
 
-	httpSrv := &http.Server{Handler: w}
+	var handler http.Handler = w
+	if inj != nil {
+		// Response-side chaos (delay/drop/error/flip/slow) wraps the whole
+		// worker API, so served spills can be corrupted or trickled too.
+		handler = inj.Middleware(w)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("sidr-worker: %q serving on %s (spills in %s), coordinator %s", name, boundAddr, spillDir, coordinator)

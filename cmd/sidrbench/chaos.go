@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"sidr/internal/cluster"
+	"sidr/internal/exec"
+)
+
+// chaosResult is one clustered run of the chaos experiment: the same
+// fixed-seed query with a configurable number of worker deaths injected
+// mid-job (after the first keyblock commits). It measures what the
+// paper's fault story costs end-to-end: time to first result, total
+// latency, and how many Map tasks had to re-execute.
+type chaosResult struct {
+	Workers       int     `json:"workers"`
+	KilledWorkers int     `json:"killed_workers"`
+	Rows          int     `json:"rows"`
+	FirstResultMS float64 `json:"first_result_ms"`
+	TotalMS       float64 `json:"total_ms"`
+	Reexecuted    int64   `json:"reexecuted"`
+	Speculated    int64   `json:"speculated"`
+}
+
+func (r chaosResult) Format() string {
+	return fmt.Sprintf("workers=%d killed=%d first=%.2fms total=%.2fms reexecuted=%d rows=%d",
+		r.Workers, r.KilledWorkers, r.FirstResultMS, r.TotalMS, r.Reexecuted, r.Rows)
+}
+
+// chaosBench runs one clustered job across real worker HTTP servers on
+// loopback, killing `kills` workers (server closed, spill dir deleted)
+// the moment the first partial commits.
+func chaosBench(seed int64, kills int) (chaosResult, error) {
+	const workers = 3
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout: 30 * time.Second,
+		RetryBase:        time.Millisecond,
+		RetryMax:         20 * time.Millisecond,
+		Seed:             seed,
+	})
+	defer coord.Close()
+
+	type deadWorker struct {
+		srv *httptest.Server
+		dir string
+	}
+	var ws []deadWorker
+	defer func() {
+		for _, w := range ws {
+			w.srv.Close()
+			os.RemoveAll(w.dir)
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		dir, err := os.MkdirTemp("", "sidrbench-chaos-*")
+		if err != nil {
+			return chaosResult{}, err
+		}
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Name:     fmt.Sprintf("bench-w%d", i),
+			SpillDir: dir,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return chaosResult{}, err
+		}
+		srv := httptest.NewServer(w)
+		ws = append(ws, deadWorker{srv: srv, dir: dir})
+		if err := coord.Register(fmt.Sprintf("bench-w%d", i), srv.URL); err != nil {
+			return chaosResult{}, err
+		}
+	}
+
+	ex := exec.New(4)
+	defer ex.Close()
+
+	var (
+		mu     sync.Mutex
+		first  time.Duration
+		killed bool
+		start  = time.Now()
+	)
+	res, err := coord.Run(context.Background(), cluster.JobSpec{
+		Plan: cluster.JobPlan{
+			Query:       "avg temp[0,0,0 : 30,24,24] es {1,4,4}",
+			Engine:      "sidr",
+			Reducers:    4,
+			SplitPoints: 1500,
+		},
+		Dataset: cluster.DatasetSpec{
+			Kind: "synthetic", Generator: "temperature",
+			Seed: seed, Shape: []int64{30, 24, 24},
+		},
+		Exec: ex,
+		OnPartial: func(cluster.ReduceResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			if first == 0 {
+				first = time.Since(start)
+			}
+			if !killed && kills > 0 {
+				// The first committed keyblock is the kill signal: the dying
+				// workers' spills vanish mid-shuffle, their running Map
+				// attempts die with them, and the survivors re-execute.
+				killed = true
+				for k := 0; k < kills && k < len(ws)-1; k++ {
+					ws[k].srv.CloseClientConnections()
+					ws[k].srv.Close()
+					os.RemoveAll(ws[k].dir)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return chaosResult{}, err
+	}
+	total := time.Since(start)
+	rows := 0
+	for _, out := range res.Outputs {
+		rows += len(out.Keys)
+	}
+	return chaosResult{
+		Workers:       workers,
+		KilledWorkers: kills,
+		Rows:          rows,
+		FirstResultMS: float64(first) / float64(time.Millisecond),
+		TotalMS:       float64(total) / float64(time.Millisecond),
+		Reexecuted:    res.Counters.Reexecuted,
+		Speculated:    res.Counters.Speculated,
+	}, nil
+}
+
+// chaosExperiment runs the fixed-seed query with 0 and 1 injected
+// worker deaths.
+func chaosExperiment(seed int64) ([]chaosResult, error) {
+	var out []chaosResult
+	for _, kills := range []int{0, 1} {
+		r, err := chaosBench(seed, kills)
+		if err != nil {
+			return nil, fmt.Errorf("chaos run (kills=%d): %w", kills, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

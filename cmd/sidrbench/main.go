@@ -4,16 +4,17 @@
 // plotting.
 //
 // -json FILE instead writes a machine-readable benchmark summary
-// (BENCH_PR2.json): first-result and total times for the Figure 9/10
-// cluster runs, wall-clock of a real in-process engine query, and the
-// partition+ micro-benchmark's allocation profile — one snapshot per PR
-// so the perf trajectory is tracked across the repo's history.
+// (BENCH_PR*.json): first-result and total times for the Figure 9/10
+// cluster runs, wall-clock of a real in-process engine query, the
+// partition+ micro-benchmark's allocation profile, and the chaos
+// experiment's fault-recovery latencies — one snapshot per PR so the
+// perf trajectory is tracked across the repo's history.
 //
 // Usage:
 //
-//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro]
+//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|failures|chaos]
 //	          [-seed N] [-runs N] [-curves] [-dir DIR]
-//	sidrbench -json BENCH_PR2.json
+//	sidrbench -json BENCH_PR5.json
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, failures)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, failures, chaos)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
 		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
@@ -194,6 +195,17 @@ func main() {
 		fmt.Println("  " + res.Format())
 		return nil
 	})
+	run("chaos", func() error {
+		fmt.Println("chaos experiment: clustered query with 0 and 1 injected worker deaths (real workers, loopback)")
+		rs, err := chaosExperiment(*seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Println("  " + r.Format())
+		}
+		return nil
+	})
 }
 
 // benchCurve is one Figure 9/10 curve's headline numbers.
@@ -205,7 +217,8 @@ type benchCurve struct {
 }
 
 // benchReport is the BENCH_PR*.json schema: the cross-PR perf snapshot.
-// sidrbench/2 adds the networked-shuffle micro-benchmark.
+// sidrbench/2 added the networked-shuffle micro-benchmark; sidrbench/3
+// adds the chaos experiment (fault-recovery latency on real workers).
 type benchReport struct {
 	Schema string       `json:"schema"`
 	Seed   int64        `json:"seed"`
@@ -225,6 +238,7 @@ type benchReport struct {
 		BytesPerOp  float64 `json:"bytes_per_op"`
 	} `json:"partition_micro"`
 	ShuffleMicro shuffleMicroResult `json:"shuffle_micro"`
+	Chaos        []chaosResult      `json:"chaos"`
 }
 
 func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
@@ -243,7 +257,7 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 // writeBenchJSON runs the headline experiments and one real in-process
 // engine query, and writes the summary file.
 func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int) error {
-	rep := benchReport{Schema: "sidrbench/2", Seed: seed}
+	rep := benchReport{Schema: "sidrbench/3", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
 
 	rs, err := experiments.Figure9(cfg)
@@ -290,6 +304,10 @@ func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFe
 	rep.PartitionMicro.BytesPerOp = bytes
 
 	if rep.ShuffleMicro, err = shuffleMicro(shufflePairs, shuffleFetches); err != nil {
+		return err
+	}
+
+	if rep.Chaos, err = chaosExperiment(seed); err != nil {
 		return err
 	}
 

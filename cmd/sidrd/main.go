@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"sidr/internal/cluster"
+	"sidr/internal/faultinject"
 	"sidr/internal/jobs"
 	"sidr/internal/metrics"
 	"sidr/internal/server"
@@ -54,15 +55,17 @@ func main() {
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 		clusterOn = flag.Bool("cluster", false, "embed the cluster coordinator: accept sidr-worker registrations and route {\"cluster\":true} jobs through the distributed runtime")
 		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "evict workers that miss heartbeats for this long (with -cluster)")
+		specOn    = flag.Bool("speculation", false, "launch backup attempts for straggling Map dispatches (with -cluster)")
+		chaos     = flag.String("chaos", "", "coordinator-side fault-injection spec applied to dispatch/shuffle requests, e.g. \"seed=42,match=/v1/shuffle/,delay=0.1:50ms,flip=0.01\" (see internal/faultinject)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout); err != nil {
+	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout, *specOn, *chaos); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration) error {
+func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration, specOn bool, chaos string) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
 	if dataDir != "" {
@@ -77,13 +80,28 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 
 	var coord *cluster.Coordinator
 	if clusterOn {
-		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+		ccfg := cluster.CoordinatorConfig{
 			HeartbeatTimeout: hbTimeout,
 			Metrics:          reg,
 			Logf:             log.Printf,
-		})
+			Speculation:      specOn,
+		}
+		if chaos != "" {
+			spec, err := faultinject.Parse(chaos)
+			if err != nil {
+				return fmt.Errorf("-chaos: %w", err)
+			}
+			// Wraps the default transport: a response-header timeout would
+			// cut off legitimately long Map executions mid-dispatch.
+			ccfg.Client = &http.Client{
+				Transport: faultinject.New(spec).Transport(http.DefaultTransport),
+			}
+			log.Printf("sidrd: CHAOS enabled on dispatch/shuffle client: %s", chaos)
+		}
+		coord = cluster.NewCoordinator(ccfg)
+		defer coord.Close()
 		go coord.Start(ctx)
-		log.Printf("sidrd: clustering enabled (heartbeat timeout %v); workers register at /v1/cluster/register", hbTimeout)
+		log.Printf("sidrd: clustering enabled (heartbeat timeout %v, speculation %v); workers register at /v1/cluster/register", hbTimeout, specOn)
 	}
 	mgr, err := jobs.NewManager(jobs.Config{
 		MaxConcurrent: maxJobs,

@@ -356,7 +356,7 @@ func TestStaleAttemptDiscarded(t *testing.T) {
 
 	// The task was re-armed to attempt 1; a late attempt-0 result lands.
 	j.maps[0].attempt = 1
-	j.recordMapResult(0, 0, "w0", "http://stale", &MapResponse{Split: 0, Attempt: 0})
+	j.recordMapResult(0, 0, "w0", "http://stale", time.Now(), &MapResponse{Split: 0, Attempt: 0})
 	if j.maps[0].done {
 		t.Fatal("stale attempt completed the task")
 	}
@@ -365,7 +365,7 @@ func TestStaleAttemptDiscarded(t *testing.T) {
 	}
 
 	// The current attempt is accepted.
-	j.recordMapResult(0, 1, "w0", "http://current", &MapResponse{Split: 0, Attempt: 1})
+	j.recordMapResult(0, 1, "w0", "http://current", time.Now(), &MapResponse{Split: 0, Attempt: 1})
 	if !j.maps[0].done || j.maps[0].url != "http://current" {
 		t.Fatal("current attempt was not recorded")
 	}
@@ -484,7 +484,7 @@ func TestRearmRepairsSiblingKeyblocks(t *testing.T) {
 	j.enqueued[0], j.enqueued[1] = true, true
 
 	// Reduce 0's fetch of split 0's spill failed; it rearms.
-	j.rearm(0)
+	j.rearm(0, nil, false)
 
 	if j.maps[0].done || j.maps[0].attempt != 1 {
 		t.Fatalf("lost split not reset for re-execution: %+v", j.maps[0])
@@ -548,12 +548,12 @@ func TestReexecutedAttemptCannotDoubleSatisfy(t *testing.T) {
 
 	// Split 0's re-executed attempt completes while split 1 is open.
 	j.maps[0] = mapTask{attempt: 1}
-	j.recordMapResult(0, 1, "w1", "http://w1", &MapResponse{Split: 0, Attempt: 1})
+	j.recordMapResult(0, 1, "w1", "http://w1", time.Now(), &MapResponse{Split: 0, Attempt: 1})
 	if j.enqueued[0] || j.enqueued[1] {
 		t.Fatal("keyblock enqueued before its full I_ℓ completed (double-satisfied dependency)")
 	}
 	// Split 1 completes: now both keyblocks are ready.
-	j.recordMapResult(1, 0, "w1", "http://w1", &MapResponse{Split: 1, Attempt: 0})
+	j.recordMapResult(1, 0, "w1", "http://w1", time.Now(), &MapResponse{Split: 1, Attempt: 0})
 	if !j.enqueued[0] || !j.enqueued[1] {
 		t.Fatalf("keyblocks not enqueued after full I_ℓ completed: %v", j.enqueued)
 	}

@@ -3,10 +3,12 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -48,6 +50,32 @@ type CoordinatorConfig struct {
 	Seed int64
 	// Logf, when set, receives coordinator lifecycle logging.
 	Logf func(format string, args ...any)
+
+	// Speculation enables backup attempts for straggling Map dispatches:
+	// when a running attempt's age exceeds SpeculationFactor × the median
+	// completed attempt duration (and at least SpeculationMin), and an
+	// unsatisfied keyblock depends on its split, a backup attempt is
+	// launched on a different worker. First completion wins; the loser is
+	// cancelled and its spills released. I_ℓ makes this targeted: splits
+	// no open keyblock needs are never speculated on.
+	Speculation bool
+	// SpeculationFactor is the straggler multiple (default 3).
+	SpeculationFactor float64
+	// SpeculationMin floors the straggler threshold (default 500ms) so
+	// tiny jobs don't speculate on scheduling noise.
+	SpeculationMin time.Duration
+	// SpeculationInterval is the straggler scan period (default 100ms).
+	SpeculationInterval time.Duration
+
+	// HealthAlpha is the EWMA weight of the newest dispatch/fetch/probe
+	// outcome in a worker's fail score (default 0.3).
+	HealthAlpha float64
+	// QuarantineThreshold quarantines a worker whose fail score exceeds
+	// it (default 0.5); ReinstateThreshold reinstates a quarantined
+	// worker whose score decays below it (default 0.25). The gap is the
+	// hysteresis that stops a borderline worker from flapping.
+	QuarantineThreshold float64
+	ReinstateThreshold  float64
 }
 
 // Coordinator owns the worker table and drives clustered jobs: it
@@ -58,6 +86,13 @@ type Coordinator struct {
 	cfg    CoordinatorConfig
 	client *http.Client
 
+	// baseCtx bounds background work that outlives any single job —
+	// release broadcasts and quarantine probes. Close cancels it and
+	// joins the tracked goroutines.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	releases   sync.WaitGroup
+
 	mu      sync.Mutex
 	workers map[string]*workerState
 	jobSeq  int64
@@ -65,26 +100,37 @@ type Coordinator struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mWorkersAlive *metrics.Gauge
-	mDispatched   *metrics.Counter
-	mRetried      *metrics.Counter
-	mReexecuted   *metrics.Counter
-	mShuffleBytes *metrics.Counter
-	mConnections  *metrics.Counter
-	mFetchSeconds *metrics.Histogram
+	mWorkersAlive  *metrics.Gauge
+	mQuarantinedG  *metrics.Gauge
+	mDispatched    *metrics.Counter
+	mRetried       *metrics.Counter
+	mReexecuted    *metrics.Counter
+	mShuffleBytes  *metrics.Counter
+	mConnections   *metrics.Counter
+	mFetchSeconds  *metrics.Histogram
+	mSpecLaunched  *metrics.Counter
+	mSpecWins      *metrics.Counter
+	mSpecCancelled *metrics.Counter
+	mSpillsCorrupt *metrics.Counter
+	mQuarantines   *metrics.Counter
+	mReinstates    *metrics.Counter
 
 	// onMapResult is a test hook observing accepted Map results.
 	onMapResult func(jobID string, split int, worker string)
 }
 
-// workerState is the coordinator's record of one worker.
+// workerState is the coordinator's record of one worker. failScore and
+// quarantined survive eviction and re-registration on purpose: a worker
+// that keeps failing is remembered by name, not by connection.
 type workerState struct {
-	name     string
-	url      string
-	lastSeen time.Time
-	evicted  bool
-	running  int
-	mapsDone int64
+	name        string
+	url         string
+	lastSeen    time.Time
+	evicted     bool
+	running     int
+	mapsDone    int64
+	failScore   float64
+	quarantined bool
 }
 
 // NewCoordinator builds a coordinator.
@@ -110,13 +156,35 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
+	if cfg.SpeculationFactor <= 0 {
+		cfg.SpeculationFactor = 3
+	}
+	if cfg.SpeculationMin <= 0 {
+		cfg.SpeculationMin = 500 * time.Millisecond
+	}
+	if cfg.SpeculationInterval <= 0 {
+		cfg.SpeculationInterval = 100 * time.Millisecond
+	}
+	if cfg.HealthAlpha <= 0 || cfg.HealthAlpha > 1 {
+		cfg.HealthAlpha = 0.3
+	}
+	if cfg.QuarantineThreshold <= 0 {
+		cfg.QuarantineThreshold = 0.5
+	}
+	if cfg.ReinstateThreshold <= 0 {
+		cfg.ReinstateThreshold = 0.25
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:     cfg,
-		client:  cfg.Client,
-		workers: make(map[string]*workerState),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:        cfg,
+		client:     cfg.Client,
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		workers:    make(map[string]*workerState),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
 
 		mWorkersAlive: cfg.Metrics.Gauge("sidrd_cluster_workers_alive"),
+		mQuarantinedG: cfg.Metrics.Gauge("sidrd_cluster_workers_quarantined"),
 		mDispatched:   cfg.Metrics.Counter("sidrd_cluster_tasks_dispatched_total"),
 		mRetried:      cfg.Metrics.Counter("sidrd_cluster_tasks_retried_total"),
 		mReexecuted:   cfg.Metrics.Counter("sidrd_cluster_reexecuted_total"),
@@ -124,12 +192,28 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		mConnections:  cfg.Metrics.Counter("sidrd_shuffle_connections_total"),
 		mFetchSeconds: cfg.Metrics.Histogram("sidrd_shuffle_fetch_seconds",
 			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
+		mSpecLaunched:  cfg.Metrics.Counter("sidrd_cluster_speculative_launched_total"),
+		mSpecWins:      cfg.Metrics.Counter("sidrd_cluster_speculative_wins_total"),
+		mSpecCancelled: cfg.Metrics.Counter("sidrd_cluster_speculative_cancelled_total"),
+		mSpillsCorrupt: cfg.Metrics.Counter("sidrd_cluster_spills_corrupt_total"),
+		mQuarantines:   cfg.Metrics.Counter("sidrd_cluster_quarantines_total"),
+		mReinstates:    cfg.Metrics.Counter("sidrd_cluster_reinstates_total"),
 	}
 	return c
 }
 
+// Close cancels the coordinator's background work — in-flight release
+// broadcasts and attempt releases are cut short and their goroutines
+// joined — so a shutting-down daemon cannot leak them.
+func (c *Coordinator) Close() {
+	c.baseCancel()
+	c.releases.Wait()
+}
+
 // Start runs the eviction reaper until ctx is done, so workers_alive
-// drops even while no job is picking workers.
+// drops even while no job is picking workers. Each tick also probes
+// quarantined workers so recovery does not depend on a job happening
+// to dispatch to them.
 func (c *Coordinator) Start(ctx context.Context) {
 	t := time.NewTicker(c.cfg.HeartbeatTimeout / 2)
 	defer t.Stop()
@@ -141,8 +225,80 @@ func (c *Coordinator) Start(ctx context.Context) {
 			c.mu.Lock()
 			c.pruneLocked(now)
 			c.mu.Unlock()
+			c.probeQuarantined(ctx)
 		}
 	}
+}
+
+// probeQuarantined health-checks every quarantined live worker and
+// feeds the result into its fail score: successful probes decay the
+// score toward reinstatement, failures keep it quarantined.
+func (c *Coordinator) probeQuarantined(ctx context.Context) {
+	type target struct{ name, url string }
+	c.mu.Lock()
+	var ts []target
+	for _, w := range c.workers {
+		if w.quarantined && !w.evicted {
+			ts = append(ts, target{w.name, w.url})
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range ts {
+		pctx, cancel := context.WithTimeout(ctx, time.Second)
+		ok := false
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, t.url+"/healthz", nil)
+		if err == nil {
+			if resp, err := c.client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+		}
+		cancel()
+		c.noteOutcome(t.name, !ok)
+	}
+}
+
+// noteOutcome feeds one dispatch/fetch/probe outcome into a worker's
+// EWMA fail score and applies the quarantine hysteresis.
+func (c *Coordinator) noteOutcome(name string, failed bool) {
+	if name == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[name]
+	if w == nil {
+		return
+	}
+	x := 0.0
+	if failed {
+		x = 1.0
+	}
+	w.failScore = c.cfg.HealthAlpha*x + (1-c.cfg.HealthAlpha)*w.failScore
+	switch {
+	case !w.quarantined && w.failScore > c.cfg.QuarantineThreshold:
+		w.quarantined = true
+		c.mQuarantines.Inc()
+		c.logf("worker %q quarantined (fail score %.2f)", name, w.failScore)
+	case w.quarantined && w.failScore < c.cfg.ReinstateThreshold:
+		w.quarantined = false
+		c.mReinstates.Inc()
+		c.logf("worker %q reinstated (fail score %.2f)", name, w.failScore)
+	}
+	c.quarantineGaugeLocked()
+}
+
+// quarantineGaugeLocked refreshes the quarantined-workers gauge.
+// Caller holds c.mu.
+func (c *Coordinator) quarantineGaugeLocked() {
+	n := int64(0)
+	for _, w := range c.workers {
+		if w.quarantined && !w.evicted {
+			n++
+		}
+	}
+	c.mQuarantinedG.Set(n)
 }
 
 // Register adds (or revives) a worker.
@@ -188,12 +344,14 @@ func (c *Coordinator) Workers() []WorkerInfo {
 	out := make([]WorkerInfo, 0, len(c.workers))
 	for _, w := range c.workers {
 		out = append(out, WorkerInfo{
-			Name:      w.name,
-			URL:       w.url,
-			Alive:     !w.evicted,
-			Running:   w.running,
-			MapsDone:  w.mapsDone,
-			LastSeenS: now.Sub(w.lastSeen).Seconds(),
+			Name:        w.name,
+			URL:         w.url,
+			Alive:       !w.evicted,
+			Running:     w.running,
+			MapsDone:    w.mapsDone,
+			LastSeenS:   now.Sub(w.lastSeen).Seconds(),
+			FailScore:   w.failScore,
+			Quarantined: w.quarantined,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -233,6 +391,7 @@ func (c *Coordinator) pruneLocked(now time.Time) {
 		}
 	}
 	c.mWorkersAlive.Set(alive)
+	c.quarantineGaugeLocked()
 }
 
 // markDead evicts a worker on direct evidence (connection failure,
@@ -253,13 +412,13 @@ func (c *Coordinator) markDead(name string) {
 // pickWorker chooses a live worker for a Map task, preferring the
 // split's block-location hosts (locality-aware placement) and breaking
 // ties by least running tasks. not lists worker names to avoid (prior
-// failed attempts of the same dispatch).
+// failed attempts of the same dispatch, or a speculation primary's
+// host). Quarantined workers are a last resort before excluded ones:
+// healthy∧allowed, then quarantined∧allowed, then any live worker.
 func (c *Coordinator) pickWorker(hosts []string, not map[string]bool) (name, url string, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pruneLocked(time.Now())
-	var best *workerState
-	bestLocal := false
 	isLocal := func(w *workerState) bool {
 		for _, h := range hosts {
 			if h == w.name {
@@ -268,35 +427,46 @@ func (c *Coordinator) pickWorker(hosts []string, not map[string]bool) (name, url
 		}
 		return false
 	}
-	for _, w := range c.workers {
-		if w.evicted || not[w.name] {
-			continue
-		}
-		local := isLocal(w)
-		switch {
-		case best == nil,
-			local && !bestLocal,
-			local == bestLocal && w.running < best.running,
-			local == bestLocal && w.running == best.running && w.name < best.name:
-			best, bestLocal = w, local
-		}
-	}
-	if best == nil {
-		// Fall back to any live worker when every one was excluded.
+	pick := func(allow func(*workerState) bool) *workerState {
+		var best *workerState
+		bestLocal := false
 		for _, w := range c.workers {
-			if !w.evicted {
-				if best == nil || w.running < best.running ||
-					(w.running == best.running && w.name < best.name) {
-					best = w
-				}
+			if w.evicted || !allow(w) {
+				continue
+			}
+			local := isLocal(w)
+			switch {
+			case best == nil,
+				local && !bestLocal,
+				local == bestLocal && w.running < best.running,
+				local == bestLocal && w.running == best.running && w.name < best.name:
+				best, bestLocal = w, local
 			}
 		}
+		return best
+	}
+	best := pick(func(w *workerState) bool { return !w.quarantined && !not[w.name] })
+	if best == nil {
+		best = pick(func(w *workerState) bool { return !not[w.name] })
+	}
+	if best == nil {
+		best = pick(func(w *workerState) bool { return true })
 	}
 	if best == nil {
 		return "", "", ErrNoWorkers
 	}
 	best.running++
 	return best.name, best.url, nil
+}
+
+// workerURL resolves a worker name to its last-registered base URL.
+func (c *Coordinator) workerURL(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[name]; w != nil {
+		return w.url
+	}
+	return ""
 }
 
 // releaseWorker undoes pickWorker's running increment, crediting done
@@ -438,6 +608,14 @@ type Counters struct {
 	ShuffleBytes int64
 	// Records counts source records read by accepted Map attempts.
 	Records int64
+	// Speculated counts backup attempts launched for straggling Maps.
+	Speculated int64
+	// SpeculativeWins counts Map tasks whose backup attempt finished
+	// before the straggling primary.
+	SpeculativeWins int64
+	// CorruptSpills counts shuffle fetches rejected by the spill payload
+	// checksum; each one re-executed its source split.
+	CorruptSpills int64
 }
 
 // JobResult is a completed clustered job.
@@ -446,7 +624,7 @@ type JobResult struct {
 	// keyblock.
 	Outputs []ReduceResult
 	// Plan is the coordinator-side plan the job ran under.
-	Plan *core.Plan
+	Plan     *core.Plan
 	Counters Counters
 }
 
@@ -462,25 +640,63 @@ type clusterJob struct {
 	// partials tracks in-flight OnPartial callbacks; done is only closed
 	// after it drains, so Run never returns while a callback is running.
 	partials sync.WaitGroup
+	// specWG tracks the speculation monitor and backup dispatch
+	// goroutines, which run outside the executor handle on purpose: a
+	// backup submitted through the handle could queue behind the very
+	// hung dispatches it exists to overtake. Run joins it before
+	// releasing worker state.
+	specWG sync.WaitGroup
 
-	mu         sync.Mutex
-	maps       []mapTask
-	enqueued   []bool // reduce l submitted (or running)
-	outputs    []ReduceResult
-	reduceDone []bool
+	mu          sync.Mutex
+	maps        []mapTask
+	enqueued    []bool // reduce l submitted (or running)
+	outputs     []ReduceResult
+	reduceDone  []bool
 	reducesLeft int
-	counters   Counters
-	err        error
-	done       chan struct{}
+	durations   []time.Duration // completed Map attempt durations (speculation median)
+	counters    Counters
+	err         error
+	done        chan struct{}
 }
 
-// mapTask tracks one Map task's current attempt.
+// mapTask tracks one Map task's current attempt (plus, under
+// speculation, one in-flight backup attempt). The zero value is a valid
+// fresh task: attempt 0, no backup, IDs allocated lazily.
 type mapTask struct {
-	attempt    int    // current attempt ID; results from other attempts are stale
-	done       bool   // current attempt completed and spills are hosted
+	attempt    int    // current primary attempt ID
+	done       bool   // a winning attempt completed and its spills are hosted
 	worker     string // hosting worker name (done only)
 	url        string // hosting worker base URL (done only)
 	dispatches int    // attempts consumed, for the MaxTaskAttempts bound
+	corrupt    int    // checksum-forced re-executions of this task
+
+	next        int                        // next attempt ID to allocate (see allocAttempt)
+	started     time.Time                  // when the current primary dispatch began running
+	dispWorker  string                     // worker the primary dispatch is posted to (in flight)
+	hasSpec     bool                       // a backup attempt is in flight
+	specAttempt int                        // backup attempt ID (hasSpec only)
+	specWorker  string                     // worker the backup is posted to
+	cancels     map[int]context.CancelFunc // per-attempt dispatch cancellation
+}
+
+// allocAttempt hands out the next unused attempt ID. Lazy so that
+// zero-valued mapTasks (attempt 0 implicitly allocated) stay correct.
+func (m *mapTask) allocAttempt() int {
+	if m.next <= m.attempt {
+		m.next = m.attempt + 1
+	}
+	if m.hasSpec && m.next <= m.specAttempt {
+		m.next = m.specAttempt + 1
+	}
+	a := m.next
+	m.next++
+	return a
+}
+
+// validAttempt reports whether an attempt ID is one of the task's live
+// attempts (current primary or in-flight backup).
+func (m *mapTask) validAttempt(a int) bool {
+	return a == m.attempt || (m.hasSpec && a == m.specAttempt)
 }
 
 // Run executes a clustered job and blocks until it completes or fails.
@@ -512,13 +728,13 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	j := &clusterJob{
-		c:      c,
-		spec:   spec,
-		plan:   plan,
-		ctx:    jctx,
-		cancel: cancel,
-		handle: spec.Exec.NewHandle(exec.HandleOptions{MaxParallel: spec.Workers}),
-		maps:   make([]mapTask, len(plan.Splits)),
+		c:          c,
+		spec:       spec,
+		plan:       plan,
+		ctx:        jctx,
+		cancel:     cancel,
+		handle:     spec.Exec.NewHandle(exec.HandleOptions{MaxParallel: spec.Workers}),
+		maps:       make([]mapTask, len(plan.Splits)),
 		enqueued:   make([]bool, plan.Part.NumKeyblocks()),
 		outputs:    make([]ReduceResult, plan.Part.NumKeyblocks()),
 		reduceDone: make([]bool, plan.Part.NumKeyblocks()),
@@ -548,6 +764,16 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 		j.fail(jctx.Err())
 	}()
 
+	// Straggler monitor: scans running Map dispatches and launches
+	// backup attempts for the ones an unsatisfied keyblock is waiting on.
+	if c.cfg.Speculation {
+		j.specWG.Add(1)
+		go func() {
+			defer j.specWG.Done()
+			j.speculationLoop()
+		}()
+	}
+
 	// Submit every Map task in dependency-driven order: splits feeding
 	// the front of the keyblock priority list dispatch first (§3.3), so
 	// early keyblocks' dependencies complete early.
@@ -558,10 +784,12 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 
 	<-j.done
 	// The job is resolved either way: drop queued tasks, abort in-flight
-	// dispatches and fetches, then release worker-side state (cached
-	// plan/dataset and spills) before handing the result back.
+	// dispatches and fetches, join the speculation goroutines, then
+	// release worker-side state (cached plan/dataset and spills) before
+	// handing the result back.
 	j.handle.Close()
 	j.cancel()
+	j.specWG.Wait()
 	c.releaseJob(spec.ID)
 	j.mu.Lock()
 	err = j.err
@@ -573,9 +801,11 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 }
 
 // releaseJob tells every live worker to drop one job's cached state and
-// delete its spills. Best-effort with a short deadline: a worker that
-// misses the release still replaces the stale entry on the next job's
-// fingerprint mismatch (see Worker.jobFor).
+// delete its spills. Best-effort with a short deadline derived from the
+// coordinator's lifetime — Close cancels in-flight broadcasts instead
+// of leaking goroutines for up to the timeout. A worker that misses the
+// release still replaces the stale entry on the next job's fingerprint
+// mismatch (see Worker.jobFor).
 func (c *Coordinator) releaseJob(jobID string) {
 	c.mu.Lock()
 	urls := make([]string, 0, len(c.workers))
@@ -588,31 +818,54 @@ func (c *Coordinator) releaseJob(jobID string) {
 	if len(urls) == 0 {
 		return
 	}
-	body, err := json.Marshal(ReleaseRequest{JobID: jobID})
-	if err != nil {
-		return
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(c.baseCtx, 2*time.Second)
 	defer cancel()
 	var wg sync.WaitGroup
 	for _, u := range urls {
 		wg.Add(1)
+		c.releases.Add(1)
 		go func(u string) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/v1/release", strings.NewReader(string(body)))
-			if err != nil {
-				return
-			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := c.client.Do(req)
-			if err != nil {
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			defer c.releases.Done()
+			c.postRelease(ctx, u, ReleaseRequest{JobID: jobID})
 		}(u)
 	}
 	wg.Wait()
+}
+
+// releaseAttempt asks one worker to drop a single superseded attempt's
+// spills (a cancelled speculation loser, or a straggler that lost the
+// race). Fire-and-forget: the job-resolution release sweeps anything
+// this misses.
+func (c *Coordinator) releaseAttempt(baseURL, jobID string, split, attempt int) {
+	if baseURL == "" {
+		return
+	}
+	c.releases.Add(1)
+	go func() {
+		defer c.releases.Done()
+		ctx, cancel := context.WithTimeout(c.baseCtx, 2*time.Second)
+		defer cancel()
+		c.postRelease(ctx, baseURL, ReleaseRequest{JobID: jobID, Split: &split, Attempt: &attempt})
+	}()
+}
+
+func (c *Coordinator) postRelease(ctx context.Context, baseURL string, rr ReleaseRequest) {
+	body, err := json.Marshal(rr)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/release", strings.NewReader(string(body)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }
 
 // result snapshots the completed job.
@@ -665,50 +918,204 @@ func (j *clusterJob) submitMap(i, priority int) {
 	j.mu.Lock()
 	attempt := j.maps[i].attempt
 	j.mu.Unlock()
-	if !j.handle.Submit(exec.Map, priority, func() { j.dispatchMap(i, attempt) }) {
+	if !j.handle.Submit(exec.Map, priority, func() { j.dispatchAttempt(i, attempt, make(map[string]bool), false) }) {
 		j.fail(fmt.Errorf("%w: map task %d rejected", ErrExecutorClosed, i))
 	}
 }
 
-// dispatchMap sends map task i's attempt to a worker, retrying on other
-// workers (with backoff) when dispatch fails. Workers that refuse a
-// connection are marked dead.
-func (j *clusterJob) dispatchMap(i, attempt int) {
+// speculationLoop periodically scans for straggling Map dispatches
+// until the job resolves.
+func (j *clusterJob) speculationLoop() {
+	t := time.NewTicker(j.c.cfg.SpeculationInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.ctx.Done():
+			return
+		case <-j.done:
+			return
+		case <-t.C:
+			j.scanStragglers()
+		}
+	}
+}
+
+// scanStragglers launches a backup attempt for every running primary
+// dispatch older than SpeculationFactor × the median completed attempt
+// duration, provided an unsatisfied keyblock depends on its split and
+// no backup is already in flight. Backups avoid the primary's worker
+// and run in direct goroutines (not through the executor handle), so a
+// pool saturated with hung dispatches cannot starve its own rescue.
+func (j *clusterJob) scanStragglers() {
+	c := j.c
+	now := time.Now()
+	j.mu.Lock()
+	if j.resolvedLocked() || len(j.durations) == 0 {
+		j.mu.Unlock()
+		return // no baseline yet: the first completions define "normal"
+	}
+	threshold := time.Duration(float64(medianDuration(j.durations)) * c.cfg.SpeculationFactor)
+	if threshold < c.cfg.SpeculationMin {
+		threshold = c.cfg.SpeculationMin
+	}
+	type launch struct {
+		split, attempt int
+		avoid          string
+	}
+	var launches []launch
+	for i := range j.maps {
+		m := &j.maps[i]
+		if m.done || m.hasSpec || m.started.IsZero() || now.Sub(m.started) < threshold {
+			continue
+		}
+		needed := false
+		for _, kb := range j.plan.Graph.SplitToKB[i] {
+			if !j.reduceDone[kb] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		m.hasSpec = true
+		m.specAttempt = m.allocAttempt()
+		m.specWorker = ""
+		j.counters.Speculated++
+		launches = append(launches, launch{split: i, attempt: m.specAttempt, avoid: m.dispWorker})
+	}
+	j.mu.Unlock()
+	for _, sp := range launches {
+		c.mSpecLaunched.Inc()
+		c.logf("speculating map %s/%d as backup attempt %d (primary straggling)", j.spec.ID, sp.split, sp.attempt)
+		avoid := make(map[string]bool)
+		if sp.avoid != "" {
+			avoid[sp.avoid] = true
+		}
+		j.specWG.Add(1)
+		go func(sp launch, avoid map[string]bool) {
+			defer j.specWG.Done()
+			j.dispatchAttempt(sp.split, sp.attempt, avoid, true)
+		}(sp, avoid)
+	}
+}
+
+// medianDuration returns the median of ds (upper median for even n).
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[len(s)/2]
+}
+
+// dispatchAttempt sends one attempt of map task i to a worker, retrying
+// on other workers (with backoff) when dispatch fails. Connection-level
+// failures mark the worker dead (its spills are unreachable too);
+// application-level failures only feed its fail score — the worker
+// stays alive, its hosted spills stay valid, and repetition quarantines
+// it. Each try runs under a per-attempt context so a speculation winner
+// can cancel the loser's in-flight dispatch without touching the job.
+func (j *clusterJob) dispatchAttempt(i, attempt int, tried map[string]bool, speculative bool) {
 	c := j.c
 	j.mu.Lock()
-	if j.resolvedLocked() || j.maps[i].attempt != attempt || j.maps[i].done {
+	m := &j.maps[i]
+	if j.resolvedLocked() || m.done || !m.validAttempt(attempt) {
 		j.mu.Unlock()
 		return // stale or already satisfied
 	}
-	j.maps[i].dispatches++
-	if j.maps[i].dispatches > c.cfg.MaxTaskAttempts {
+	m.dispatches++
+	if m.dispatches > c.cfg.MaxTaskAttempts {
+		corrupt := m.corrupt
 		j.mu.Unlock()
-		j.fail(fmt.Errorf("%w: map task %d exceeded %d attempts", ErrRetryExhausted, i, c.cfg.MaxTaskAttempts))
+		if corrupt > 0 {
+			j.fail(fmt.Errorf("%w: map task %d exceeded %d attempts (%d checksum failures): %w",
+				ErrRetryExhausted, i, c.cfg.MaxTaskAttempts, corrupt, ErrSpillCorrupt))
+		} else {
+			j.fail(fmt.Errorf("%w: map task %d exceeded %d attempts", ErrRetryExhausted, i, c.cfg.MaxTaskAttempts))
+		}
 		return
+	}
+	if !speculative {
+		m.started = time.Now()
 	}
 	j.mu.Unlock()
 
 	hosts := j.plan.Splits[i].Hosts
-	tried := make(map[string]bool)
 	for try := 0; ; try++ {
 		if j.ctx.Err() != nil {
 			return
 		}
 		name, url, err := c.pickWorker(hosts, tried)
 		if err != nil {
+			if speculative {
+				// No worker to run the backup on: withdraw it quietly and
+				// let a later scan retry once the cluster changes.
+				j.clearSpec(i, attempt)
+				return
+			}
 			j.fail(fmt.Errorf("map task %d: %w", i, err))
 			return
 		}
-		resp, err := j.postMap(url, i, attempt)
-		c.releaseWorker(name, err == nil)
-		if err == nil {
-			j.recordMapResult(i, attempt, name, url, resp)
+
+		// Register the in-flight dispatch: per-attempt context (so the
+		// losing side of a speculation race is cancellable) and the
+		// worker it targets (so backups avoid it and stragglers name it).
+		actx, acancel := context.WithCancel(j.ctx)
+		j.mu.Lock()
+		m = &j.maps[i]
+		if j.resolvedLocked() || m.done || !m.validAttempt(attempt) {
+			j.mu.Unlock()
+			acancel()
+			c.releaseWorker(name, false)
 			return
 		}
-		// The worker failed the dispatch: mark it dead (its spills are
-		// suspect too) and retry the attempt elsewhere after a jittered
-		// backoff.
-		c.markDead(name)
+		if m.cancels == nil {
+			m.cancels = make(map[int]context.CancelFunc)
+		}
+		m.cancels[attempt] = acancel
+		if speculative {
+			m.specWorker = name
+		} else {
+			m.dispWorker = name
+		}
+		j.mu.Unlock()
+
+		start := time.Now()
+		resp, err := j.postMap(actx, url, i, attempt)
+		c.releaseWorker(name, err == nil)
+		// Capture whether the attempt itself was cancelled before we
+		// release its context below.
+		lostRace := actx.Err() != nil && j.ctx.Err() == nil
+		j.mu.Lock()
+		if j.maps[i].cancels[attempt] != nil {
+			delete(j.maps[i].cancels, attempt)
+		}
+		j.mu.Unlock()
+		acancel()
+
+		if err == nil {
+			c.noteOutcome(name, false)
+			j.recordMapResult(i, attempt, name, url, start, resp)
+			return
+		}
+		if j.ctx.Err() != nil {
+			return
+		}
+		if lostRace {
+			// Only this attempt was cancelled: it lost a speculation race.
+			// Not the worker's fault — no penalty, no retry.
+			return
+		}
+		// Classify the failure. A connection-level error means the worker
+		// (and every spill it hosts) is unreachable: mark it dead. An
+		// HTTP-level or decode error means the worker is up but failing:
+		// penalise its health and retry elsewhere.
+		if isConnError(err) {
+			c.markDead(name)
+		}
+		c.noteOutcome(name, true)
 		tried[name] = true
 		c.mRetried.Inc()
 		j.mu.Lock()
@@ -716,6 +1123,10 @@ func (j *clusterJob) dispatchMap(i, attempt int) {
 		j.mu.Unlock()
 		c.logf("map %s/%d attempt %d on %q failed (%v); retrying", j.spec.ID, i, attempt, name, err)
 		if try >= c.cfg.MaxTaskAttempts {
+			if speculative {
+				j.clearSpec(i, attempt)
+				return
+			}
 			j.fail(fmt.Errorf("%w: map task %d: %v", ErrRetryExhausted, i, err))
 			return
 		}
@@ -725,8 +1136,29 @@ func (j *clusterJob) dispatchMap(i, attempt int) {
 	}
 }
 
-// postMap performs one /v1/map dispatch.
-func (j *clusterJob) postMap(baseURL string, split, attempt int) (*MapResponse, error) {
+// clearSpec withdraws an in-flight backup attempt that could not be
+// placed or kept failing, so a later straggler scan may try again.
+func (j *clusterJob) clearSpec(i, attempt int) {
+	j.mu.Lock()
+	m := &j.maps[i]
+	if m.hasSpec && m.specAttempt == attempt {
+		m.hasSpec = false
+		m.specWorker = ""
+	}
+	j.mu.Unlock()
+}
+
+// isConnError distinguishes transport-level failures (dial refused,
+// reset, injected drop) from application-level ones: http.Client.Do
+// wraps the former in *url.Error, while a non-2xx status or a decode
+// failure never is one.
+func isConnError(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// postMap performs one /v1/map dispatch under the attempt's context.
+func (j *clusterJob) postMap(ctx context.Context, baseURL string, split, attempt int) (*MapResponse, error) {
 	j.c.mDispatched.Inc()
 	j.mu.Lock()
 	j.counters.MapsDispatched++
@@ -741,7 +1173,7 @@ func (j *clusterJob) postMap(baseURL string, split, attempt int) (*MapResponse, 
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(j.ctx, http.MethodPost, baseURL+"/v1/map", strings.NewReader(string(body)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/map", strings.NewReader(string(body)))
 	if err != nil {
 		return nil, err
 	}
@@ -767,19 +1199,46 @@ func (j *clusterJob) postMap(baseURL string, split, attempt int) (*MapResponse, 
 
 // recordMapResult accepts a completed Map attempt, discarding stale
 // attempts (idempotency under re-execution), and enqueues every Reduce
-// task whose I_ℓ just completed.
-func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, resp *MapResponse) {
+// task whose I_ℓ just completed. Under speculation the first of the
+// primary/backup pair to arrive wins: the task commits exactly once,
+// the loser's dispatch is cancelled and its spills are released.
+func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, start time.Time, resp *MapResponse) {
+	c := j.c
 	j.mu.Lock()
-	if j.resolvedLocked() || j.maps[i].attempt != attempt || resp.Attempt != attempt {
+	m := &j.maps[i]
+	if j.resolvedLocked() || m.done || !m.validAttempt(attempt) || resp.Attempt != attempt {
+		current := m.attempt
 		j.mu.Unlock()
-		j.c.logf("discarding stale map result %s/%d attempt %d (current %d)", j.spec.ID, i, attempt, j.maps[i].attempt)
+		c.logf("discarding stale map result %s/%d attempt %d (current %d)", j.spec.ID, i, attempt, current)
+		// The late attempt's spills will never be fetched; reclaim them.
+		c.releaseAttempt(url, j.spec.ID, i, attempt)
 		return
 	}
-	m := &j.maps[i]
+	specWin := m.hasSpec && attempt == m.specAttempt
+	hadSpec := m.hasSpec
+	var loserAttempt int
+	var loserWorker string
+	if specWin {
+		loserAttempt, loserWorker = m.attempt, m.dispWorker
+		m.attempt = attempt // shuffle fetches must target the winner's spills
+	} else if hadSpec {
+		loserAttempt, loserWorker = m.specAttempt, m.specWorker
+	}
+	if hadSpec {
+		if cancel := m.cancels[loserAttempt]; cancel != nil {
+			cancel()
+		}
+		m.hasSpec = false
+		m.specWorker = ""
+	}
 	m.done = true
 	m.worker = worker
 	m.url = url
+	j.durations = append(j.durations, time.Since(start))
 	j.counters.Records += resp.Records
+	if specWin {
+		j.counters.SpeculativeWins++
+	}
 	var ready []int
 	for _, kb := range j.plan.Graph.SplitToKB[i] {
 		if j.reduceDone[kb] || j.enqueued[kb] {
@@ -791,6 +1250,16 @@ func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, resp *M
 		}
 	}
 	j.mu.Unlock()
+	if hadSpec {
+		c.mSpecCancelled.Inc()
+		if specWin {
+			c.mSpecWins.Inc()
+			c.logf("map %s/%d: backup attempt %d overtook straggling primary %d", j.spec.ID, i, attempt, loserAttempt)
+		}
+		if loserWorker != "" {
+			c.releaseAttempt(c.workerURL(loserWorker), j.spec.ID, i, loserAttempt)
+		}
+	}
 	if j.c.onMapResult != nil {
 		j.c.onMapResult(j.spec.ID, i, worker)
 	}
@@ -861,14 +1330,40 @@ func (j *clusterJob) runReduce(l int) {
 			if j.ctx.Err() != nil {
 				return
 			}
-			// The spill is lost with its worker: evict it and rearm the
-			// reduce — reset + re-dispatch the Map tasks whose spills
-			// died with the worker, then wait for redelivery.
-			j.c.logf("reduce %s/kb%d: spill for split %d lost on %q: %v", j.spec.ID, l, d.split, d.worker, err)
-			j.c.markDead(d.worker)
-			j.rearm(l)
+			c := j.c
+			switch {
+			case errors.Is(err, kv.ErrChecksum):
+				// The worker serves bytes that fail the payload CRC: the
+				// attempt's output is poison, never merged. Treat it like
+				// a lost attempt — re-execute the source split — without
+				// declaring the worker dead (it answers; its other spills
+				// may be fine). Repeat offenders fall to quarantine.
+				c.mSpillsCorrupt.Inc()
+				j.mu.Lock()
+				j.counters.CorruptSpills++
+				j.mu.Unlock()
+				c.noteOutcome(d.worker, true)
+				c.logf("reduce %s/kb%d: spill for split %d attempt %d corrupt on %q: %v — re-executing",
+					j.spec.ID, l, d.split, d.attempt, d.worker, err)
+				j.rearm(l, map[int]int{d.split: d.attempt}, true)
+			case isConnError(err):
+				// The worker is unreachable: the spill died with it.
+				c.logf("reduce %s/kb%d: spill for split %d lost on %q: %v", j.spec.ID, l, d.split, d.worker, err)
+				c.markDead(d.worker)
+				c.noteOutcome(d.worker, true)
+				j.rearm(l, nil, false)
+			default:
+				// The worker answers but cannot produce this spill (evicted
+				// cache, missing file, persistent 5xx): the attempt is lost
+				// even though the worker lives.
+				c.logf("reduce %s/kb%d: spill for split %d attempt %d unserved by %q: %v — re-executing",
+					j.spec.ID, l, d.split, d.attempt, d.worker, err)
+				c.noteOutcome(d.worker, true)
+				j.rearm(l, map[int]int{d.split: d.attempt}, false)
+			}
 			return
 		}
+		j.c.noteOutcome(d.worker, false)
 		streams = append(streams, pairs)
 		tally += src
 		bytes += n
@@ -951,8 +1446,13 @@ func (j *clusterJob) fetchSpill(baseURL string, split, attempt, kb int) ([]kv.Pa
 		if j.ctx.Err() != nil {
 			return nil, 0, 0, j.ctx.Err()
 		}
+		if errors.Is(err, kv.ErrChecksum) {
+			// The bytes on disk are wrong; refetching the same file cannot
+			// fix them. Surface immediately so the source re-executes.
+			return nil, 0, 0, err
+		}
 	}
-	return nil, 0, 0, fmt.Errorf("%w: %v", ErrRetryExhausted, lastErr)
+	return nil, 0, 0, fmt.Errorf("%w: %w", ErrRetryExhausted, lastErr)
 }
 
 func (j *clusterJob) fetchSpillOnce(baseURL string, split, attempt, kb int) ([]kv.Pair, int64, int64, error) {
@@ -993,14 +1493,18 @@ func (c *countingReader) Read(p []byte) (int, error) {
 }
 
 // rearm handles a lost spill for reduce l: every I_ℓ dependency whose
-// hosting worker is gone is reset to a fresh attempt ID and
-// re-dispatched, and the reduce re-enqueues (via recordMapResult's
-// readiness recomputation) when they complete. Sibling keyblocks fed by
-// a reset split are repaired too — their enqueued flags are cleared so
-// the fresh attempt re-enqueues them instead of recordMapResult
-// skipping them forever. Superseded attempts that straggle in are
-// discarded by the attempt check in recordMapResult.
-func (j *clusterJob) rearm(l int) {
+// hosting worker is gone — or whose specific attempt is named in lost
+// (checksum failure, unserved spill on a live worker) — is reset to a
+// fresh attempt ID and re-dispatched, and the reduce re-enqueues (via
+// recordMapResult's readiness recomputation) when they complete. lost
+// maps split → failed attempt ID; the attempt match guards a fresh
+// re-executed attempt from being invalidated by its predecessor's
+// stale failure. Sibling keyblocks fed by a reset split are repaired
+// too — their enqueued flags are cleared so the fresh attempt
+// re-enqueues them instead of recordMapResult skipping them forever.
+// Superseded attempts that straggle in are discarded by the attempt
+// check in recordMapResult.
+func (j *clusterJob) rearm(l int, lost map[int]int, corrupt bool) {
 	c := j.c
 	now := time.Now()
 	c.mu.Lock()
@@ -1020,13 +1524,21 @@ func (j *clusterJob) rearm(l int) {
 	open := 0
 	for _, s := range j.plan.Graph.KBToSplits[l] {
 		m := &j.maps[s]
+		forced := false
+		if a, ok := lost[s]; ok && m.attempt == a {
+			forced = true
+		}
 		switch {
-		case m.done && deadWorker(m.worker):
-			// The spill died with its worker: invalidate the attempt and
-			// re-execute.
-			m.attempt++
+		case m.done && (forced || deadWorker(m.worker)):
+			// The spill died with its worker (or its bytes are poison):
+			// invalidate the attempt and re-execute.
+			m.attempt = m.allocAttempt()
 			m.done = false
 			m.worker, m.url = "", ""
+			m.started = time.Time{}
+			if forced && corrupt {
+				m.corrupt++
+			}
 			redispatch = append(redispatch, redo{split: s, priority: s})
 			open++
 			c.mReexecuted.Inc()

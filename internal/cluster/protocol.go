@@ -59,6 +59,10 @@ var (
 	// was closed while the job still had tasks to submit — the daemon is
 	// shutting down under the job.
 	ErrExecutorClosed = errors.New("cluster: executor closed")
+	// ErrSpillCorrupt means a Map task's re-execution budget was spent on
+	// spills that kept failing their payload checksum — the job refused
+	// to commit corrupt pairs and gave up instead.
+	ErrSpillCorrupt = errors.New("cluster: spill integrity failure")
 )
 
 // DatasetSpec tells a worker how to open the job's dataset by itself.
@@ -177,20 +181,31 @@ type HeartbeatRequest struct {
 
 // ReleaseRequest asks a worker to drop one job's cached plan/dataset
 // state and delete its spills. The coordinator broadcasts it to live
-// workers when a job resolves (success or failure).
+// workers when a job resolves (success or failure). When Split and
+// Attempt are both set, the release is scoped to that single attempt's
+// spill directory — used to reclaim a cancelled speculative attempt's
+// output while the job keeps running.
 type ReleaseRequest struct {
-	JobID string `json:"job_id"`
+	JobID   string `json:"job_id"`
+	Split   *int   `json:"split,omitempty"`
+	Attempt *int   `json:"attempt,omitempty"`
 }
 
 // WorkerInfo is the coordinator's view of one worker, as listed by
 // GET /v1/cluster/workers.
 type WorkerInfo struct {
-	Name      string `json:"name"`
-	URL       string `json:"url"`
-	Alive     bool   `json:"alive"`
-	Running   int    `json:"running"`
-	MapsDone  int64  `json:"maps_done"`
+	Name      string  `json:"name"`
+	URL       string  `json:"url"`
+	Alive     bool    `json:"alive"`
+	Running   int     `json:"running"`
+	MapsDone  int64   `json:"maps_done"`
 	LastSeenS float64 `json:"last_seen_s"` // seconds since last heartbeat
+	// FailScore is the EWMA of recent dispatch/fetch/probe failures
+	// (0 = healthy, 1 = every recent interaction failed).
+	FailScore float64 `json:"fail_score"`
+	// Quarantined workers receive no new dispatches (their spills are
+	// still served) until health probes decay the score back down.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // ShufflePath returns the worker-relative URL of one spill:

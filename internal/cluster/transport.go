@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewTransport builds an http.RoundTripper with phase-scoped timeouts
+// instead of a whole-request deadline: dialing (and TLS handshaking)
+// and waiting for response headers are each bounded, while reading an
+// arbitrarily large response body is not. A blanket http.Client.Timeout
+// would cut off slow-but-progressing streams; a half-dead peer that
+// accepts the connection and then goes silent is still detected by the
+// header timeout.
+//
+// Zero durations pick the defaults: 2s dial, 2s TLS handshake, 5s
+// response header.
+func NewTransport(dialTimeout, headerTimeout time.Duration) *http.Transport {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	if headerTimeout <= 0 {
+		headerTimeout = 5 * time.Second
+	}
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   dialTimeout,
+			KeepAlive: 15 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   dialTimeout,
+		ResponseHeaderTimeout: headerTimeout,
+		MaxIdleConnsPerHost:   8,
+		IdleConnTimeout:       30 * time.Second,
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/core"
 	"sidr/internal/datagen"
+	"sidr/internal/faultinject"
 	"sidr/internal/kv"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
@@ -39,9 +40,20 @@ type WorkerConfig struct {
 	CoordinatorURL string
 	// Heartbeat is the heartbeat period (default 1s).
 	Heartbeat time.Duration
-	// Client performs registration/heartbeat requests (default: a
-	// 5-second-timeout client).
+	// Client performs registration/heartbeat requests. The default uses
+	// NewTransport's phase-scoped timeouts (dial, TLS handshake,
+	// response header) rather than a whole-request deadline, tuned by
+	// DialTimeout and HeaderTimeout.
 	Client *http.Client
+	// DialTimeout bounds dialing and TLS handshaking on the default
+	// client (0 = 2s). Ignored when Client is set.
+	DialTimeout time.Duration
+	// HeaderTimeout bounds the wait for response headers on the default
+	// client (0 = 5s). Ignored when Client is set.
+	HeaderTimeout time.Duration
+	// Chaos, when set, injects worker-side faults into Map execution:
+	// scheduled kills, delays and hangs (see internal/faultinject).
+	Chaos *faultinject.Injector
 	// Logf, when set, receives worker lifecycle logging.
 	Logf func(format string, args ...any)
 }
@@ -99,7 +111,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg.Heartbeat = time.Second
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+		cfg.Client = &http.Client{Transport: NewTransport(cfg.DialTimeout, cfg.HeaderTimeout)}
 	}
 	w := &Worker{cfg: cfg, client: cfg.Client, jobs: make(map[string]*workerJob)}
 	w.mux = http.NewServeMux()
@@ -259,8 +271,12 @@ func (w *Worker) releaseLocked(jobID string) {
 }
 
 // handleRelease drops a resolved job's cached state and spills:
-// POST /v1/release {"job_id": ...}. Releasing an unknown job is a no-op
-// (the coordinator broadcasts releases to every live worker).
+// POST /v1/release {"job_id": ...}. With both "split" and "attempt"
+// set, the release is scoped to that single attempt's spill directory —
+// the cached job state survives, because the job is still running (a
+// speculation loser or superseded attempt is being reclaimed).
+// Releasing an unknown job is a no-op (the coordinator broadcasts
+// releases to every live worker).
 func (w *Worker) handleRelease(rw http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
@@ -273,6 +289,17 @@ func (w *Worker) handleRelease(rw http.ResponseWriter, r *http.Request) {
 	}
 	if !validJobID(req.JobID) {
 		http.Error(rw, "bad job id", http.StatusBadRequest)
+		return
+	}
+	if req.Split != nil && req.Attempt != nil {
+		if *req.Split < 0 || *req.Attempt < 0 {
+			http.Error(rw, "bad split/attempt", http.StatusBadRequest)
+			return
+		}
+		os.RemoveAll(filepath.Join(w.cfg.SpillDir, req.JobID,
+			fmt.Sprintf("%d-%d", *req.Split, *req.Attempt)))
+		w.logf("released job %s split %d attempt %d", req.JobID, *req.Split, *req.Attempt)
+		rw.WriteHeader(http.StatusOK)
 		return
 	}
 	w.mu.Lock()
@@ -358,6 +385,15 @@ func (w *Worker) handleMap(rw http.ResponseWriter, r *http.Request) {
 
 	w.running.Add(1)
 	defer w.running.Add(-1)
+	if w.cfg.Chaos != nil {
+		// The injector may delay, hang until the request is abandoned, or
+		// kill the process here — before any spill is written, so a
+		// chaosed attempt never leaves partial output behind.
+		if err := w.cfg.Chaos.BeforeMap(r.Context()); err != nil {
+			http.Error(rw, "chaos: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
 	in := j.input
 	in.Ctx = r.Context()
 	outs, records, err := mapreduce.ExecMap(in, j.plan.Splits[req.Split])

@@ -2,9 +2,11 @@ package kv
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -22,17 +24,33 @@ import (
 // Layout (little-endian):
 //
 //	magic "SPIL" | u16 version | u32 rank | i64 sourceCount | u32 nPairs
+//	u32 crc32c(payload)
 //	nPairs × ( rank × i64 key | f64 sum | f64 sumsq | f64 min | f64 max
 //	           | i64 count | u32 nSamples | nSamples × f64 )
+//
+// The CRC32C covers only the pair payload, not the header: the
+// sourceCount annotation stays independently verifiable by the Reduce
+// side's kv-count tally (§3.2.1), while the checksum guards the pair
+// bytes that tally cannot see inside.
 
 var spillMagic = [4]byte{'S', 'P', 'I', 'L'}
 
-const spillVersion uint16 = 1
+const spillVersion uint16 = 2
+
+// spillHeaderLen is the fixed byte length of the v2 header:
+// magic(4) + version(2) + rank(4) + sourceCount(8) + nPairs(4) + crc(4).
+const spillHeaderLen = 26
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Errors reported by the codec.
 var (
 	ErrBadSpillMagic   = errors.New("kv: bad spill magic")
 	ErrBadSpillVersion = errors.New("kv: unsupported spill version")
+	// ErrChecksum reports that a spill's pair payload does not match the
+	// CRC32C recorded in its header — the bytes were corrupted between
+	// the Map task's write and this read.
+	ErrChecksum = errors.New("kv: spill payload checksum mismatch")
 )
 
 // SpillHeader is the metadata of one Map output partition file.
@@ -44,74 +62,68 @@ type SpillHeader struct {
 	SourceCount int64
 	// Pairs is the number of ⟨k',v'⟩ records in the file.
 	Pairs int
+	// CRC is the CRC32C (Castagnoli) of the pair payload bytes.
+	CRC uint32
 }
 
 // WriteSpill serialises sorted pairs with their source-count annotation.
+// The payload is buffered first because its checksum lives in the
+// header, ahead of the bytes it covers.
 func WriteSpill(w io.Writer, rank int, sourceCount int64, pairs []Pair) error {
 	if rank <= 0 || rank > coords.MaxRank {
 		return fmt.Errorf("kv: invalid spill rank %d", rank)
 	}
-	bw := bufio.NewWriter(w)
+	var payload bytes.Buffer
+	if err := writeSpillPayload(&payload, rank, pairs); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var hdr [spillHeaderLen]byte
+	copy(hdr[:4], spillMagic[:])
+	le.PutUint16(hdr[4:6], spillVersion)
+	le.PutUint32(hdr[6:10], uint32(rank))
+	le.PutUint64(hdr[10:18], uint64(sourceCount))
+	le.PutUint32(hdr[18:22], uint32(len(pairs)))
+	le.PutUint32(hdr[22:26], crc32.Checksum(payload.Bytes(), castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+func writeSpillPayload(bw *bytes.Buffer, rank int, pairs []Pair) error {
 	le := binary.LittleEndian
 	var b8 [8]byte
-	put64 := func(v uint64) error {
+	put64 := func(v uint64) {
 		le.PutUint64(b8[:], v)
-		_, err := bw.Write(b8[:])
-		return err
+		bw.Write(b8[:])
 	}
-	putF := func(v float64) error { return put64(math.Float64bits(v)) }
-	put32 := func(v uint32) error {
+	putF := func(v float64) { put64(math.Float64bits(v)) }
+	put32 := func(v uint32) {
 		var b [4]byte
 		le.PutUint32(b[:], v)
-		_, err := bw.Write(b[:])
-		return err
-	}
-
-	if _, err := bw.Write(spillMagic[:]); err != nil {
-		return err
-	}
-	var b2 [2]byte
-	le.PutUint16(b2[:], spillVersion)
-	if _, err := bw.Write(b2[:]); err != nil {
-		return err
-	}
-	if err := put32(uint32(rank)); err != nil {
-		return err
-	}
-	if err := put64(uint64(sourceCount)); err != nil {
-		return err
-	}
-	if err := put32(uint32(len(pairs))); err != nil {
-		return err
+		bw.Write(b[:])
 	}
 	for _, p := range pairs {
 		if p.Key.Rank() != rank {
 			return fmt.Errorf("kv: pair key %v rank != %d", p.Key, rank)
 		}
 		for _, x := range p.Key {
-			if err := put64(uint64(x)); err != nil {
-				return err
-			}
+			put64(uint64(x))
 		}
 		v := p.Value
-		for _, f := range []float64{v.Sum, v.SumSq, v.Min, v.Max} {
-			if err := putF(f); err != nil {
-				return err
-			}
-		}
-		if err := put64(uint64(v.Count)); err != nil {
-			return err
-		}
-		if err := put32(uint32(len(v.Samples))); err != nil {
-			return err
-		}
+		putF(v.Sum)
+		putF(v.SumSq)
+		putF(v.Min)
+		putF(v.Max)
+		put64(uint64(v.Count))
+		put32(uint32(len(v.Samples)))
 		for _, s := range v.Samples {
-			if err := putF(s); err != nil {
-				return err
-			}
+			putF(s)
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // ReadSpillHeader reads only the header — how a Reduce task learns the
@@ -154,20 +166,41 @@ func readSpillHeader(br *bufio.Reader) (SpillHeader, error) {
 	if _, err := io.ReadFull(br, b4[:]); err != nil {
 		return SpillHeader{}, err
 	}
-	return SpillHeader{Rank: rank, SourceCount: src, Pairs: int(le.Uint32(b4[:]))}, nil
+	pairs := int(le.Uint32(b4[:]))
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return SpillHeader{}, err
+	}
+	return SpillHeader{Rank: rank, SourceCount: src, Pairs: pairs, CRC: le.Uint32(b4[:])}, nil
 }
 
-// ReadSpill deserialises a full spill file.
+// crcReader updates a running CRC32C over exactly the bytes consumed
+// through it, so ReadSpill can verify the payload checksum while
+// streaming without buffering the file.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	return n, err
+}
+
+// ReadSpill deserialises a full spill file, verifying the payload
+// against the header's CRC32C. A mismatch returns ErrChecksum — the
+// caller must treat the spill as lost, never merge its pairs.
 func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
 	br := bufio.NewReader(r)
 	h, err := readSpillHeader(br)
 	if err != nil {
 		return SpillHeader{}, nil, err
 	}
+	cr := &crcReader{r: br}
 	le := binary.LittleEndian
 	var b8 [8]byte
 	get64 := func() (uint64, error) {
-		if _, err := io.ReadFull(br, b8[:]); err != nil {
+		if _, err := io.ReadFull(cr, b8[:]); err != nil {
 			return 0, err
 		}
 		return le.Uint64(b8[:]), nil
@@ -178,7 +211,7 @@ func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
 	}
 	var b4 [4]byte
 	get32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, b4[:]); err != nil {
+		if _, err := io.ReadFull(cr, b4[:]); err != nil {
 			return 0, err
 		}
 		return le.Uint32(b4[:]), nil
@@ -231,6 +264,9 @@ func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
 			}
 		}
 		pairs = append(pairs, Pair{Key: key, Value: v})
+	}
+	if cr.sum != h.CRC {
+		return h, nil, fmt.Errorf("kv: spill crc %08x, header says %08x: %w", cr.sum, h.CRC, ErrChecksum)
 	}
 	return h, pairs, nil
 }

@@ -124,12 +124,57 @@ func TestReadSpillRejectsHugeCounts(t *testing.T) {
 	}
 }
 
+// TestReadSpillDetectsBitFlip: flipping any single bit of the pair
+// payload must surface as ErrChecksum, and flipping the annotation
+// fields in the header must NOT — the kv-count gate owns those bytes,
+// and a checksum that covered them would mask count tampering as a
+// generic corruption error.
+func TestReadSpillDetectsBitFlip(t *testing.T) {
+	data := encodeSpill(t, 2, 42, []Pair{
+		{Key: coords.NewCoord(1, 2), Value: Value{Sum: 4, SumSq: 16, Min: 4, Max: 4, Count: 1}},
+		{Key: coords.NewCoord(3, 4), Value: Value{Count: 2, Samples: []float64{0.5, 0.25}}},
+	})
+	const headerLen = 26
+	for i := headerLen; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), data...)
+			flipped[i] ^= 1 << bit
+			_, _, err := ReadSpill(bytes.NewReader(flipped))
+			if err == nil {
+				t.Fatalf("payload flip at byte %d bit %d decoded without error", i, bit)
+			}
+		}
+	}
+	// Header tamper: sourceCount (bytes 10..18) is outside the CRC.
+	patched := append([]byte(nil), data...)
+	patched[10] ^= 0x01
+	h, _, err := ReadSpill(bytes.NewReader(patched))
+	if err != nil {
+		t.Fatalf("sourceCount tamper tripped the payload checksum: %v", err)
+	}
+	if h.SourceCount == 42 {
+		t.Fatal("tamper did not change the annotation")
+	}
+}
+
+// TestReadSpillChecksumSentinel pins the sentinel error for a clean
+// payload corruption (valid structure, wrong bytes).
+func TestReadSpillChecksumSentinel(t *testing.T) {
+	data := encodeSpill(t, 1, 1, []Pair{{Key: coords.NewCoord(9), Value: Value{Sum: 2, Count: 1}}})
+	// Flip one bit inside the key — the structure still parses, so the
+	// failure must come from the checksum, not a truncation.
+	data[26] ^= 0x80
+	if _, _, err := ReadSpill(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
 // TestReadSpillHeaderStopsAtHeader: ReadSpillHeader must work on a
 // stream that carries only the header bytes (§3.2.1's point is reading
 // the annotation without parsing pair bodies).
 func TestReadSpillHeaderStopsAtHeader(t *testing.T) {
 	data := encodeSpill(t, 3, 12345, []Pair{{Key: coords.NewCoord(1, 2, 3), Value: Value{Count: 5}}})
-	const headerLen = 4 + 2 + 4 + 8 + 4
+	const headerLen = 4 + 2 + 4 + 8 + 4 + 4 // ...crc32c
 	h, err := ReadSpillHeader(io.LimitReader(bytes.NewReader(data), headerLen))
 	if err != nil {
 		t.Fatal(err)

@@ -133,6 +133,13 @@ func TestErrorDetailVocabulary(t *testing.T) {
 	if d := errorDetail(fmt.Errorf("map task 3: %w: dial refused", cluster.ErrRetryExhausted)); d != wire.DetailShuffleRetryExhausted {
 		t.Fatalf("ErrRetryExhausted detail = %q", d)
 	}
+	// An exhausted budget caused by checksum failures wraps BOTH
+	// sentinels; the integrity detail must win.
+	corrupt := fmt.Errorf("%w: map task 3 exceeded 5 attempts (2 checksum failures): %w",
+		cluster.ErrRetryExhausted, cluster.ErrSpillCorrupt)
+	if d := errorDetail(corrupt); d != wire.DetailSpillCorrupt {
+		t.Fatalf("ErrSpillCorrupt detail = %q, want %q", d, wire.DetailSpillCorrupt)
+	}
 	if d := errorDetail(fmt.Errorf("some other failure")); d != "" {
 		t.Fatalf("unrelated error detail = %q, want empty", d)
 	}

@@ -84,6 +84,11 @@ func errorDetail(err error) string {
 	switch {
 	case errors.Is(err, cluster.ErrNoWorkers):
 		return wire.DetailNoWorkers
+	// ErrSpillCorrupt is checked before ErrRetryExhausted: an attempt
+	// budget spent on checksum failures wraps both sentinels, and the
+	// integrity cause is the one clients need to see.
+	case errors.Is(err, cluster.ErrSpillCorrupt):
+		return wire.DetailSpillCorrupt
 	case errors.Is(err, cluster.ErrRetryExhausted):
 		return wire.DetailShuffleRetryExhausted
 	}

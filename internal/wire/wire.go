@@ -29,6 +29,10 @@ const (
 	// DetailShuffleRetryExhausted: a shuffle fetch or task dispatch kept
 	// failing after every retry and re-execution budget was spent.
 	DetailShuffleRetryExhausted = "shuffle-retry-exhausted"
+	// DetailSpillCorrupt: a Map task's re-execution budget was spent on
+	// spills that kept failing their payload checksum — the job refused
+	// to commit corrupt data.
+	DetailSpillCorrupt = "spill-corrupt"
 )
 
 // Result is the JSON form of a completed sidr.Result.

@@ -34,14 +34,16 @@ echo "== dataset (quickstart shape)"
 "$BIN/datagen" -out "$DATA/temperature.ncf" -var temperature \
   -shape 365,50,40 -kind temperature -seed 1
 
-echo "== launch sidrd (clustered) + 2 workers"
+echo "== launch sidrd (clustered) + 3 workers"
 "$BIN/sidrd" -addr "127.0.0.1:${PORT}" -data "$DATA" -cluster \
   >"$WORK/sidrd.log" 2>&1 &
 PIDS+=($!)
-for i in 1 2; do
+WPIDS=()
+for i in 1 2 3; do
   "$BIN/sidr-worker" -coordinator "$BASE" -name "smoke-w$i" \
     -spill-dir "$WORK/spill$i" >"$WORK/worker$i.log" 2>&1 &
   PIDS+=($!)
+  WPIDS+=($!)
 done
 
 echo "== wait for daemon + worker registration"
@@ -53,10 +55,10 @@ curl -fsS "$BASE/healthz" >/dev/null
 for _ in $(seq 1 100); do
   alive=$(curl -fsS "$BASE/v1/cluster/workers" \
     | python3 -c 'import json,sys; print(sum(1 for w in json.load(sys.stdin)["workers"] if w["alive"]))')
-  [ "$alive" -ge 2 ] && break
+  [ "$alive" -ge 3 ] && break
   sleep 0.1
 done
-[ "$alive" -ge 2 ] || { echo "FAIL: only $alive workers registered"; exit 1; }
+[ "$alive" -ge 3 ] || { echo "FAIL: only $alive workers registered"; exit 1; }
 echo "   $alive workers alive"
 
 QUERY='avg temperature[0,0,0 : 364,50,40] es {7,5,1}'
@@ -99,4 +101,37 @@ mc=$(curl -fsS "$BASE/metrics" | grep -E '^sidrd_(cluster_tasks_dispatched_total
 echo "$mc" | sed 's/^/   /'
 echo "$mc" | grep -q 'sidrd_shuffle_connections_total' || { echo "FAIL: no shuffle metrics"; exit 1; }
 
-echo "PASS: clustered result identical to in-process engine"
+echo "== chaos: SIGKILL one worker mid-job"
+KJOB=$(submit true)
+curl -fsSN "$BASE/v1/jobs/$KJOB/stream" >"$WORK/kill_stream.ndjson" &
+STREAM_PID=$!
+# Wait for the first committed keyblock, then kill worker 3 outright: its
+# spills vanish mid-shuffle and its running Map tasks die with it.
+for _ in $(seq 1 200); do
+  grep -q '"type": *"partial"' "$WORK/kill_stream.ndjson" 2>/dev/null && break
+  sleep 0.05
+done
+kill -9 "${WPIDS[2]}" 2>/dev/null || true
+echo "   killed worker smoke-w3 (pid ${WPIDS[2]})"
+wait "$STREAM_PID" || { echo "FAIL: stream for $KJOB aborted"; exit 1; }
+python3 -c '
+import json, sys
+for line in open(sys.argv[1]):
+    ev = json.loads(line)
+    if ev["type"] == "done":
+        r = ev["result"]
+        print(json.dumps({"keys": r["keys"], "values": r["values"], "rows": r["rows"]}, sort_keys=True))
+        sys.exit(0)
+    if ev["type"] in ("failed", "cancelled"):
+        sys.exit(f"job {ev}")
+sys.exit("stream ended without a terminal event")' "$WORK/kill_stream.ndjson" >"$WORK/kill.json"
+if ! cmp -s "$WORK/kill.json" "$WORK/local.json"; then
+  echo "FAIL: post-kill result differs from in-process result"
+  diff "$WORK/kill.json" "$WORK/local.json" | head -5
+  exit 1
+fi
+reexec=$(curl -fsS "$BASE/metrics" | grep -E '^sidrd_cluster_reexecuted_total' || true)
+echo "   ${reexec:-sidrd_cluster_reexecuted_total 0 (job outran the kill)}"
+echo "   post-kill result identical to in-process engine"
+
+echo "PASS: clustered results identical to in-process engine (with and without worker loss)"
