@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve bench smoke clean
+.PHONY: build test race vet serve bench bench-prune fuzz smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,20 @@ serve:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# bench-prune times the structural-index pruning experiment and emits
+# the cross-PR perf snapshot.
+BENCH_OUT ?= BENCH_PR6.json
+bench-prune:
+	$(GO) run ./cmd/sidrbench -json $(BENCH_OUT)
+
+# fuzz exercises the untrusted-bytes decoders briefly (CI runs the same
+# targets; crashers land in testdata/fuzz).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadSpill -fuzztime=$(FUZZTIME) ./internal/kv/
+	$(GO) test -run=^$$ -fuzz=FuzzReadIndex -fuzztime=$(FUZZTIME) ./internal/sidx/
+	$(GO) test -run=^$$ -fuzz=FuzzIndexCRC -fuzztime=$(FUZZTIME) ./internal/sidx/
 
 # smoke runs the multi-process cluster smoke test (sidrd + 2 workers).
 smoke:

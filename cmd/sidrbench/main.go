@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|failures|chaos]
+//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|failures|chaos|prune]
 //	          [-seed N] [-runs N] [-curves] [-dir DIR]
 //	sidrbench -json BENCH_PR5.json
 package main
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, failures, chaos)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, failures, chaos, prune)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
 		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
@@ -206,6 +206,15 @@ func main() {
 		}
 		return nil
 	})
+	run("prune", func() error {
+		fmt.Println("structural-index pruning: selective filter, indexed vs unindexed (real engine)")
+		r, err := pruneExperiment(*runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r.Format())
+		return nil
+	})
 }
 
 // benchCurve is one Figure 9/10 curve's headline numbers.
@@ -218,7 +227,8 @@ type benchCurve struct {
 
 // benchReport is the BENCH_PR*.json schema: the cross-PR perf snapshot.
 // sidrbench/2 added the networked-shuffle micro-benchmark; sidrbench/3
-// adds the chaos experiment (fault-recovery latency on real workers).
+// added the chaos experiment (fault-recovery latency on real workers);
+// sidrbench/4 adds the structural-index pruning experiment.
 type benchReport struct {
 	Schema string       `json:"schema"`
 	Seed   int64        `json:"seed"`
@@ -239,6 +249,7 @@ type benchReport struct {
 	} `json:"partition_micro"`
 	ShuffleMicro shuffleMicroResult `json:"shuffle_micro"`
 	Chaos        []chaosResult      `json:"chaos"`
+	Prune        pruneResult        `json:"prune"`
 }
 
 func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
@@ -257,7 +268,7 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 // writeBenchJSON runs the headline experiments and one real in-process
 // engine query, and writes the summary file.
 func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int) error {
-	rep := benchReport{Schema: "sidrbench/3", Seed: seed}
+	rep := benchReport{Schema: "sidrbench/4", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
 
 	rs, err := experiments.Figure9(cfg)
@@ -308,6 +319,10 @@ func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFe
 	}
 
 	if rep.Chaos, err = chaosExperiment(seed); err != nil {
+		return err
+	}
+
+	if rep.Prune, err = pruneExperiment(5); err != nil {
 		return err
 	}
 

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"time"
+
+	"sidr"
+	"sidr/internal/sidx"
+)
+
+// pruneResult is the structural-index pruning experiment's summary: the
+// same selective filter query timed on the real in-process engine with
+// and without the sidx block-range index.
+type pruneResult struct {
+	Query        string `json:"query"`
+	TotalSplits  int    `json:"total_splits"`
+	KeptSplits   int    `json:"kept_splits"`
+	PrunedSplits int    `json:"pruned_splits"`
+	IndexBuildMS float64 `json:"index_build_ms"`
+	IndexBytes   int64   `json:"index_bytes"`
+	// Splits scanned = Map tasks dispatched: the pruned plan's is the
+	// kept count, the unpruned plan's the full split set.
+	UnindexedMS      float64 `json:"unindexed_ms"`
+	IndexedMS        float64 `json:"indexed_ms"`
+	UnindexedFirstMS float64 `json:"unindexed_first_ms"`
+	IndexedFirstMS   float64 `json:"indexed_first_ms"`
+	Speedup          float64 `json:"speedup"`
+	Rows             int     `json:"rows"`
+	Identical        bool    `json:"identical"`
+}
+
+func (r pruneResult) Format() string {
+	return fmt.Sprintf("kept %d/%d splits (pruned %d)  unindexed %.1fms → indexed %.1fms (%.1fx)  first %.1fms → %.1fms  index %dB built in %.1fms  identical=%v",
+		r.KeptSplits, r.TotalSplits, r.PrunedSplits,
+		r.UnindexedMS, r.IndexedMS, r.Speedup,
+		r.UnindexedFirstMS, r.IndexedFirstMS,
+		r.IndexBytes, r.IndexBuildMS, r.Identical)
+}
+
+// pruneExperiment measures end-to-end what the structural index buys a
+// selective query: a synthetic dataset confines its high values to the
+// first 24 of 256 leading-dimension rows, so the filter's predicate is
+// satisfiable in only 3 of 32 splits (<10%). Each configuration runs
+// `runs` times and reports the fastest, and the experiment asserts the
+// two paths returned byte-identical results.
+func pruneExperiment(runs int) (pruneResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	shape := []int64{256, 64, 16}
+	const hotRows = 24
+	fn := func(k []int64) float64 {
+		v := math.Sin(float64(k[0]*31+k[1]*7+k[2])) * 40 // background in [-40, 40]
+		if k[0] < hotRows {
+			v += 1000
+		}
+		return v
+	}
+	ds, err := sidr.Synthetic(shape, fn)
+	if err != nil {
+		return pruneResult{}, err
+	}
+	const queryText = "filter_gt v[0,0,0 : 256,64,16] es {8,8,8} param 900"
+	q, err := sidr.ParseQuery(queryText)
+	if err != nil {
+		return pruneResult{}, err
+	}
+	res := pruneResult{Query: queryText}
+
+	buildStart := time.Now()
+	vi, err := ds.BuildIndex(32)
+	if err != nil {
+		return pruneResult{}, err
+	}
+	res.IndexBuildMS = float64(time.Since(buildStart)) / float64(time.Millisecond)
+	res.IndexBytes = (&sidx.Index{Vars: []*sidx.VarIndex{vi}}).EncodedSize()
+
+	// 8192-point target splits: 32 splits of 8 rows each.
+	opts := sidr.RunOptions{Engine: sidr.SIDR, Reducers: 4, SplitPoints: 8192}
+
+	run := func(withIndex bool) (*sidr.Result, float64, float64, *sidr.Prepared, error) {
+		o := opts
+		if withIndex {
+			o.Index = vi
+		}
+		prep, err := sidr.Prepare(shape, q, o)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		var best *sidr.Result
+		wall, first := math.Inf(1), math.Inf(1)
+		for i := 0; i < runs; i++ {
+			r, err := prep.Run(context.Background(), ds, o)
+			if err != nil {
+				return nil, 0, 0, nil, err
+			}
+			if ms := float64(r.Elapsed) / float64(time.Millisecond); ms < wall {
+				wall = ms
+				best = r
+			}
+			if ms := float64(r.FirstResult) / float64(time.Millisecond); ms < first {
+				first = ms
+			}
+		}
+		return best, wall, first, prep, nil
+	}
+
+	base, baseWall, baseFirst, basePrep, err := run(false)
+	if err != nil {
+		return pruneResult{}, err
+	}
+	indexed, idxWall, idxFirst, idxPrep, err := run(true)
+	if err != nil {
+		return pruneResult{}, err
+	}
+
+	res.TotalSplits = basePrep.SplitCount()
+	res.KeptSplits = idxPrep.SplitCount()
+	res.PrunedSplits = idxPrep.PrunedSplits()
+	res.UnindexedMS = baseWall
+	res.IndexedMS = idxWall
+	res.UnindexedFirstMS = baseFirst
+	res.IndexedFirstMS = idxFirst
+	if idxWall > 0 {
+		res.Speedup = baseWall / idxWall
+	}
+	res.Rows = len(indexed.Keys)
+	res.Identical = reflect.DeepEqual(base.Keys, indexed.Keys) && reflect.DeepEqual(base.Values, indexed.Values)
+	if !res.Identical {
+		return res, fmt.Errorf("pruned and unpruned results diverge (%d vs %d rows)", len(indexed.Keys), len(base.Keys))
+	}
+	return res, nil
+}

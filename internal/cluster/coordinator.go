@@ -20,6 +20,7 @@ import (
 	"sidr/internal/hdfs"
 	"sidr/internal/kv"
 	"sidr/internal/metrics"
+	"sidr/internal/ops"
 	"sidr/internal/sched"
 )
 
@@ -1383,9 +1384,18 @@ func (j *clusterJob) runReduce(l int) {
 		return
 	}
 	out := ReduceResult{Keyblock: l, Keys: make([]coords.Coord, 0, len(merged)), Values: make([][]float64, 0, len(merged))}
+	isFilter := op.Kind() == ops.Filter
+	params := j.plan.Query.Params()
 	for _, p := range merged {
+		vals := op.Apply(p.Value, params...)
+		if isFilter && len(vals) == 0 {
+			// Match the in-process engine: predicated operators omit
+			// keys with no surviving samples, keeping pruned and
+			// unpruned plans byte-identical.
+			continue
+		}
 		out.Keys = append(out.Keys, p.Key)
-		out.Values = append(out.Values, op.Apply(p.Value, j.plan.Query.Param))
+		out.Values = append(out.Values, vals)
 	}
 
 	j.mu.Lock()

@@ -101,6 +101,14 @@ type JobPlan struct {
 	Reducers    int    `json:"reducers"`
 	SplitPoints int64  `json:"split_points"`
 	MaxSkew     int64  `json:"max_skew,omitempty"`
+	// Pruned, when non-nil, restricts the plan to these indices of the
+	// unpruned split generation order: the structural-index keep list
+	// the submitter computed (see internal/sidx). Workers hold no
+	// index, so the kept list rides in the tuple and every party still
+	// derives the identical pruned plan from the same few scalars. No
+	// omitempty: an empty non-nil list ("every split pruned") must
+	// survive the wire distinct from nil ("unpruned").
+	Pruned []int `json:"pruned"`
 }
 
 // NewPlan derives the coordinator-identical core.Plan from the tuple.
@@ -132,6 +140,7 @@ func (jp JobPlan) newPlan(ns *hdfs.Namespace, file string) (*core.Plan, error) {
 		MaxSkew:     jp.MaxSkew,
 		Namespace:   ns,
 		File:        file,
+		KeepSplits:  jp.Pruned,
 	})
 }
 

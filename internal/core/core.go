@@ -22,9 +22,11 @@ import (
 	"sidr/internal/depgraph"
 	"sidr/internal/hdfs"
 	"sidr/internal/mapreduce"
+	"sidr/internal/ops"
 	"sidr/internal/partition"
 	"sidr/internal/query"
 	"sidr/internal/sched"
+	"sidr/internal/sidx"
 	"sidr/internal/simcluster"
 )
 
@@ -111,6 +113,21 @@ type Options struct {
 	// BytesPerPoint is the on-disk element size for locality math
 	// (default 8).
 	BytesPerPoint int64
+	// Index, when set, enables structural pruning: for value-predicated
+	// operators, splits whose indexed [min, max] block ranges cannot
+	// satisfy the predicate are dropped BEFORE the dependency graph is
+	// derived, so every keyblock's I_ℓ and expected kv-count reflect
+	// only contributing splits. The pruned plan's output is identical
+	// to the unpruned plan's by construction (the index is a
+	// conservative superset summary). Ignored when the index does not
+	// cover the query input or the operator admits no pruning.
+	Index *sidx.VarIndex
+	// KeepSplits, when non-nil, restricts the plan to these indices of
+	// the unpruned split generation order — the kept list a coordinator
+	// computed from its index, shipped to workers (which hold no index)
+	// so every party derives the identical pruned plan. Takes
+	// precedence over Index.
+	KeepSplits []int
 }
 
 // Plan is a fully derived execution plan.
@@ -133,6 +150,12 @@ type Plan struct {
 	Keyblocks []partition.Keyblock
 	// Priority is the keyblock scheduling order (SIDR only).
 	Priority []int
+	// KeptSplits maps Splits back to the unpruned generation order when
+	// structural pruning applied (KeptSplits[i] is Splits[i]'s original
+	// index); nil for unpruned plans.
+	KeptSplits []int
+	// PrunedSplits counts the splits the structural index dropped.
+	PrunedSplits int
 }
 
 // NewPlan derives a plan for the query under the given engine.
@@ -164,6 +187,27 @@ func NewPlan(q *query.Query, engine Engine, opts Options) (*Plan, error) {
 	}
 
 	p := &Plan{Query: q, Engine: engine, Reducers: opts.Reducers, Splits: splits, Space: space}
+
+	// Structural pruning happens here — after split generation, before
+	// the dependency graph — so I_ℓ and the kv-count barrier are derived
+	// from contributing splits only.
+	keep := opts.KeepSplits
+	if keep == nil && opts.Index != nil {
+		keep, _ = pruneKeepList(q, mapreduce.Slabs(splits), opts.Index)
+	}
+	if keep != nil {
+		kept := make([]mapreduce.InputSplit, 0, len(keep))
+		orig := make([]int, 0, len(keep))
+		for _, i := range keep {
+			if i < 0 || i >= len(splits) {
+				return nil, fmt.Errorf("core: kept split index %d out of range [0,%d)", i, len(splits))
+			}
+			kept = append(kept, splits[i])
+			orig = append(orig, i)
+		}
+		p.PrunedSplits = len(splits) - len(kept)
+		p.Splits, p.KeptSplits = kept, orig
+	}
 	switch engine {
 	case EngineSIDR:
 		pp, err := partition.NewPartitionPlus(space, opts.Reducers, opts.MaxSkew)
@@ -186,7 +230,7 @@ func NewPlan(q *query.Query, engine Engine, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("core: unknown engine %v", engine)
 	}
 
-	p.Graph, err = depgraph.Build(q, mapreduce.Slabs(splits), p.Part)
+	p.Graph, err = depgraph.Build(q, mapreduce.Slabs(p.Splits), p.Part)
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +243,48 @@ func NewPlan(q *query.Query, engine Engine, opts Options) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// pruneKeepList computes the kept-split indices for a query whose
+// operator admits index pruning; ok is false (keep nil) when no pruning
+// applies, which callers must treat as "run unpruned".
+func pruneKeepList(q *query.Query, slabs []coords.Slab, vi *sidx.VarIndex) ([]int, bool) {
+	if !vi.Covers(q.Input) || vi.Variable != "*" && vi.Variable != q.Variable {
+		return nil, false
+	}
+	op, err := q.Op()
+	if err != nil {
+		return nil, false
+	}
+	pred, ok := ops.PrunePredicate(op, q.Params()...)
+	if !ok {
+		return nil, false
+	}
+	return vi.PruneSplits(slabs, pred), true
+}
+
+// PruneSplits computes the index-pruned keep list for a query without
+// deriving a full plan: the same split geometry NewPlan generates,
+// filtered by the operator's conservative block predicate. The
+// coordinator path uses it to fill JobPlan.Pruned before dispatch.
+// pruned is false when the operator or index admits no pruning (keep is
+// nil — run unpruned); total is the unpruned split count.
+func PruneSplits(q *query.Query, splitPoints int64, vi *sidx.VarIndex) (keep []int, total int, pruned bool, err error) {
+	if vi == nil {
+		return nil, 0, false, nil
+	}
+	if splitPoints <= 0 {
+		return nil, 0, false, fmt.Errorf("core: PruneSplits needs explicit split points")
+	}
+	splits, err := mapreduce.GenerateSplits(q.Input, splitPoints, nil, "", 8)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	keep, ok := pruneKeepList(q, mapreduce.Slabs(splits), vi)
+	if !ok {
+		return nil, len(splits), false, nil
+	}
+	return keep, len(splits), true, nil
 }
 
 // KeyblockSlab returns the rectangular K' extent of keyblock l for dense

@@ -16,7 +16,9 @@ import (
 	"sidr/internal/core"
 	"sidr/internal/exec"
 	"sidr/internal/metrics"
+	"sidr/internal/ops"
 	"sidr/internal/query"
+	"sidr/internal/sidx"
 )
 
 // Errors reported by Submit and lookup paths.
@@ -48,6 +50,16 @@ type DatasetProvider interface {
 // manager's provider to implement it.
 type DatasetSpecProvider interface {
 	DatasetSpec(name, variable string) (cluster.DatasetSpec, error)
+}
+
+// IndexProvider is an optional DatasetProvider extension: it returns
+// the structural block-range index (internal/sidx) built for a
+// registered dataset variable, or nil when none exists. When the
+// provider implements it, the manager consults the index to prune
+// value-predicated queries' split sets before execution — in-process
+// via RunOptions.Index, clustered via JobPlan.Pruned.
+type IndexProvider interface {
+	Index(name, variable string) *sidx.VarIndex
 }
 
 // Config parametrises a Manager.
@@ -101,6 +113,7 @@ type Manager struct {
 
 	mSubmitted, mDone, mFailed, mCancelled, mRejected, mEvicted *metrics.Counter
 	mPlanHits, mPlanMisses, mPlanEvictions            *metrics.Counter
+	mSidxHits, mSidxMisses, mSidxPruned               *metrics.Counter
 	gQueued, gRunning, gPlanSize                      *metrics.Gauge
 	hQuerySeconds, hFirstResultSeconds                *metrics.Histogram
 }
@@ -143,6 +156,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		mPlanHits:           cfg.Metrics.Counter("sidrd_plan_cache_hits_total"),
 		mPlanMisses:         cfg.Metrics.Counter("sidrd_plan_cache_misses_total"),
 		mPlanEvictions:      cfg.Metrics.Counter("sidrd_plan_cache_evictions_total"),
+		mSidxHits:           cfg.Metrics.Counter("sidrd_sidx_hits_total"),
+		mSidxMisses:         cfg.Metrics.Counter("sidrd_sidx_misses_total"),
+		mSidxPruned:         cfg.Metrics.Counter("sidrd_sidx_pruned_splits_total"),
 		gQueued:             cfg.Metrics.Gauge("sidrd_jobs_queued"),
 		gRunning:            cfg.Metrics.Gauge("sidrd_jobs_running"),
 		gPlanSize:           cfg.Metrics.Gauge("sidrd_plan_cache_size"),
@@ -351,11 +367,41 @@ func (m *Manager) execute(j *Job) (*sidr.Result, error) {
 		MaxSkew:     j.Req.MaxSkew,
 		OnPartial:   j.addPartial,
 	}
+	if iq, perr := query.Parse(j.Req.Query); perr == nil {
+		opts.Index = m.lookupIndex(j.Req.Dataset, iq)
+	}
 	prep, err := m.prepare(ds.Shape(), q, &opts, j)
 	if err != nil {
 		return nil, err
 	}
+	m.mSidxPruned.Add(int64(prep.PrunedSplits()))
 	return prep.Run(j.ctx, ds, opts)
+}
+
+// lookupIndex resolves the structural index for a value-predicated
+// query and keeps the hit/miss counters. It returns nil — no pruning —
+// when the operator has no prune predicate, the provider holds no
+// index for the dataset, or the provider does not serve indexes at all.
+func (m *Manager) lookupIndex(dataset string, q *query.Query) *sidx.VarIndex {
+	op, err := q.Op()
+	if err != nil {
+		return nil
+	}
+	if _, ok := ops.PrunePredicate(op, q.Params()...); !ok {
+		return nil // not value-predicated; the index has nothing to offer
+	}
+	prov, ok := m.cfg.Datasets.(IndexProvider)
+	if !ok {
+		m.mSidxMisses.Inc()
+		return nil
+	}
+	vi := prov.Index(dataset, q.Variable)
+	if vi == nil {
+		m.mSidxMisses.Inc()
+		return nil
+	}
+	m.mSidxHits.Inc()
+	return vi
 }
 
 // executeCluster runs the job on the distributed runtime: the
@@ -393,6 +439,17 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 		splitPoints = q.Input.Size()/8 + 1
 	}
 
+	// Consult the structural index before dispatch: the kept-split list
+	// rides in the JobPlan tuple so index-less workers re-derive the
+	// coordinator's pruned plan exactly.
+	var prunedList []int
+	if vi := m.lookupIndex(j.Req.Dataset, q); vi != nil {
+		if keep, total, pruned, perr := core.PruneSplits(q, splitPoints, vi); perr == nil && pruned {
+			prunedList = keep
+			m.mSidxPruned.Add(int64(total - len(keep)))
+		}
+	}
+
 	start := time.Now()
 	var (
 		partMu sync.Mutex
@@ -401,7 +458,7 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 	res := &sidr.Result{}
 	cres, err := coord.Run(j.ctx, cluster.JobSpec{
 		ID:      j.ID,
-		Plan:    cluster.JobPlan{Query: q.String(), Engine: j.Req.Engine, Reducers: reducers, SplitPoints: splitPoints, MaxSkew: j.Req.MaxSkew},
+		Plan:    cluster.JobPlan{Query: q.String(), Engine: j.Req.Engine, Reducers: reducers, SplitPoints: splitPoints, MaxSkew: j.Req.MaxSkew, Pruned: prunedList},
 		Dataset: dspec,
 		Exec:    m.exec,
 		Workers: j.Req.Workers,

@@ -30,9 +30,17 @@ func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// planKey canonicalises the plan-determining inputs.
+// planKey canonicalises the plan-determining inputs. An index-pruned
+// plan is additionally a function of the index contents, so the index
+// fingerprint is mixed in: without it, re-registering a dataset with
+// different data (same shape, same query) would serve a stale pruned
+// split set from the cache.
 func planKey(shape []int64, query string, engine sidr.Engine, opts sidr.RunOptions) string {
-	return fmt.Sprintf("%v|%s|%d|%d|%d|%d", shape, query, engine, opts.Reducers, opts.SplitPoints, opts.MaxSkew)
+	var fp uint32
+	if opts.Index != nil {
+		fp = opts.Index.Fingerprint()
+	}
+	return fmt.Sprintf("%v|%s|%d|%d|%d|%d|%08x", shape, query, engine, opts.Reducers, opts.SplitPoints, opts.MaxSkew, fp)
 }
 
 // get returns the cached plan and bumps its recency.

@@ -247,7 +247,7 @@ func ExecMap(in MapInput, split InputSplit) ([]MapOut, int64, error) {
 			}
 			out := *val
 			if combine && in.Op.Kind() == ops.Filter {
-				out = ops.PreFilter(in.Op, out, q.Param)
+				out = ops.PreFilter(in.Op, out, q.Params()...)
 			}
 			if !combine && out.Count > 1 && out.Samples != nil {
 				// Without a combiner each source pair ships separately;
@@ -488,8 +488,17 @@ func (j *job) execReduce(l int) (ReduceOutput, error) {
 	merged := kv.MergeSorted(streams)
 	out := ReduceOutput{Keyblock: l, Keys: make([]coords.Coord, 0, len(merged)), Values: make([][]float64, 0, len(merged))}
 	var produced int64
+	isFilter := j.op.Kind() == ops.Filter
+	params := j.cfg.Query.Params()
 	for _, p := range merged {
-		vals := j.op.Apply(p.Value, j.cfg.Query.Param)
+		vals := j.op.Apply(p.Value, params...)
+		if isFilter && len(vals) == 0 {
+			// Predicated operators omit keys with no surviving samples.
+			// This makes index-pruned and unpruned plans byte-identical
+			// by construction: a key fed only by pruned splits (which
+			// provably contribute no survivors) simply never appears.
+			continue
+		}
 		out.Keys = append(out.Keys, p.Key)
 		out.Values = append(out.Values, vals)
 		produced += int64(len(vals))

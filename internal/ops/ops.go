@@ -57,24 +57,43 @@ type Operator interface {
 	// intermediate values for this operator.
 	NeedsSamples() bool
 	// Apply computes the outputs for one intermediate key from its fully
-	// merged value. param carries the operator parameter (e.g. a filter
-	// threshold); most operators ignore it. Distributive and holistic
-	// operators return exactly one value; filters return zero or more.
-	Apply(v kv.Value, param float64) []float64
+	// merged value. params carry the operator parameters (e.g. a filter
+	// threshold, or a range's two bounds); most operators ignore them.
+	// Distributive and holistic operators return exactly one value;
+	// filters return zero or more.
+	Apply(v kv.Value, params ...float64) []float64
 }
 
-// fn is a table-driven operator implementation.
+// fn is a table-driven operator implementation. Single-parameter
+// operators set apply; the two-parameter filter_range sets apply2.
 type fn struct {
 	name    string
 	kind    Kind
 	samples bool
+	nparams int // parameters the operator consumes (for query validation)
 	apply   func(v kv.Value, param float64) []float64
+	apply2  func(v kv.Value, p, p2 float64) []float64
+	// prune, when set, derives the conservative block-level predicate
+	// the structural index (internal/sidx) prunes splits with.
+	prune func(params []float64) func(min, max float64) bool
 }
 
-func (f fn) Name() string                          { return f.name }
-func (f fn) Kind() Kind                            { return f.kind }
-func (f fn) NeedsSamples() bool                    { return f.samples }
-func (f fn) Apply(v kv.Value, p float64) []float64 { return f.apply(v, p) }
+func (f fn) Name() string       { return f.name }
+func (f fn) Kind() Kind         { return f.kind }
+func (f fn) NeedsSamples() bool { return f.samples }
+func (f fn) Apply(v kv.Value, params ...float64) []float64 {
+	var p, p2 float64
+	if len(params) > 0 {
+		p = params[0]
+	}
+	if len(params) > 1 {
+		p2 = params[1]
+	}
+	if f.apply2 != nil {
+		return f.apply2(v, p, p2)
+	}
+	return f.apply(v, p)
+}
 
 var registry = map[string]Operator{}
 
@@ -117,26 +136,58 @@ func init() {
 	register(fn{name: "sort", kind: Holistic, samples: true, apply: func(v kv.Value, _ float64) []float64 {
 		return v.SortedSamples()
 	}})
-	register(fn{name: "filter_gt", kind: Filter, samples: true, apply: func(v kv.Value, p float64) []float64 {
-		var out []float64
-		for _, s := range v.Samples {
-			if s > p {
-				out = append(out, s)
+	// The three value-predicated filters also declare how the structural
+	// index may prune for them: a split is droppable when no overlapping
+	// block's [min, max] can contain a satisfying sample. The block range
+	// is a superset of the split's values, so the predicate is
+	// conservative — it never drops a contributing split.
+	register(fn{name: "filter_gt", kind: Filter, samples: true, nparams: 1,
+		apply: func(v kv.Value, p float64) []float64 {
+			var out []float64
+			for _, s := range v.Samples {
+				if s > p {
+					out = append(out, s)
+				}
 			}
-		}
-		sort.Float64s(out)
-		return out
-	}})
-	register(fn{name: "filter_lt", kind: Filter, samples: true, apply: func(v kv.Value, p float64) []float64 {
-		var out []float64
-		for _, s := range v.Samples {
-			if s < p {
-				out = append(out, s)
+			sort.Float64s(out)
+			return out
+		},
+		prune: func(params []float64) func(min, max float64) bool {
+			p := params[0]
+			return func(_, max float64) bool { return max > p }
+		}})
+	register(fn{name: "filter_lt", kind: Filter, samples: true, nparams: 1,
+		apply: func(v kv.Value, p float64) []float64 {
+			var out []float64
+			for _, s := range v.Samples {
+				if s < p {
+					out = append(out, s)
+				}
 			}
-		}
-		sort.Float64s(out)
-		return out
-	}})
+			sort.Float64s(out)
+			return out
+		},
+		prune: func(params []float64) func(min, max float64) bool {
+			p := params[0]
+			return func(min, _ float64) bool { return min < p }
+		}})
+	// filter_range keeps samples in the closed interval [lo, hi]; the
+	// query syntax supplies both bounds as "param lo,hi".
+	register(fn{name: "filter_range", kind: Filter, samples: true, nparams: 2,
+		apply2: func(v kv.Value, lo, hi float64) []float64 {
+			var out []float64
+			for _, s := range v.Samples {
+				if s >= lo && s <= hi {
+					out = append(out, s)
+				}
+			}
+			sort.Float64s(out)
+			return out
+		},
+		prune: func(params []float64) func(min, max float64) bool {
+			lo, hi := params[0], params[1]
+			return func(min, max float64) bool { return max >= lo && min <= hi }
+		}})
 	register(fn{name: "range", kind: Distributive, apply: func(v kv.Value, _ float64) []float64 {
 		if v.Count == 0 {
 			return []float64{0}
@@ -158,7 +209,7 @@ func init() {
 	}})
 	// percentile returns the p-th percentile (param in [0, 100]) using
 	// nearest-rank; param 50 matches median for odd sample counts.
-	register(fn{name: "percentile", kind: Holistic, samples: true, apply: func(v kv.Value, p float64) []float64 {
+	register(fn{name: "percentile", kind: Holistic, samples: true, nparams: 1, apply: func(v kv.Value, p float64) []float64 {
 		s := v.SortedSamples()
 		if len(s) == 0 {
 			return []float64{0}
@@ -204,14 +255,38 @@ func CombinerLossless(op Operator) bool {
 	return op.Kind() != Holistic
 }
 
+// NumParams returns how many parameters the operator consumes (0, 1 or
+// 2) — the query parser validates the "param" clause against it.
+func NumParams(op Operator) int {
+	if f, ok := op.(fn); ok {
+		return f.nparams
+	}
+	return 0
+}
+
+// PrunePredicate returns the conservative block-level predicate the
+// structural index uses to drop splits for a value-predicated operator:
+// keep(min, max) is true when a block whose values lie in [min, max]
+// may contain a satisfying sample. ok is false for operators that admit
+// no pruning (aggregates consume every point regardless of value).
+func PrunePredicate(op Operator, params ...float64) (keep func(min, max float64) bool, ok bool) {
+	f, isFn := op.(fn)
+	if !isFn || f.prune == nil {
+		return nil, false
+	}
+	ps := make([]float64, max(f.nparams, len(params)))
+	copy(ps, params)
+	return f.prune(ps), true
+}
+
 // PreFilter applies a filter operator's predicate inside a combiner,
 // discarding non-matching samples early. For non-filter operators it
 // returns the value unchanged.
-func PreFilter(op Operator, v kv.Value, param float64) kv.Value {
+func PreFilter(op Operator, v kv.Value, params ...float64) kv.Value {
 	if op.Kind() != Filter {
 		return v
 	}
-	kept := op.Apply(v, param)
+	kept := op.Apply(v, params...)
 	var out kv.Value
 	for _, s := range kept {
 		out.Add(s, true)

@@ -38,7 +38,7 @@ func TestNames(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("Names not sorted: %v", names)
 	}
-	want := []string{"absmax", "avg", "count", "filter_gt", "filter_lt", "max", "median", "min", "percentile", "range", "sort", "stddev", "sum"}
+	want := []string{"absmax", "avg", "count", "filter_gt", "filter_lt", "filter_range", "max", "median", "min", "percentile", "range", "sort", "stddev", "sum"}
 	if len(names) != len(want) {
 		t.Fatalf("Names = %v, want %v", names, want)
 	}
@@ -138,6 +138,75 @@ func TestFilters(t *testing.T) {
 	}
 	if got := apply(t, "filter_gt", 100, 1, 2); len(got) != 0 {
 		t.Fatalf("filter_gt none = %v", got)
+	}
+}
+
+func TestFilterRange(t *testing.T) {
+	op, err := Lookup("filter_range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounds are inclusive and survivors come out sorted.
+	got := op.Apply(valueOf(true, 9, 2, 5, 3, 7), 3, 7)
+	want := []float64{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("filter_range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("filter_range = %v, want %v", got, want)
+		}
+	}
+	if got := op.Apply(valueOf(true, 1, 9), 3, 7); len(got) != 0 {
+		t.Fatalf("filter_range none = %v", got)
+	}
+	if op.Kind() != Filter {
+		t.Fatal("filter_range is not Filter-kind")
+	}
+	if NumParams(op) != 2 {
+		t.Fatalf("filter_range NumParams = %d", NumParams(op))
+	}
+}
+
+func TestPrunePredicates(t *testing.T) {
+	cases := []struct {
+		name     string
+		params   []float64
+		min, max float64
+		keep     bool
+	}{
+		// filter_gt p keeps a block iff max > p.
+		{"filter_gt", []float64{10}, 0, 11, true},
+		{"filter_gt", []float64{10}, 0, 10, false},
+		// filter_lt p keeps a block iff min < p.
+		{"filter_lt", []float64{10}, 9, 20, true},
+		{"filter_lt", []float64{10}, 10, 20, false},
+		// filter_range lo,hi keeps a block iff [min,max] ∩ [lo,hi] ≠ ∅.
+		{"filter_range", []float64{3, 7}, 7, 9, true},
+		{"filter_range", []float64{3, 7}, 8, 9, false},
+		{"filter_range", []float64{3, 7}, 0, 2, false},
+		{"filter_range", []float64{3, 7}, 0, 100, true},
+	}
+	for _, c := range cases {
+		op, err := Lookup(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep, ok := PrunePredicate(op, c.params...)
+		if !ok {
+			t.Fatalf("%s has no prune predicate", c.name)
+		}
+		if got := keep(c.min, c.max); got != c.keep {
+			t.Fatalf("%s%v keep(%g, %g) = %v, want %v", c.name, c.params, c.min, c.max, got, c.keep)
+		}
+	}
+	// Aggregates are not prunable: no value predicate to test blocks
+	// against.
+	for _, name := range []string{"avg", "sum", "median", "percentile"} {
+		op, _ := Lookup(name)
+		if _, ok := PrunePredicate(op, 1); ok {
+			t.Fatalf("%s unexpectedly prunable", name)
+		}
 	}
 }
 

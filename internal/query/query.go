@@ -24,8 +24,16 @@ import (
 type Query struct {
 	// Operator is the registered operator name (see package ops).
 	Operator string
-	// Param is the operator parameter (e.g. filter threshold).
+	// Param is the operator parameter (e.g. filter threshold, or the
+	// lower bound of a two-parameter operator).
 	Param float64
+	// Param2 is the second operator parameter (e.g. filter_range's
+	// upper bound); meaningful only when HasParam2 is set.
+	Param2 float64
+	// HasParam2 records that the query's param clause carried two
+	// values ("param lo,hi") — kept explicit so a zero second bound
+	// still renders and round-trips.
+	HasParam2 bool
 	// Variable names the dataset variable the query reads.
 	Variable string
 	// Input is the coordinate subset of the variable forming the query
@@ -45,8 +53,17 @@ func (q *Query) Validate(varShape coords.Shape) error {
 	if q.Variable == "" {
 		return fmt.Errorf("query: missing variable name")
 	}
-	if _, err := ops.Lookup(q.Operator); err != nil {
+	op, err := ops.Lookup(q.Operator)
+	if err != nil {
 		return fmt.Errorf("query: %w", err)
+	}
+	if n := ops.NumParams(op); q.HasParam2 && n < 2 {
+		return fmt.Errorf("query: operator %s takes at most %d parameter(s), got 2", q.Operator, n)
+	} else if n == 2 && !q.HasParam2 {
+		return fmt.Errorf("query: operator %s needs two parameters (param lo,hi)", q.Operator)
+	}
+	if q.HasParam2 && q.Param > q.Param2 {
+		return fmt.Errorf("query: empty param range [%g, %g]", q.Param, q.Param2)
 	}
 	if err := q.Input.Shape.Validate(); err != nil {
 		return fmt.Errorf("query: input slab: %w", err)
@@ -76,6 +93,15 @@ func (q *Query) Op() (ops.Operator, error) {
 	return ops.Lookup(q.Operator)
 }
 
+// Params returns the operator parameters in positional order, ready to
+// splat into ops.Operator.Apply.
+func (q *Query) Params() []float64 {
+	if q.HasParam2 {
+		return []float64{q.Param, q.Param2}
+	}
+	return []float64{q.Param}
+}
+
 // IntermediateSpace returns the query's intermediate keyspace K'^T as a
 // slab in K' (SIDR §3, Area 3). The slab's corner is the tile index of
 // the input corner; its shape is the tiled extent of the input.
@@ -93,7 +119,9 @@ func (q *Query) String() string {
 	if q.Extraction.Stride != nil {
 		fmt.Fprintf(&b, " stride {%s}", joinInts(coords.Coord(q.Extraction.Stride)))
 	}
-	if q.Param != 0 {
+	if q.HasParam2 {
+		fmt.Fprintf(&b, " param %g,%g", q.Param, q.Param2)
+	} else if q.Param != 0 {
 		fmt.Fprintf(&b, " param %g", q.Param)
 	}
 	if q.KeepPartial {
@@ -171,9 +199,22 @@ func Parse(s string) (*Query, error) {
 			if i+1 >= len(toks) {
 				return nil, fmt.Errorf("query: param needs a number")
 			}
-			q.Param, err = strconv.ParseFloat(toks[i+1], 64)
+			// One value ("param 40") or two comma-separated bounds
+			// ("param 10,20") for two-parameter operators.
+			parts := strings.Split(toks[i+1], ",")
+			if len(parts) > 2 {
+				return nil, fmt.Errorf("query: param takes at most two values, got %q", toks[i+1])
+			}
+			q.Param, err = strconv.ParseFloat(parts[0], 64)
 			if err != nil {
 				return nil, fmt.Errorf("query: bad param %q: %w", toks[i+1], err)
+			}
+			if len(parts) == 2 {
+				q.Param2, err = strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("query: bad param %q: %w", toks[i+1], err)
+				}
+				q.HasParam2 = true
 			}
 			i += 2
 		case "keep-partial":

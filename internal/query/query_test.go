@@ -101,6 +101,8 @@ func TestStringRoundTrip(t *testing.T) {
 		"median windspeed[0,0,0,0 : 7200,360,720,50] es {2,36,36,10}",
 		"filter_gt temp[0,0 : 10,10] es {2,2} stride {3,3} param 4.5 keep-partial",
 		"avg t[5,6 : 10,20] es {2,4}",
+		"filter_range temp[0,0 : 10,10] es {2,2} param 3.5,7.25",
+		"filter_range temp[0,0 : 10,10] es {2,2} param -2,0",
 	} {
 		q, err := Parse(s)
 		if err != nil {
@@ -113,6 +115,45 @@ func TestStringRoundTrip(t *testing.T) {
 		if q2.String() != q.String() {
 			t.Fatalf("round trip mismatch: %q vs %q", q.String(), q2.String())
 		}
+	}
+}
+
+func TestTwoParamQueries(t *testing.T) {
+	q, err := Parse("filter_range t[0,0 : 8,8] es {2,2} param 1,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasParam2 || q.Param != 1 || q.Param2 != 5 {
+		t.Fatalf("param clause parsed as %+v", q)
+	}
+	if got := q.Params(); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("Params() = %v", got)
+	}
+	// A zero second bound must round-trip (HasParam2 keeps it explicit).
+	q2, err := Parse("filter_range t[0,0 : 8,8] es {2,2} param -3,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.HasParam2 || q2.Param2 != 0 {
+		t.Fatalf("zero upper bound lost: %+v", q2)
+	}
+
+	for _, bad := range []string{
+		"filter_gt t[0,0 : 8,8] es {2,2} param 1,5",    // one-param op, two values
+		"filter_range t[0,0 : 8,8] es {2,2} param 5",   // two-param op, one value
+		"filter_range t[0,0 : 8,8] es {2,2} param 5,1", // empty range
+		"filter_range t[0,0 : 8,8] es {2,2} param 1,2,3",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+	single, err := Parse("filter_gt t[0,0 : 8,8] es {2,2} param 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Params(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("single Params() = %v", got)
 	}
 }
 

@@ -6,26 +6,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"sidr"
 	"sidr/internal/cluster"
 	"sidr/internal/coords"
+	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
+	"sidr/internal/sidx"
+	"sidr/internal/wire"
 )
 
-// VariableInfo describes one queryable variable of a dataset.
-type VariableInfo struct {
-	Name  string  `json:"name"`
-	Shape []int64 `json:"shape"`
-}
-
-// DatasetInfo is the /v1/datasets wire form of one registered dataset.
-type DatasetInfo struct {
-	Name      string         `json:"name"`
-	Kind      string         `json:"kind"` // "file" or "synthetic"
-	Path      string         `json:"path,omitempty"`
-	Variables []VariableInfo `json:"variables"`
-}
+// VariableInfo and DatasetInfo are the /v1/datasets wire forms; the
+// documented JSON shape lives in internal/wire.
+type (
+	VariableInfo = wire.VariableInfo
+	DatasetInfo  = wire.DatasetInfo
+)
 
 // source is a registered dataset not yet opened.
 type source struct {
@@ -34,6 +31,7 @@ type source struct {
 	shape []int64                   // synthetic datasets
 	fn    func(k []int64) float64   // synthetic datasets
 	spec  *cluster.DatasetSpec      // generator-backed synthetics (cluster-resolvable)
+	idx   map[string]*sidx.VarIndex // structural indexes by variable name
 }
 
 // handle is one refcounted open dataset, keyed by (dataset, variable).
@@ -60,7 +58,11 @@ func NewRegistry() *Registry {
 }
 
 // AddFile registers an ncfile container under the given name, reading
-// its header to list variables.
+// its header to list variables. Each variable gets a structural
+// block-range index: a matching .sidx sidecar next to the container is
+// loaded, otherwise the variable is scanned once (in parallel) and the
+// fresh index persisted back to the sidecar best-effort. Index trouble
+// never fails registration — the dataset just runs unpruned.
 func (r *Registry) AddFile(name, path string) error {
 	f, err := ncfile.Open(path)
 	if err != nil {
@@ -68,20 +70,93 @@ func (r *Registry) AddFile(name, path string) error {
 	}
 	defer f.Close()
 	info := DatasetInfo{Name: name, Kind: "file", Path: path}
+	idx := make(map[string]*sidx.VarIndex)
+	sidecar := path + ".sidx"
+	loaded := make(map[string]*sidx.VarIndex)
+	if ix, lerr := sidx.Load(sidecar); lerr == nil {
+		for _, vi := range ix.Vars {
+			loaded[vi.Variable] = vi
+		}
+	}
+	rebuilt := false
 	for _, v := range f.Header().Vars {
 		shape, err := f.Header().VarShape(v.Name)
 		if err != nil {
 			return err
 		}
-		info.Variables = append(info.Variables, VariableInfo{Name: v.Name, Shape: shape})
+		vi := VariableInfo{Name: v.Name, Shape: shape, Splits: defaultSplitCount(shape), IndexStatus: "none"}
+		start := time.Now()
+		ix := loaded[v.Name]
+		if ix != nil && ix.Shape.Equal(shape) {
+			vi.IndexStatus = "loaded"
+		} else {
+			ix, err = sidx.BuildVar(v.Name, shape, &mapreduce.FileReader{File: f, Var: v.Name}, sidx.BuildOptions{})
+			if err != nil {
+				info.Variables = append(info.Variables, vi)
+				continue
+			}
+			vi.IndexStatus = "built"
+			rebuilt = true
+		}
+		vi.IndexBlocks = len(ix.Blocks)
+		vi.IndexBytes = (&sidx.Index{Vars: []*sidx.VarIndex{ix}}).EncodedSize()
+		vi.IndexBuildMs = float64(time.Since(start)) / float64(time.Millisecond)
+		idx[v.Name] = ix
+		info.Variables = append(info.Variables, vi)
+	}
+	if rebuilt {
+		all := &sidx.Index{}
+		for _, v := range f.Header().Vars { // header order keeps the sidecar deterministic
+			if ix := idx[v.Name]; ix != nil {
+				all.Vars = append(all.Vars, ix)
+			}
+		}
+		_ = all.Save(sidecar) // best-effort; a read-only data dir is fine
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.sources[name]; dup {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
-	r.sources[name] = &source{info: info, path: path}
+	r.sources[name] = &source{info: info, path: path, idx: idx}
 	return nil
+}
+
+// defaultSplitCount reports how many Map input splits the default
+// granularity (sidr.Prepare's Input.Size()/8+1 target) generates over
+// the full variable; listed so clients can judge pruning ratios.
+func defaultSplitCount(shape coords.Shape) int {
+	slab := coords.Slab{Corner: make(coords.Coord, shape.Rank()), Shape: shape}
+	splits, err := mapreduce.GenerateSplits(slab, slab.Size()/8+1, nil, "", 8)
+	if err != nil {
+		return 0
+	}
+	return len(splits)
+}
+
+// buildSyntheticIndex scans a synthetic dataset once and summarises it;
+// synthetic sources answer any variable name, so the index is filed
+// under "*".
+func buildSyntheticIndex(shape coords.Shape, fn func(coords.Coord) float64) (*sidx.VarIndex, error) {
+	return sidx.BuildVar("*", shape, &mapreduce.FuncReader{Fn: fn}, sidx.BuildOptions{})
+}
+
+// syntheticInfo fills the "*" variable's registration metadata from a
+// build attempt (ix nil means the source runs unpruned).
+func syntheticInfo(shape []int64, ix *sidx.VarIndex, took time.Duration) VariableInfo {
+	vi := VariableInfo{
+		Name:   "*",
+		Shape:  append([]int64(nil), shape...),
+		Splits: defaultSplitCount(coords.NewShape(shape...)),
+	}
+	vi.IndexStatus = "none"
+	if ix != nil {
+		vi.IndexStatus = "built"
+		vi.IndexBlocks = len(ix.Blocks)
+		vi.IndexBytes = (&sidx.Index{Vars: []*sidx.VarIndex{ix}}).EncodedSize()
+		vi.IndexBuildMs = float64(took) / float64(time.Millisecond)
+	}
+	return vi
 }
 
 // AddSynthetic registers a pure-function dataset of the given shape;
@@ -90,8 +165,12 @@ func (r *Registry) AddSynthetic(name string, shape []int64, fn func(k []int64) f
 	if fn == nil {
 		return fmt.Errorf("server: nil synthetic dataset function")
 	}
+	// No index for opaque functions: registration may not invoke caller
+	// code (a fn may block, be expensive, or have side effects), so only
+	// file and generator-backed datasets — whose data the registry owns —
+	// are scanned. IndexStatus stays "none" and queries run unpruned.
 	info := DatasetInfo{Name: name, Kind: "synthetic",
-		Variables: []VariableInfo{{Name: "*", Shape: append([]int64(nil), shape...)}}}
+		Variables: []VariableInfo{syntheticInfo(shape, nil, 0)}}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.sources[name]; dup {
@@ -117,8 +196,14 @@ func (r *Registry) AddGenerated(name string, spec cluster.DatasetSpec) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	ix, _ := buildSyntheticIndex(coords.NewShape(spec.Shape...), fn)
 	info := DatasetInfo{Name: name, Kind: "synthetic",
-		Variables: []VariableInfo{{Name: "*", Shape: append([]int64(nil), spec.Shape...)}}}
+		Variables: []VariableInfo{syntheticInfo(spec.Shape, ix, time.Since(start))}}
+	idx := make(map[string]*sidx.VarIndex)
+	if ix != nil {
+		idx["*"] = ix
+	}
 	specCopy := spec
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -130,6 +215,7 @@ func (r *Registry) AddGenerated(name string, spec cluster.DatasetSpec) error {
 		shape: append([]int64(nil), spec.Shape...),
 		fn:    func(k []int64) float64 { return fn(coords.Coord(k)) },
 		spec:  &specCopy,
+		idx:   idx,
 	}
 	return nil
 }
@@ -237,6 +323,36 @@ func (r *Registry) releaseFunc(key string) func() {
 			}
 		})
 	}
+}
+
+// Index returns the structural block-range index for the dataset
+// variable, or nil when none was built. Synthetic sources answer any
+// variable name with their "*" index. Implements jobs.IndexProvider.
+func (r *Registry) Index(name, variable string) *sidx.VarIndex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.sources[name]
+	if !ok || src.idx == nil {
+		return nil
+	}
+	if vi := src.idx[variable]; vi != nil {
+		return vi
+	}
+	return src.idx["*"]
+}
+
+// IndexBytes returns the total serialized size of every registered
+// structural index; the server exposes it as a gauge.
+func (r *Registry) IndexBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, src := range r.sources {
+		for _, ix := range src.idx {
+			total += (&sidx.Index{Vars: []*sidx.VarIndex{ix}}).EncodedSize()
+		}
+	}
+	return total
 }
 
 // OpenHandles returns the number of currently open dataset handles.

@@ -226,6 +226,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Gauge("sidrd_datasets_open").Set(int64(s.registry.OpenHandles()))
+	s.metrics.Gauge("sidrd_sidx_index_bytes").Set(s.registry.IndexBytes())
 	st := s.mgr.ExecStats()
 	s.metrics.Gauge("sidrd_exec_workers").Set(int64(st.Workers))
 	s.metrics.Gauge("sidrd_exec_queue_depth").Set(int64(st.Queued))

@@ -35,6 +35,36 @@ const (
 	DetailSpillCorrupt = "spill-corrupt"
 )
 
+// VariableInfo describes one queryable variable of a registered
+// dataset on GET /v1/datasets.
+type VariableInfo struct {
+	Name  string  `json:"name"` // "*" for synthetic datasets (any name resolves)
+	Shape []int64 `json:"shape"`
+	// Splits is how many Map input splits a default-granularity plan
+	// over the full variable generates — the denominator for judging
+	// how much the structural index pruned.
+	Splits int `json:"splits"`
+	// IndexStatus tells whether a structural block-range index
+	// (internal/sidx) backs the variable: "built" (scanned at
+	// registration), "loaded" (deserialized from a .sidx sidecar next
+	// to the container), or "none".
+	IndexStatus string `json:"index_status"`
+	// IndexBlocks, IndexBytes and IndexBuildMs describe the index when
+	// IndexStatus is not "none": its block count, serialized size, and
+	// how long the registration-time build (or sidecar load) took.
+	IndexBlocks  int     `json:"index_blocks,omitempty"`
+	IndexBytes   int64   `json:"index_bytes,omitempty"`
+	IndexBuildMs float64 `json:"index_build_ms,omitempty"`
+}
+
+// DatasetInfo is one registered dataset on GET /v1/datasets.
+type DatasetInfo struct {
+	Name      string         `json:"name"`
+	Kind      string         `json:"kind"` // "file" or "synthetic"
+	Path      string         `json:"path,omitempty"`
+	Variables []VariableInfo `json:"variables"`
+}
+
 // Result is the JSON form of a completed sidr.Result.
 type Result struct {
 	Keys        [][]int64   `json:"keys"`

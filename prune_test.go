@@ -1,0 +1,127 @@
+package sidr
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// hotBand is deterministic data whose high values are confined to a
+// narrow band of leading-dimension rows, so selective predicates can
+// prune most splits while unselective ones prune none.
+func hotBand(k []int64) float64 {
+	v := float64((k[0]*31+k[1]*7)%97) / 97.0 * 20.0 // background in [0, 20)
+	if k[0] >= 8 && k[0] < 16 {
+		v += 100 // hot band: [100, 120)
+	}
+	return v
+}
+
+// TestPrunedQueriesMatchUnpruned is the seeded property test for the
+// structural index: every randomly drawn value-predicated query must
+// return byte-identical results with and without the index — whether
+// the predicate matches everything, nothing, or just the hot band —
+// and across the draw at least one plan must actually have pruned.
+func TestPrunedQueriesMatchUnpruned(t *testing.T) {
+	shape := []int64{64, 12}
+	ds, err := Synthetic(shape, hotBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := ds.BuildIndex(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	totalPruned := 0
+	for i := 0; i < 30; i++ {
+		var qs string
+		// Thresholds span [-10, 130]: below, inside and above both the
+		// background and hot ranges.
+		p := rng.Float64()*140 - 10
+		switch rng.Intn(3) {
+		case 0:
+			qs = fmt.Sprintf("filter_gt t[0,0 : 64,12] es {4,4} param %g", p)
+		case 1:
+			qs = fmt.Sprintf("filter_lt t[0,0 : 64,12] es {4,4} param %g", p)
+		default:
+			p2 := rng.Float64()*140 - 10
+			if p2 < p {
+				p, p2 = p2, p
+			}
+			qs = fmt.Sprintf("filter_range t[0,0 : 64,12] es {4,4} param %g,%g", p, p2)
+		}
+		q, err := ParseQuery(qs)
+		if err != nil {
+			t.Fatalf("case %d: parse %q: %v", i, qs, err)
+		}
+		opts := RunOptions{Engine: SIDR, Reducers: 3, SplitPoints: 48}
+		base, err := Run(ds, q, opts)
+		if err != nil {
+			t.Fatalf("case %d: unpruned %q: %v", i, qs, err)
+		}
+		opts.Index = vi
+		prep, err := Prepare(shape, q, opts)
+		if err != nil {
+			t.Fatalf("case %d: prepare pruned %q: %v", i, qs, err)
+		}
+		pruned, err := prep.Run(t.Context(), ds, opts)
+		if err != nil {
+			t.Fatalf("case %d: pruned %q: %v", i, qs, err)
+		}
+		if !reflect.DeepEqual(base.Keys, pruned.Keys) || !reflect.DeepEqual(base.Values, pruned.Values) {
+			t.Fatalf("case %d: pruned result diverges for %q\nunpruned: %d rows\npruned:   %d rows (dropped %d splits)",
+				i, qs, len(base.Keys), len(pruned.Keys), prep.PrunedSplits())
+		}
+		totalPruned += prep.PrunedSplits()
+		if prep.PrunedSplits() > 0 && prep.SplitCount() >= len(base.Keys) {
+			// SplitCount reflects the post-prune dispatch set.
+			_ = prep.SplitCount()
+		}
+	}
+	if totalPruned == 0 {
+		t.Fatal("30 seeded queries never pruned a split — the property test exercised nothing")
+	}
+}
+
+// TestPrunedSubsetInputAndEngines checks pruning on an offset sub-slab
+// input (partial index coverage paths) and on every engine.
+func TestPrunedSubsetInputAndEngines(t *testing.T) {
+	shape := []int64{64, 12}
+	ds, err := Synthetic(shape, hotBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := ds.BuildIndex(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("filter_gt t[4,0 : 48,12] es {4,4} param 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{Hadoop, SciHadoop, SIDR} {
+		opts := RunOptions{Engine: engine, Reducers: 2, SplitPoints: 36}
+		base, err := Run(ds, q, opts)
+		if err != nil {
+			t.Fatalf("engine %v unpruned: %v", engine, err)
+		}
+		opts.Index = vi
+		prep, err := Prepare(shape, q, opts)
+		if err != nil {
+			t.Fatalf("engine %v prepare: %v", engine, err)
+		}
+		pruned, err := prep.Run(t.Context(), ds, opts)
+		if err != nil {
+			t.Fatalf("engine %v pruned: %v", engine, err)
+		}
+		if prep.PrunedSplits() == 0 {
+			t.Fatalf("engine %v: selective query pruned nothing", engine)
+		}
+		if !reflect.DeepEqual(base.Keys, pruned.Keys) || !reflect.DeepEqual(base.Values, pruned.Values) {
+			t.Fatalf("engine %v: pruned result diverges", engine)
+		}
+	}
+}

@@ -33,7 +33,14 @@ import (
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
 	"sidr/internal/query"
+	"sidr/internal/sidx"
 )
+
+// VarIndex is a structural block-range index over one dataset variable:
+// per-block min/max/count summaries that let the planner prune input
+// splits a value-predicated query provably cannot match. Build one with
+// Dataset.BuildIndex and pass it via RunOptions.Index. See internal/sidx.
+type VarIndex = sidx.VarIndex
 
 // Executor is a bounded shared worker pool that many concurrent runs can
 // be scheduled onto; see RunOptions.Exec. Create with NewExecutor and
@@ -114,6 +121,19 @@ func (d *Dataset) reader() mapreduce.RecordReader {
 	return &mapreduce.FuncReader{Fn: d.fn}
 }
 
+// BuildIndex scans the dataset once and builds a structural block-range
+// index over it, splitting the leading dimension into the given number
+// of blocks (0 means the sidx default). The index is conservative:
+// plans that consult it (RunOptions.Index) return byte-identical
+// results to unindexed plans, only faster on selective predicates.
+func (d *Dataset) BuildIndex(blocks int) (*VarIndex, error) {
+	variable := d.variable
+	if variable == "" {
+		variable = "*" // synthetic datasets answer any variable name
+	}
+	return sidx.BuildVar(variable, d.shape, d.reader(), sidx.BuildOptions{Blocks: blocks})
+}
+
 // Query is a validated structural query.
 type Query struct {
 	q *query.Query
@@ -187,6 +207,12 @@ type RunOptions struct {
 	// Priority orders keyblock scheduling for computational steering
 	// (SIDR only).
 	Priority []int
+	// Index, when set, lets the planner prune input splits that a
+	// value-predicated query (filter_gt, filter_lt, filter_range)
+	// provably cannot match, before the dependency graph is derived.
+	// Results are identical to running without the index. Build one
+	// with Dataset.BuildIndex.
+	Index *VarIndex
 	// Workers bounds the run's task concurrency. Without an injected
 	// executor it sizes the run's private worker pool (default
 	// runtime.GOMAXPROCS(0), so the engine scales with the machine);
@@ -242,6 +268,7 @@ func Prepare(shape []int64, q *Query, opts RunOptions) (*Prepared, error) {
 		SplitPoints: opts.SplitPoints,
 		MaxSkew:     opts.MaxSkew,
 		Priority:    opts.Priority,
+		Index:       opts.Index,
 	})
 	if err != nil {
 		return nil, err
@@ -251,6 +278,15 @@ func Prepare(shape []int64, q *Query, opts RunOptions) (*Prepared, error) {
 
 // Query returns the prepared query.
 func (p *Prepared) Query() *Query { return p.q }
+
+// SplitCount returns how many input splits the plan will dispatch Map
+// tasks for (after any index pruning).
+func (p *Prepared) SplitCount() int { return len(p.plan.Splits) }
+
+// PrunedSplits returns how many input splits the structural index
+// proved irrelevant and removed from the plan (0 when no index was
+// supplied or nothing could be pruned).
+func (p *Prepared) PrunedSplits() int { return p.plan.PrunedSplits }
 
 // Run executes the prepared plan over a dataset of the prepared shape.
 // Only the execution-time fields of opts (Workers, OnPartial) are used;

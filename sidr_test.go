@@ -296,7 +296,7 @@ func TestFilterQueryThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every returned value must satisfy the predicate; keys with no
-	// survivors return empty value lists.
+	// survivors are omitted from the result entirely.
 	matched := 0
 	for i := range res.Keys {
 		for _, v := range res.Values[i] {
