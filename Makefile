@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve bench bench-prune fuzz smoke clean
+.PHONY: build test race vet serve bench bench-prune bench-shuffle fuzz smoke clean
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,18 @@ BENCH_OUT ?= BENCH_PR6.json
 bench-prune:
 	$(GO) run ./cmd/sidrbench -json $(BENCH_OUT)
 
+# bench-shuffle runs the batched-vs-per-spill shuffle head-to-head on
+# real loopback workers and emits the cross-PR perf snapshot.
+SHUFFLE_OUT ?= BENCH_PR7.json
+bench-shuffle:
+	$(GO) run ./cmd/sidrbench -json $(SHUFFLE_OUT)
+
 # fuzz exercises the untrusted-bytes decoders briefly (CI runs the same
 # targets; crashers land in testdata/fuzz).
 FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzReadSpill -fuzztime=$(FUZZTIME) ./internal/kv/
+	$(GO) test -run=^$$ -fuzz=FuzzReadSpill$$ -fuzztime=$(FUZZTIME) ./internal/kv/
+	$(GO) test -run=^$$ -fuzz=FuzzReadSpillV3 -fuzztime=$(FUZZTIME) ./internal/kv/
 	$(GO) test -run=^$$ -fuzz=FuzzReadIndex -fuzztime=$(FUZZTIME) ./internal/sidx/
 	$(GO) test -run=^$$ -fuzz=FuzzIndexCRC -fuzztime=$(FUZZTIME) ./internal/sidx/
 

@@ -44,15 +44,16 @@ func main() {
 		dialTO      = flag.Duration("dial-timeout", 0, "coordinator dial/TLS timeout (0 = 2s)")
 		headerTO    = flag.Duration("header-timeout", 0, "coordinator response-header timeout (0 = 5s)")
 		chaos       = flag.String("chaos", "", "fault-injection spec, e.g. \"seed=42,kill-after-maps=5,hang=0.05,match=/v1/shuffle/,flip=0.01\" (see internal/faultinject)")
+		compress    = flag.Bool("spill-compress", false, "DEFLATE spill blocks (kv codec v3): Map-side CPU for smaller shuffle transfers")
 	)
 	flag.Parse()
-	if err := run(*addr, *coordinator, *name, *spillDir, *advertise, *heartbeat, *dialTO, *headerTO, *chaos); err != nil {
+	if err := run(*addr, *coordinator, *name, *spillDir, *advertise, *heartbeat, *dialTO, *headerTO, *chaos, *compress); err != nil {
 		fmt.Fprintf(os.Stderr, "sidr-worker: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO, headerTO time.Duration, chaos string) error {
+func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO, headerTO time.Duration, chaos string, compress bool) error {
 	if coordinator == "" {
 		return fmt.Errorf("-coordinator is required")
 	}
@@ -99,6 +100,7 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO,
 		DialTimeout:    dialTO,
 		HeaderTimeout:  headerTO,
 		Chaos:          inj,
+		SpillCompress:  compress,
 		Logf:           log.Printf,
 	})
 	if err != nil {

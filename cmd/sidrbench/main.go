@@ -12,9 +12,9 @@
 //
 // Usage:
 //
-//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|failures|chaos|prune]
+//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|shuffle|failures|chaos|prune]
 //	          [-seed N] [-runs N] [-curves] [-dir DIR]
-//	sidrbench -json BENCH_PR5.json
+//	sidrbench -json BENCH_PR7.json
 package main
 
 import (
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, failures, chaos, prune)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, prune)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
 		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
@@ -39,6 +39,7 @@ func main() {
 		micro    = flag.Int("micropairs", experiments.PartitionMicroPairs, "pair count for the partition micro-benchmark")
 		shufPair = flag.Int("shufflepairs", 50000, "pair count for the shuffle micro-benchmark spill")
 		shufN    = flag.Int("shufflefetches", 200, "timed fetches in the shuffle micro-benchmark")
+		shufRows = flag.Int64("shufflerows", 40*512*512, "source rows for the batched-vs-per-spill shuffle head-to-head")
 		jsonTo   = flag.String("json", "", "write a machine-readable benchmark summary to this file and exit")
 	)
 	flag.Usage = func() {
@@ -50,7 +51,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonTo != "" {
-		if err := writeBenchJSON(*jsonTo, *seed, *micro, *shufPair, *shufN); err != nil {
+		if err := writeBenchJSON(*jsonTo, *seed, *micro, *shufPair, *shufN, *shufRows); err != nil {
 			fmt.Fprintf(os.Stderr, "sidrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -195,6 +196,15 @@ func main() {
 		fmt.Println("  " + res.Format())
 		return nil
 	})
+	run("shuffle", func() error {
+		fmt.Println("shuffle head-to-head: batched streaming fetch vs per-spill (real workers, loopback)")
+		r, err := shuffleExperiment(*seed, *shufRows)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r.Format())
+		return nil
+	})
 	run("chaos", func() error {
 		fmt.Println("chaos experiment: clustered query with 0 and 1 injected worker deaths (real workers, loopback)")
 		rs, err := chaosExperiment(*seed)
@@ -228,7 +238,8 @@ type benchCurve struct {
 // benchReport is the BENCH_PR*.json schema: the cross-PR perf snapshot.
 // sidrbench/2 added the networked-shuffle micro-benchmark; sidrbench/3
 // added the chaos experiment (fault-recovery latency on real workers);
-// sidrbench/4 adds the structural-index pruning experiment.
+// sidrbench/4 added the structural-index pruning experiment;
+// sidrbench/5 adds the batched-vs-per-spill shuffle head-to-head.
 type benchReport struct {
 	Schema string       `json:"schema"`
 	Seed   int64        `json:"seed"`
@@ -248,6 +259,7 @@ type benchReport struct {
 		BytesPerOp  float64 `json:"bytes_per_op"`
 	} `json:"partition_micro"`
 	ShuffleMicro shuffleMicroResult `json:"shuffle_micro"`
+	Shuffle      shuffleHeadToHead  `json:"shuffle"`
 	Chaos        []chaosResult      `json:"chaos"`
 	Prune        pruneResult        `json:"prune"`
 }
@@ -267,8 +279,8 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 
 // writeBenchJSON runs the headline experiments and one real in-process
 // engine query, and writes the summary file.
-func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int) error {
-	rep := benchReport{Schema: "sidrbench/4", Seed: seed}
+func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int, shuffleRows int64) error {
+	rep := benchReport{Schema: "sidrbench/5", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
 
 	rs, err := experiments.Figure9(cfg)
@@ -315,6 +327,10 @@ func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFe
 	rep.PartitionMicro.BytesPerOp = bytes
 
 	if rep.ShuffleMicro, err = shuffleMicro(shufflePairs, shuffleFetches); err != nil {
+		return err
+	}
+
+	if rep.Shuffle, err = shuffleExperiment(seed, shuffleRows); err != nil {
 		return err
 	}
 

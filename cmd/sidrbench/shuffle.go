@@ -1,16 +1,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"time"
 
 	"sidr/internal/cluster"
 	"sidr/internal/coords"
+	"sidr/internal/exec"
 	"sidr/internal/kv"
+	"sidr/internal/metrics"
 )
 
 // shuffleMicroResult is the networked-shuffle micro-benchmark: one
@@ -126,4 +131,159 @@ func shuffleMicro(pairs, fetches int) (shuffleMicroResult, error) {
 	res.NsPerFetch = float64(elapsed.Nanoseconds()) / float64(fetches)
 	res.MBPerSec = float64(res.SpillBytes) * float64(fetches) / elapsed.Seconds() / (1 << 20)
 	return res, nil
+}
+
+// shuffleRunStats is one mode's half of the shuffle head-to-head.
+type shuffleRunStats struct {
+	TotalMS         float64 `json:"total_ms"`
+	FetchWallMS     float64 `json:"fetch_wall_ms"` // Σ sidrd_shuffle_fetch_seconds
+	ShuffleRequests int64   `json:"shuffle_requests"`
+	BatchRequests   int64   `json:"batch_requests"`
+	Connections     int64   `json:"connections"`
+	ShuffleBytes    int64   `json:"shuffle_bytes"`
+	Dials           int64   `json:"dials"`
+}
+
+// shuffleHeadToHead compares the batched and per-spill shuffle paths on
+// the same clustered job: identical plan, dataset, workers and seeds,
+// differing only in CoordinatorConfig.DisableBatchFetch.
+type shuffleHeadToHead struct {
+	Rows       int64           `json:"rows"`
+	Workers    int             `json:"workers"`
+	Reducers   int             `json:"reducers"`
+	Batched    shuffleRunStats `json:"batched"`
+	PerSpill   shuffleRunStats `json:"per_spill"`
+	Identical  bool            `json:"outputs_identical"`
+	SpeedupPct float64         `json:"fetch_wall_speedup_pct"`
+}
+
+func (r shuffleHeadToHead) Format() string {
+	return fmt.Sprintf("rows=%d workers=%d reducers=%d: batched %d reqs / %.1fms fetch wall vs per-spill %d reqs / %.1fms (%.0f%% less fetch wall, identical=%v)",
+		r.Rows, r.Workers, r.Reducers,
+		r.Batched.ShuffleRequests, r.Batched.FetchWallMS,
+		r.PerSpill.ShuffleRequests, r.PerSpill.FetchWallMS,
+		r.SpeedupPct, r.Identical)
+}
+
+// shuffleOutputs flattens a clustered result for cross-run comparison.
+func shuffleOutputs(res *cluster.JobResult) ([]coords.Coord, [][]float64) {
+	var keys []coords.Coord
+	var vals [][]float64
+	for _, out := range res.Outputs {
+		keys = append(keys, out.Keys...)
+		vals = append(vals, out.Values...)
+	}
+	return keys, vals
+}
+
+// shuffleHeadToHeadRun executes the job once in the given mode on a
+// fresh cluster (fresh workers, spill dirs and metrics registry, so
+// nothing leaks between modes) and extracts the shuffle accounting.
+func shuffleHeadToHeadRun(seed int64, shape []int64, splitPoints int64, reducers, workers int, disableBatch bool) (shuffleRunStats, *cluster.JobResult, error) {
+	var stats shuffleRunStats
+	reg := metrics.New()
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout:  30 * time.Second,
+		Metrics:           reg,
+		Seed:              seed,
+		DisableBatchFetch: disableBatch,
+	})
+	defer coord.Close()
+
+	var cleanups []func()
+	defer func() {
+		for _, fn := range cleanups {
+			fn()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		dir, err := os.MkdirTemp("", "sidrbench-shuffle-*")
+		if err != nil {
+			return stats, nil, err
+		}
+		cleanups = append(cleanups, func() { os.RemoveAll(dir) })
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Name:     fmt.Sprintf("bench-w%d", i),
+			SpillDir: dir,
+		})
+		if err != nil {
+			return stats, nil, err
+		}
+		cleanups = append(cleanups, func() { w.Close() })
+		srv := httptest.NewServer(w)
+		cleanups = append(cleanups, srv.Close)
+		if err := coord.Register(fmt.Sprintf("bench-w%d", i), srv.URL); err != nil {
+			return stats, nil, err
+		}
+	}
+
+	ex := exec.New(4)
+	defer ex.Close()
+	start := time.Now()
+	res, err := coord.Run(context.Background(), cluster.JobSpec{
+		Plan: cluster.JobPlan{
+			Query: fmt.Sprintf("avg temp[0,0,0 : %d,%d,%d] es {%d,%d,%d}",
+				shape[0], shape[1], shape[2], shape[0], shape[1]/8, shape[2]/8),
+			Engine:      "sidr",
+			Reducers:    reducers,
+			SplitPoints: splitPoints,
+		},
+		Dataset: cluster.DatasetSpec{
+			Kind: "synthetic", Generator: "temperature",
+			Seed: seed, Shape: shape,
+		},
+		Exec: ex,
+	})
+	if err != nil {
+		return stats, nil, err
+	}
+	stats.TotalMS = float64(time.Since(start)) / float64(time.Millisecond)
+	stats.FetchWallMS = reg.Histogram("sidrd_shuffle_fetch_seconds", nil).Sum() * 1000
+	stats.ShuffleRequests = res.Counters.ShuffleRequests
+	stats.BatchRequests = res.Counters.BatchRequests
+	stats.Connections = res.Counters.Connections
+	stats.ShuffleBytes = res.Counters.ShuffleBytes
+	stats.Dials = reg.Counter("sidrd_shuffle_dials_total").Value()
+	return stats, res, nil
+}
+
+// shuffleExperiment is the batched-vs-per-spill head-to-head: ≥10M
+// source rows spread over real loopback workers, the same query run
+// through both shuffle paths, outputs required byte-identical. The
+// batched path must need no more than one request per (reduce, worker)
+// pair; per-spill needs Σ|I_ℓ|.
+func shuffleExperiment(seed int64, rows int64) (shuffleHeadToHead, error) {
+	const workers, reducers = 3, 16
+	// Depth scales to the requested row count over a 512×512 base plane.
+	depth := (rows + 512*512 - 1) / (512 * 512)
+	if depth < 1 {
+		depth = 1
+	}
+	shape := []int64{depth, 512, 512}
+	total := shape[0] * shape[1] * shape[2]
+	splitPoints := total / 64 // ~64 splits
+
+	r := shuffleHeadToHead{Rows: total, Workers: workers, Reducers: reducers}
+	var err error
+	var bres, pres *cluster.JobResult
+	if r.Batched, bres, err = shuffleHeadToHeadRun(seed, shape, splitPoints, reducers, workers, false); err != nil {
+		return r, fmt.Errorf("batched run: %w", err)
+	}
+	if r.PerSpill, pres, err = shuffleHeadToHeadRun(seed, shape, splitPoints, reducers, workers, true); err != nil {
+		return r, fmt.Errorf("per-spill run: %w", err)
+	}
+	bk, bv := shuffleOutputs(bres)
+	pk, pv := shuffleOutputs(pres)
+	r.Identical = reflect.DeepEqual(bk, pk) && reflect.DeepEqual(bv, pv)
+	if !r.Identical {
+		return r, fmt.Errorf("batched and per-spill outputs differ")
+	}
+	if r.PerSpill.FetchWallMS > 0 {
+		r.SpeedupPct = (r.PerSpill.FetchWallMS - r.Batched.FetchWallMS) / r.PerSpill.FetchWallMS * 100
+	}
+	if maxReqs := int64(reducers * workers); r.Batched.ShuffleRequests > maxReqs {
+		return r, fmt.Errorf("batched path made %d requests, want ≤ reduces×workers = %d",
+			r.Batched.ShuffleRequests, maxReqs)
+	}
+	return r, nil
 }

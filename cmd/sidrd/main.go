@@ -56,16 +56,17 @@ func main() {
 		clusterOn = flag.Bool("cluster", false, "embed the cluster coordinator: accept sidr-worker registrations and route {\"cluster\":true} jobs through the distributed runtime")
 		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "evict workers that miss heartbeats for this long (with -cluster)")
 		specOn    = flag.Bool("speculation", false, "launch backup attempts for straggling Map dispatches (with -cluster)")
+		batchOn   = flag.Bool("batch-shuffle", true, "fetch each reduce's spill subset with one batched request per worker; false forces per-spill fetches (with -cluster)")
 		chaos     = flag.String("chaos", "", "coordinator-side fault-injection spec applied to dispatch/shuffle requests, e.g. \"seed=42,match=/v1/shuffle/,delay=0.1:50ms,flip=0.01\" (see internal/faultinject)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout, *specOn, *chaos); err != nil {
+	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout, *specOn, *batchOn, *chaos); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration, specOn bool, chaos string) error {
+func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration, specOn, batchOn bool, chaos string) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
 	if dataDir != "" {
@@ -81,10 +82,11 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 	var coord *cluster.Coordinator
 	if clusterOn {
 		ccfg := cluster.CoordinatorConfig{
-			HeartbeatTimeout: hbTimeout,
-			Metrics:          reg,
-			Logf:             log.Printf,
-			Speculation:      specOn,
+			HeartbeatTimeout:  hbTimeout,
+			Metrics:           reg,
+			Logf:              log.Printf,
+			Speculation:       specOn,
+			DisableBatchFetch: !batchOn,
 		}
 		if chaos != "" {
 			spec, err := faultinject.Parse(chaos)

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"sidr/internal/metrics"
+)
+
+// TestBatchedVsPerSpillParity runs the same job over both shuffle
+// paths and requires byte-identical output — the batched path is a
+// transport optimisation, never a semantic one — while pinning the
+// request accounting: batching needs at most one request per (reduce,
+// worker) pair, per-spill needs exactly Σ|I_ℓ|.
+func TestBatchedVsPerSpillParity(t *testing.T) {
+	run := func(disable bool) *JobResult {
+		c, _ := startCluster(t, 2, CoordinatorConfig{Metrics: metrics.New(), DisableBatchFetch: disable})
+		res, err := runClusterJob(t, c, nil)
+		if err != nil {
+			t.Fatalf("job (DisableBatchFetch=%v) failed: %v", disable, err)
+		}
+		return res
+	}
+	batched, legacy := run(false), run(true)
+
+	bk, bv := flatten(batched)
+	lk, lv := flatten(legacy)
+	if !reflect.DeepEqual(bk, lk) || !reflect.DeepEqual(bv, lv) {
+		t.Fatal("batched and per-spill outputs differ (not byte-identical)")
+	}
+
+	want := batched.Plan.Graph.SIDRConnections()
+	if batched.Counters.Connections != want || legacy.Counters.Connections != want {
+		t.Fatalf("connections batched=%d legacy=%d, want Σ|I_ℓ|=%d both ways",
+			batched.Counters.Connections, legacy.Counters.Connections, want)
+	}
+	if legacy.Counters.ShuffleRequests != want || legacy.Counters.BatchRequests != 0 {
+		t.Fatalf("per-spill path made %d requests (%d batched), want %d per-spill only",
+			legacy.Counters.ShuffleRequests, legacy.Counters.BatchRequests, want)
+	}
+	maxBatched := int64(batched.Plan.Part.NumKeyblocks()) * 2 // reduces × workers
+	if batched.Counters.ShuffleRequests > maxBatched {
+		t.Fatalf("batched path made %d requests, want ≤ reduces×workers = %d",
+			batched.Counters.ShuffleRequests, maxBatched)
+	}
+	if batched.Counters.ShuffleRequests >= legacy.Counters.ShuffleRequests {
+		t.Fatalf("batching saved nothing: %d requests vs %d per-spill",
+			batched.Counters.ShuffleRequests, legacy.Counters.ShuffleRequests)
+	}
+	if batched.Counters.BatchFallbacks != 0 {
+		t.Fatalf("%d batch fallbacks on a healthy cluster", batched.Counters.BatchFallbacks)
+	}
+}
+
+// TestBatchEndpointFraming drives POST /v1/shuffle/batch directly and
+// checks the wire contract: frames in request order, each spill's
+// exact bytes behind a 24-byte SFRM header, an exact Content-Length,
+// and clean rejections for missing spills and bad requests.
+func TestBatchEndpointFraming(t *testing.T) {
+	w, err := NewWorker(WorkerConfig{Name: "w0", SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	srv := httptest.NewServer(w)
+	defer srv.Close()
+
+	// Seed spills through the legacy layout (the serving path's
+	// fallback), with distinct sizes so frame lengths are telling.
+	payloads := map[int][]byte{
+		0: []byte("split zero spill bytes"),
+		1: bytes.Repeat([]byte{0xAB}, 1000),
+		2: {}, // empty spill still gets a frame
+	}
+	for split, b := range payloads {
+		p := w.spillPath("job-x", split, 0, 5)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	post := func(req BatchFetchRequest) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+BatchShufflePath, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Deliberately not ascending: frames must come back in request order.
+	order := []int{1, 0, 2}
+	refs := make([]SpillRef, len(order))
+	for i, s := range order {
+		refs[i] = SpillRef{Split: s, Attempt: 0}
+	}
+	resp := post(BatchFetchRequest{JobID: "job-x", Keyblock: 5, Spills: refs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch returned %d", resp.StatusCode)
+	}
+	var wantLen int64
+	for _, b := range payloads {
+		wantLen += frameHeaderLen + int64(len(b))
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.FormatInt(wantLen, 10) {
+		t.Fatalf("Content-Length = %q, want %d", got, wantLen)
+	}
+	stream := make([]byte, 0, wantLen)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		stream = append(stream, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if int64(len(stream)) != wantLen {
+		t.Fatalf("stream length %d, want %d", len(stream), wantLen)
+	}
+	off := 0
+	for _, s := range order {
+		split, attempt, kb, length, err := parseFrameHeader(stream[off : off+frameHeaderLen])
+		if err != nil {
+			t.Fatalf("frame header at %d: %v", off, err)
+		}
+		if split != s || attempt != 0 || kb != 5 || length != int64(len(payloads[s])) {
+			t.Fatalf("frame = (%d,%d,%d,%d), want (%d,0,5,%d)", split, attempt, kb, length, s, len(payloads[s]))
+		}
+		off += frameHeaderLen
+		if !bytes.Equal(stream[off:off+int(length)], payloads[s]) {
+			t.Fatalf("split %d frame bytes differ from spill file", s)
+		}
+		off += int(length)
+	}
+
+	// One missing spill fails the whole batch before any byte streams.
+	if resp := post(BatchFetchRequest{JobID: "job-x", Keyblock: 5,
+		Spills: []SpillRef{{Split: 0, Attempt: 0}, {Split: 9, Attempt: 0}}}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing spill → %d, want 404", resp.StatusCode)
+	}
+	if resp := post(BatchFetchRequest{JobID: "job-x", Keyblock: -1,
+		Spills: []SpillRef{{Split: 0, Attempt: 0}}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative keyblock → %d, want 400", resp.StatusCode)
+	}
+	if resp := post(BatchFetchRequest{JobID: "job-x", Keyblock: 5}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty spill list → %d, want 400", resp.StatusCode)
+	}
+	getResp, err := http.Get(srv.URL + BatchShufflePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on batch endpoint → %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestBatchUnsupportedWorkerFallsBack pins rolling-upgrade behavior: a
+// worker whose batch endpoint errors (an old binary would 404 it) must
+// degrade to per-spill fetches, and the job must still finish with the
+// full Σ|I_ℓ| accounting and byte-identical output.
+func TestBatchUnsupportedWorkerFallsBack(t *testing.T) {
+	noBatch := func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == BatchShufflePath {
+				http.Error(rw, "batch shuffle unsupported", http.StatusNotFound)
+				return
+			}
+			h.ServeHTTP(rw, r)
+		})
+	}
+	c, _ := startChaosCluster(t, 2, CoordinatorConfig{Metrics: metrics.New()}, nil, noBatch)
+	res, err := runClusterJob(t, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesInProcess(t, res)
+	if res.Counters.BatchFallbacks == 0 {
+		t.Fatal("no batch request fell back on batch-less workers")
+	}
+	if res.Counters.BatchRequests != 0 {
+		t.Fatalf("%d batch requests succeeded against batch-less workers", res.Counters.BatchRequests)
+	}
+	if want := res.Plan.Graph.SIDRConnections(); res.Counters.Connections != want {
+		t.Fatalf("connections = %d, want Σ|I_ℓ| = %d", res.Counters.Connections, want)
+	}
+}

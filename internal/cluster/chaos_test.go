@@ -139,9 +139,12 @@ func TestSpeculationOvertakesStraggler(t *testing.T) {
 	assertMatchesInProcess(t, res)
 }
 
-// corruptAttemptZero interposes on the shuffle endpoint and flips one
-// payload bit of every non-empty attempt-0 spill. Re-executed attempts
-// (attempt >= 1) are served verbatim.
+// corruptAttemptZero interposes on the per-spill shuffle endpoint and
+// flips one payload bit of every attempt-0 spill that has blocks.
+// Re-executed attempts (attempt >= 1) are served verbatim. The last
+// body byte is always inside the final block's CRC-covered payload;
+// spills at exactly the 28-byte v3 header (zero blocks) are left alone
+// — a header flip would be a structural error, not a checksum failure.
 func corruptAttemptZero(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/shuffle/"), "/")
@@ -152,8 +155,8 @@ func corruptAttemptZero(h http.Handler) http.Handler {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, r)
 		body := rec.Body.Bytes()
-		if rec.Code == http.StatusOK && len(body) > 26 {
-			body[26] ^= 0x01 // first payload byte; the 26-byte header is untouched
+		if rec.Code == http.StatusOK && len(body) > 28 {
+			body[len(body)-1] ^= 0x01
 		}
 		rw.WriteHeader(rec.Code)
 		rw.Write(body)
@@ -167,7 +170,10 @@ func corruptAttemptZero(h http.Handler) http.Handler {
 // fail the job), pinning that checksum failures are not conn failures.
 func TestCorruptSpillTriggersReexecution(t *testing.T) {
 	reg := metrics.New()
-	c, _ := startChaosCluster(t, 1, CoordinatorConfig{Metrics: reg}, nil,
+	// Per-spill only: the corruptor targets the per-spill endpoint, and
+	// the checksum→re-execute taxonomy under test lives on that path
+	// (batches fall back to it rather than classify errors themselves).
+	c, _ := startChaosCluster(t, 1, CoordinatorConfig{Metrics: reg, DisableBatchFetch: true}, nil,
 		func(i int, h http.Handler) http.Handler { return corruptAttemptZero(h) })
 
 	res, err := runClusterJob(t, c, nil)
@@ -335,14 +341,24 @@ func TestCloseUnblocksReleaseBroadcast(t *testing.T) {
 // fixed seed, so a failure reproduces exactly.
 func TestChaosSoak(t *testing.T) {
 	cases := []struct {
-		name string
-		spec string // coordinator-side transport chaos
-		kill bool   // SIGKILL worker 0 after its 2nd map
-		hang bool   // worker 0 hangs ~20% of maps; speculation rescues
+		name         string
+		spec         string // coordinator-side transport chaos
+		kill         bool   // SIGKILL worker 0 after its 2nd map
+		hang         bool   // worker 0 hangs ~20% of maps; speculation rescues
+		wantFallback bool   // ≥1 batched fetch must fall back to per-spill
 	}{
 		{name: "dispatch-errors", spec: "seed=101,delay=0.2:2ms,error=0.15"},
+		// match=/v1/shuffle/ covers both the batch POST and the per-spill
+		// GETs it falls back to, so flips chase the fetch down both paths.
 		{name: "shuffle-flip", spec: "seed=202,match=/v1/shuffle/,flip=0.1"},
 		{name: "slow-shuffle", spec: "seed=303,match=/v1/shuffle/,slow=0.3:1ms,delay=0.1:1ms"},
+		// Every batch response gets one bit flipped mid-stream; frame/meta
+		// validation must reject each and the per-spill path (unmatched by
+		// the injector) must complete the job byte-identically.
+		{name: "batch-flip", spec: "seed=505,match=/v1/shuffle/batch,flip=1", wantFallback: true},
+		// Batch streams trickle out a byte at a time; slow is not an
+		// error, so batches must still land without falling back.
+		{name: "slow-batch", spec: "seed=606,match=/v1/shuffle/batch,slow=0.5:1ms,delay=0.2:1ms"},
 		{name: "kill-worker", kill: true},
 		{name: "hang-speculation", hang: true},
 	}
@@ -396,6 +412,9 @@ func TestChaosSoak(t *testing.T) {
 			}
 			if tc.hang && workerInj.Counts()["hang"] > 0 && res.Counters.Speculated == 0 {
 				t.Fatal("injected hangs were never speculated around")
+			}
+			if tc.wantFallback && res.Counters.BatchFallbacks == 0 {
+				t.Fatal("no corrupted batch fell back to the per-spill path")
 			}
 		})
 	}

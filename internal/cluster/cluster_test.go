@@ -226,8 +226,25 @@ func TestShuffleAccountingMetrics(t *testing.T) {
 	if reg.Counter("sidrd_cluster_tasks_dispatched_total").Value() < int64(len(res.Plan.Splits)) {
 		t.Fatal("dispatched counter below split count")
 	}
-	if reg.Histogram("sidrd_shuffle_fetch_seconds", nil).Count() != res.Counters.Connections {
-		t.Fatal("fetch latency histogram count != connections")
+	// The histogram observes HTTP requests, not logical connections: a
+	// batched request carrying n spills is one observation.
+	if reg.Histogram("sidrd_shuffle_fetch_seconds", nil).Count() != res.Counters.ShuffleRequests {
+		t.Fatal("fetch latency histogram count != shuffle requests")
+	}
+	if got := reg.Counter("sidrd_shuffle_requests_total").Value(); got != res.Counters.ShuffleRequests {
+		t.Fatalf("sidrd_shuffle_requests_total = %d, want %d", got, res.Counters.ShuffleRequests)
+	}
+	if res.Counters.BatchRequests == 0 {
+		t.Fatal("no batched shuffle request succeeded on a healthy cluster")
+	}
+	if res.Counters.BatchFallbacks != 0 {
+		t.Fatalf("%d batch fallbacks on a healthy cluster", res.Counters.BatchFallbacks)
+	}
+	// Batching bounds requests by (reduce, worker) pairs; per-spill would
+	// need Σ|I_ℓ| = Connections of them.
+	maxBatched := int64(res.Plan.Part.NumKeyblocks()) * 2 // 2 workers
+	if res.Counters.ShuffleRequests > maxBatched {
+		t.Fatalf("shuffle requests = %d, want ≤ reduces×workers = %d", res.Counters.ShuffleRequests, maxBatched)
 	}
 	if res.Counters.ShuffleBytes != reg.Counter("sidrd_shuffle_bytes_total").Value() {
 		t.Fatalf("job bytes %d != metric bytes %d", res.Counters.ShuffleBytes,

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,9 +44,21 @@ type CoordinatorConfig struct {
 	// Metrics receives the sidrd_cluster_* / sidrd_shuffle_* instruments
 	// (default: a private registry).
 	Metrics *metrics.Registry
-	// Client performs dispatch and shuffle requests (default: a plain
-	// client; per-request contexts bound lifetimes).
+	// Client performs dispatch and shuffle requests. When unset, dispatch
+	// uses a plain client (a Map response's headers arrive only after the
+	// Map finishes executing, so no response-header timeout applies;
+	// per-request contexts bound lifetimes) and shuffle fetches use a
+	// pooled keep-alive transport sized for reduce fan-in (NewTransport).
+	// When set, it is used for both — chaos/fault-injection tests wrap
+	// one transport and must intercept every request.
 	Client *http.Client
+	// DisableBatchFetch turns off the batched shuffle path: every spill
+	// is fetched with its own per-spill GET. The batched path is on by
+	// default — one POST /v1/shuffle/batch per (reduce, worker) pair —
+	// and falls back to per-spill fetches on any batch-level failure, so
+	// this knob exists for A/B benchmarking and fault drills, not
+	// correctness.
+	DisableBatchFetch bool
 	// Seed seeds backoff jitter; 0 uses a fixed seed. Jitter only
 	// desynchronises retries, so determinism is harmless.
 	Seed int64
@@ -86,6 +99,11 @@ type CoordinatorConfig struct {
 type Coordinator struct {
 	cfg    CoordinatorConfig
 	client *http.Client
+	// shuffleClient performs shuffle fetches (batched and per-spill).
+	// Separate from the dispatch client so shuffle gets pooled
+	// keep-alive connections and a response-header timeout without
+	// imposing either on long-running Map dispatches.
+	shuffleClient *http.Client
 
 	// baseCtx bounds background work that outlives any single job —
 	// release broadcasts and quarantine probes. Close cancels it and
@@ -101,20 +119,24 @@ type Coordinator struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mWorkersAlive  *metrics.Gauge
-	mQuarantinedG  *metrics.Gauge
-	mDispatched    *metrics.Counter
-	mRetried       *metrics.Counter
-	mReexecuted    *metrics.Counter
-	mShuffleBytes  *metrics.Counter
-	mConnections   *metrics.Counter
-	mFetchSeconds  *metrics.Histogram
-	mSpecLaunched  *metrics.Counter
-	mSpecWins      *metrics.Counter
-	mSpecCancelled *metrics.Counter
-	mSpillsCorrupt *metrics.Counter
-	mQuarantines   *metrics.Counter
-	mReinstates    *metrics.Counter
+	mWorkersAlive   *metrics.Gauge
+	mQuarantinedG   *metrics.Gauge
+	mDispatched     *metrics.Counter
+	mRetried        *metrics.Counter
+	mReexecuted     *metrics.Counter
+	mShuffleBytes   *metrics.Counter
+	mConnections    *metrics.Counter
+	mShuffleReqs    *metrics.Counter
+	mBatchReqs      *metrics.Counter
+	mBatchFallbacks *metrics.Counter
+	mShuffleDials   *metrics.Counter
+	mFetchSeconds   *metrics.Histogram
+	mSpecLaunched   *metrics.Counter
+	mSpecWins       *metrics.Counter
+	mSpecCancelled  *metrics.Counter
+	mSpillsCorrupt  *metrics.Counter
+	mQuarantines    *metrics.Counter
+	mReinstates     *metrics.Counter
 
 	// onMapResult is a test hook observing accepted Map results.
 	onMapResult func(jobID string, split int, worker string)
@@ -154,6 +176,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
+	userClient := cfg.Client
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
@@ -184,13 +207,17 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		workers:    make(map[string]*workerState),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 
-		mWorkersAlive: cfg.Metrics.Gauge("sidrd_cluster_workers_alive"),
-		mQuarantinedG: cfg.Metrics.Gauge("sidrd_cluster_workers_quarantined"),
-		mDispatched:   cfg.Metrics.Counter("sidrd_cluster_tasks_dispatched_total"),
-		mRetried:      cfg.Metrics.Counter("sidrd_cluster_tasks_retried_total"),
-		mReexecuted:   cfg.Metrics.Counter("sidrd_cluster_reexecuted_total"),
-		mShuffleBytes: cfg.Metrics.Counter("sidrd_shuffle_bytes_total"),
-		mConnections:  cfg.Metrics.Counter("sidrd_shuffle_connections_total"),
+		mWorkersAlive:   cfg.Metrics.Gauge("sidrd_cluster_workers_alive"),
+		mQuarantinedG:   cfg.Metrics.Gauge("sidrd_cluster_workers_quarantined"),
+		mDispatched:     cfg.Metrics.Counter("sidrd_cluster_tasks_dispatched_total"),
+		mRetried:        cfg.Metrics.Counter("sidrd_cluster_tasks_retried_total"),
+		mReexecuted:     cfg.Metrics.Counter("sidrd_cluster_reexecuted_total"),
+		mShuffleBytes:   cfg.Metrics.Counter("sidrd_shuffle_bytes_total"),
+		mConnections:    cfg.Metrics.Counter("sidrd_shuffle_connections_total"),
+		mShuffleReqs:    cfg.Metrics.Counter("sidrd_shuffle_requests_total"),
+		mBatchReqs:      cfg.Metrics.Counter("sidrd_shuffle_batch_requests_total"),
+		mBatchFallbacks: cfg.Metrics.Counter("sidrd_shuffle_batch_fallbacks_total"),
+		mShuffleDials:   cfg.Metrics.Counter("sidrd_shuffle_dials_total"),
 		mFetchSeconds: cfg.Metrics.Histogram("sidrd_shuffle_fetch_seconds",
 			[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
 		mSpecLaunched:  cfg.Metrics.Counter("sidrd_cluster_speculative_launched_total"),
@@ -199,6 +226,11 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		mSpillsCorrupt: cfg.Metrics.Counter("sidrd_cluster_spills_corrupt_total"),
 		mQuarantines:   cfg.Metrics.Counter("sidrd_cluster_quarantines_total"),
 		mReinstates:    cfg.Metrics.Counter("sidrd_cluster_reinstates_total"),
+	}
+	if userClient != nil {
+		c.shuffleClient = userClient
+	} else {
+		c.shuffleClient = &http.Client{Transport: NewTransportWithStats(0, 0, c.mShuffleDials)}
 	}
 	return c
 }
@@ -603,8 +635,20 @@ type Counters struct {
 	// lost with a worker.
 	Reexecuted int64
 	// Connections counts successful shuffle fetches — Σ_ℓ |I_ℓ| on the
-	// happy path (Fig. 6 / Table 3).
+	// happy path (Fig. 6 / Table 3). This is the logical per-spill count:
+	// a batched fetch carrying n spills counts n connections, keeping the
+	// paper's accounting independent of the transport.
 	Connections int64
+	// ShuffleRequests counts successful shuffle HTTP requests. With
+	// batching this is ≤ one per (reduce, worker) pair; without it, it
+	// equals Connections.
+	ShuffleRequests int64
+	// BatchRequests counts successful batched shuffle requests (a subset
+	// of ShuffleRequests).
+	BatchRequests int64
+	// BatchFallbacks counts batched requests abandoned for the per-spill
+	// path (validation failure, transport error, missing spill).
+	BatchFallbacks int64
 	// ShuffleBytes counts spill bytes fetched.
 	ShuffleBytes int64
 	// Records counts source records read by accepted Map attempts.
@@ -670,6 +714,12 @@ type mapTask struct {
 	url        string // hosting worker base URL (done only)
 	dispatches int    // attempts consumed, for the MaxTaskAttempts bound
 	corrupt    int    // checksum-forced re-executions of this task
+
+	// outputs is the winning attempt's per-keyblock spill metadata
+	// (size, pair count, kv-count annotation), reported by the worker at
+	// Map time. Batched shuffle fetches validate every received frame
+	// against it; a spill with no recorded meta is fetched per-spill.
+	outputs map[int]KeyblockMeta
 
 	next        int                        // next attempt ID to allocate (see allocAttempt)
 	started     time.Time                  // when the current primary dispatch began running
@@ -1235,6 +1285,10 @@ func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, start t
 	m.done = true
 	m.worker = worker
 	m.url = url
+	m.outputs = make(map[int]KeyblockMeta, len(resp.Outputs))
+	for _, o := range resp.Outputs {
+		m.outputs[o.Keyblock] = o
+	}
 	j.durations = append(j.durations, time.Since(start))
 	j.counters.Records += resp.Records
 	if specWin {
@@ -1286,23 +1340,30 @@ func (j *clusterJob) submitReduce(l int) {
 	}
 }
 
+// reduceDep is one entry of a reduce task's I_ℓ dependency set: the
+// split whose spill is needed, the attempt that produced it, and where
+// it is hosted. meta carries the winning Map attempt's recorded spill
+// metadata when available (hasMeta); batched fetches require it.
+type reduceDep struct {
+	split   int
+	attempt int
+	worker  string
+	url     string
+	meta    KeyblockMeta
+	hasMeta bool
+}
+
 // runReduce fetches keyblock l's I_ℓ spills point-to-point from their
 // hosting workers, tallies the kv-count annotations against the
 // dependency graph's expected count, and finalizes the keyblock. Lost
 // spills trigger Map re-execution instead of finalizing short.
 func (j *clusterJob) runReduce(l int) {
-	type dep struct {
-		split   int
-		attempt int
-		worker  string
-		url     string
-	}
 	j.mu.Lock()
 	if j.resolvedLocked() || j.reduceDone[l] {
 		j.mu.Unlock()
 		return
 	}
-	deps := make([]dep, 0, len(j.plan.Graph.KBToSplits[l]))
+	deps := make([]reduceDep, 0, len(j.plan.Graph.KBToSplits[l]))
 	for _, s := range j.plan.Graph.KBToSplits[l] {
 		m := j.maps[s]
 		if !m.done {
@@ -1316,16 +1377,42 @@ func (j *clusterJob) runReduce(l int) {
 			j.mu.Unlock()
 			return
 		}
-		deps = append(deps, dep{split: s, attempt: m.attempt, worker: m.worker, url: m.url})
+		d := reduceDep{split: s, attempt: m.attempt, worker: m.worker, url: m.url}
+		d.meta, d.hasMeta = m.outputs[l]
+		deps = append(deps, d)
 	}
 	j.mu.Unlock()
 
+	// Batched path first: one streamed request per hosting worker
+	// carrying that worker's whole slice of I_ℓ. Any batch that fails —
+	// transport error, frame/meta mismatch, decode error — leaves its
+	// deps unfetched and the per-spill loop below picks them up with its
+	// full error taxonomy (retry, re-execute, quarantine).
+	fetched := make([][]kv.Pair, len(deps))
+	srcs := make([]int64, len(deps))
+	got := make([]bool, len(deps))
+	var batchBytes int64
+	if !j.c.cfg.DisableBatchFetch {
+		batchBytes = j.fetchBatches(l, deps, fetched, srcs, got)
+		if j.ctx.Err() != nil {
+			return
+		}
+	}
+
 	// Fetch I_ℓ in ascending split order so the k-way merge sees streams
 	// in the same order as the in-process engine (stream-index
-	// tie-breaks make merge output order-sensitive).
+	// tie-breaks make merge output order-sensitive). Batched results
+	// fill their slots in the same order.
 	streams := make([][]kv.Pair, 0, len(deps))
-	var tally, bytes int64
-	for _, d := range deps {
+	var tally int64
+	bytes := batchBytes
+	for i, d := range deps {
+		if got[i] {
+			j.c.noteOutcome(d.worker, false)
+			streams = append(streams, fetched[i])
+			tally += srcs[i]
+			continue
+		}
 		pairs, src, n, err := j.fetchSpill(d.url, d.split, d.attempt, l)
 		if err != nil {
 			if j.ctx.Err() != nil {
@@ -1446,9 +1533,11 @@ func (j *clusterJob) fetchSpill(baseURL string, split, attempt, kb int) ([]kv.Pa
 		if err == nil {
 			c.mFetchSeconds.Observe(time.Since(start).Seconds())
 			c.mConnections.Inc()
+			c.mShuffleReqs.Inc()
 			c.mShuffleBytes.Add(n)
 			j.mu.Lock()
 			j.counters.Connections++
+			j.counters.ShuffleRequests++
 			j.mu.Unlock()
 			return pairs, src, n, nil
 		}
@@ -1471,7 +1560,7 @@ func (j *clusterJob) fetchSpillOnce(baseURL string, split, attempt, kb int) ([]k
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	resp, err := j.c.client.Do(req)
+	resp, err := j.c.shuffleClient.Do(req)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -1488,6 +1577,140 @@ func (j *clusterJob) fetchSpillOnce(baseURL string, split, attempt, kb int) ([]k
 		return nil, 0, 0, fmt.Errorf("spill decode: %w", err)
 	}
 	return pairs, h.SourceCount, cr.n, nil
+}
+
+// fetchBatches runs the batched shuffle path for reduce l: deps are
+// grouped by hosting worker (in order of first appearance, which is
+// ascending-split order) and each group is fetched with one streamed
+// batch request. Successful groups fill their fetched/srcs/got slots;
+// a failed group is simply left unfetched for the per-spill loop — a
+// batch is a fast path, never an error authority, so it performs no
+// rearm, markDead or health accounting. Returns the bytes transferred
+// by successful batches.
+func (j *clusterJob) fetchBatches(l int, deps []reduceDep, fetched [][]kv.Pair, srcs []int64, got []bool) int64 {
+	c := j.c
+	var order []string
+	groups := make(map[string][]int)
+	for i, d := range deps {
+		if !d.hasMeta {
+			continue // no recorded meta to validate frames against
+		}
+		if _, ok := groups[d.url]; !ok {
+			order = append(order, d.url)
+		}
+		groups[d.url] = append(groups[d.url], i)
+	}
+	var total int64
+	for _, u := range order {
+		idx := groups[u]
+		n, err := j.fetchBatchOnce(u, l, idx, deps, fetched, srcs)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				return total
+			}
+			c.mBatchFallbacks.Inc()
+			j.mu.Lock()
+			j.counters.BatchFallbacks++
+			j.mu.Unlock()
+			c.logf("reduce %s/kb%d: batch fetch of %d spills from %s failed (%v); falling back to per-spill",
+				j.spec.ID, l, len(idx), u, err)
+			for _, i := range idx {
+				fetched[i], srcs[i] = nil, 0
+			}
+			continue
+		}
+		for _, i := range idx {
+			got[i] = true
+		}
+		total += n
+	}
+	return total
+}
+
+// fetchBatchOnce fetches one worker's slice of I_ℓ as a single framed
+// stream and validates every frame against the Map-time spill metadata:
+// frame identity and length, then (through the kv codec's own CRC
+// gauntlet) the decoded pair count and kv-count annotation. Any
+// mismatch fails the whole batch — the per-spill path re-fetches with
+// proper error classification. On success the request is accounted
+// once (histogram, request counters) while Connections still advances
+// by the number of spills carried, keeping Σ|I_ℓ| accounting intact.
+func (j *clusterJob) fetchBatchOnce(baseURL string, l int, idx []int, deps []reduceDep, fetched [][]kv.Pair, srcs []int64) (int64, error) {
+	c := j.c
+	breq := BatchFetchRequest{JobID: j.spec.ID, Keyblock: l, Spills: make([]SpillRef, 0, len(idx))}
+	for _, i := range idx {
+		breq.Spills = append(breq.Spills, SpillRef{Split: deps[i].split, Attempt: deps[i].attempt})
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(j.ctx, http.MethodPost, baseURL+BatchShufflePath, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.shuffleClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("batch fetch returned %d", resp.StatusCode)
+	}
+	cr := &countingReader{r: resp.Body}
+	for _, i := range idx {
+		d := deps[i]
+		var fh [frameHeaderLen]byte
+		if _, err := io.ReadFull(cr, fh[:]); err != nil {
+			return 0, fmt.Errorf("frame header for split %d: %w", d.split, err)
+		}
+		split, attempt, kb, length, err := parseFrameHeader(fh[:])
+		if err != nil {
+			return 0, err
+		}
+		if split != d.split || attempt != d.attempt || kb != l {
+			return 0, fmt.Errorf("frame names spill %d/%d kb %d, want %d/%d kb %d",
+				split, attempt, kb, d.split, d.attempt, l)
+		}
+		if length != d.meta.Bytes {
+			return 0, fmt.Errorf("split %d frame length %d != recorded spill size %d", d.split, length, d.meta.Bytes)
+		}
+		// LimitReader contains the decoder's buffered reads within the
+		// frame: over-reading would swallow the next frame's header.
+		lr := io.LimitReader(cr, length)
+		h, pairs, err := kv.ReadSpill(lr)
+		if err != nil {
+			return 0, fmt.Errorf("split %d spill decode: %w", d.split, err)
+		}
+		if rest, _ := io.Copy(io.Discard, lr); rest != 0 {
+			return 0, fmt.Errorf("split %d frame has %d trailing bytes", d.split, rest)
+		}
+		if h.SourceCount != d.meta.SourceCount || len(pairs) != d.meta.Pairs {
+			return 0, fmt.Errorf("split %d decoded (count=%d pairs=%d) != recorded (count=%d pairs=%d)",
+				d.split, h.SourceCount, len(pairs), d.meta.SourceCount, d.meta.Pairs)
+		}
+		fetched[i] = pairs
+		srcs[i] = h.SourceCount
+	}
+	if extra, _ := io.Copy(io.Discard, cr); extra != 0 {
+		return 0, fmt.Errorf("%d trailing bytes after final frame", extra)
+	}
+	c.mFetchSeconds.Observe(time.Since(start).Seconds())
+	c.mShuffleReqs.Inc()
+	c.mBatchReqs.Inc()
+	c.mConnections.Add(int64(len(idx)))
+	c.mShuffleBytes.Add(cr.n)
+	j.mu.Lock()
+	j.counters.Connections += int64(len(idx))
+	j.counters.ShuffleRequests++
+	j.counters.BatchRequests++
+	j.mu.Unlock()
+	return cr.n, nil
 }
 
 // countingReader counts bytes for the shuffle-bytes accounting.

@@ -31,6 +31,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -221,4 +222,71 @@ type WorkerInfo struct {
 // /v1/shuffle/{job}/{split}/{attempt}/{keyblock}.
 func ShufflePath(jobID string, split, attempt, keyblock int) string {
 	return fmt.Sprintf("/v1/shuffle/%s/%d/%d/%d", jobID, split, attempt, keyblock)
+}
+
+// BatchShufflePath is the batched shuffle endpoint: one POST fetches a
+// Reduce task's entire I_ℓ subset held by that worker, collapsing the
+// per-(reduce, split) request fan-out to one request per (reduce,
+// worker) pair. The per-spill GET endpoint stays for retries and
+// fault-injection targeting.
+const BatchShufflePath = "/v1/shuffle/batch"
+
+// SpillRef names one spill inside a batch fetch; the keyblock is shared
+// by the whole request.
+type SpillRef struct {
+	Split   int `json:"split"`
+	Attempt int `json:"attempt"`
+}
+
+// BatchFetchRequest asks a worker for several spills of one keyblock in
+// a single framed response stream. Spills are returned in request
+// order — the fetcher depends on it to keep the Reduce merge's stream
+// order (and therefore its tie-breaking) identical to per-spill
+// fetching.
+type BatchFetchRequest struct {
+	JobID    string     `json:"job_id"`
+	Keyblock int        `json:"keyblock"`
+	Spills   []SpillRef `json:"spills"`
+}
+
+// The batch response body is a sequence of frames, one per requested
+// spill, in request order:
+//
+//	magic "SFRM" | u32 split | u32 attempt | u32 keyblock | u64 length
+//	length bytes: the spill stream exactly as the per-spill endpoint
+//	              would serve it (kv codec v2 or v3)
+//
+// The response carries an exact Content-Length (Σ frames), computed
+// from the spill store's directory before the first byte is written, so
+// a Reduce-side reader can detect truncation without trailers and the
+// transport's response-header timeout never waits on spill encoding.
+var frameMagic = [4]byte{'S', 'F', 'R', 'M'}
+
+const frameHeaderLen = 24
+
+// putFrameHeader encodes one frame header into b.
+func putFrameHeader(b []byte, split, attempt, keyblock int, length int64) {
+	copy(b[:4], frameMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(b[4:8], uint32(split))
+	le.PutUint32(b[8:12], uint32(attempt))
+	le.PutUint32(b[12:16], uint32(keyblock))
+	le.PutUint64(b[16:24], uint64(length))
+}
+
+// parseFrameHeader decodes one frame header.
+func parseFrameHeader(b []byte) (split, attempt, keyblock int, length int64, err error) {
+	if [4]byte(b[:4]) != frameMagic {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: bad shuffle frame magic %q", b[:4])
+	}
+	le := binary.LittleEndian
+	split = int(le.Uint32(b[4:8]))
+	attempt = int(le.Uint32(b[8:12]))
+	keyblock = int(le.Uint32(b[12:16]))
+	length = int64(le.Uint64(b[16:24]))
+	if split < 0 || attempt < 0 || keyblock < 0 || length < 0 {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: implausible shuffle frame %d/%d/%d len=%d",
+			split, attempt, keyblock, length)
+	}
+	return split, attempt, keyblock, length, nil
 }

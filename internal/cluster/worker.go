@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"sidr/internal/kv"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
+	"sidr/internal/spillstore"
 )
 
 // WorkerConfig configures one worker process (or in-process instance).
@@ -54,6 +56,13 @@ type WorkerConfig struct {
 	// Chaos, when set, injects worker-side faults into Map execution:
 	// scheduled kills, delays and hangs (see internal/faultinject).
 	Chaos *faultinject.Injector
+	// SpillCompress DEFLATEs each spill block (kv codec v3 per-block
+	// compression). Trades Map-side CPU for shuffle bytes; the serving
+	// path is unaffected either way (spills are served as opaque bytes).
+	SpillCompress bool
+	// SpillBlockPairs overrides the v3 codec's pairs-per-block framing
+	// (0 = kv.DefaultBlockPairs).
+	SpillBlockPairs int
 	// Logf, when set, receives worker lifecycle logging.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +74,7 @@ type Worker struct {
 	cfg      WorkerConfig
 	mux      *http.ServeMux
 	client   *http.Client
+	store    *spillstore.Store
 	mapsDone atomic.Int64
 	running  atomic.Int64
 
@@ -113,9 +123,16 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Transport: NewTransport(cfg.DialTimeout, cfg.HeaderTimeout)}
 	}
-	w := &Worker{cfg: cfg, client: cfg.Client, jobs: make(map[string]*workerJob)}
+	store, err := spillstore.New(cfg.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{cfg: cfg, client: cfg.Client, store: store, jobs: make(map[string]*workerJob)}
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc("/v1/map", w.handleMap)
+	// The exact-path batch pattern outranks the per-spill subtree on the
+	// mux (longest pattern wins).
+	w.mux.HandleFunc(BatchShufflePath, w.handleShuffleBatch)
 	w.mux.HandleFunc("/v1/shuffle/", w.handleShuffle)
 	w.mux.HandleFunc("/v1/release", w.handleRelease)
 	w.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
@@ -130,8 +147,8 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.Serv
 // MapsDone returns how many Map attempts completed successfully.
 func (w *Worker) MapsDone() int64 { return w.mapsDone.Load() }
 
-// Close releases cached dataset handles. Spill files are left on disk;
-// the owner of SpillDir reclaims them.
+// Close releases cached dataset handles and open spill pack handles.
+// Spill files are left on disk; the owner of SpillDir reclaims them.
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -143,6 +160,9 @@ func (w *Worker) Close() error {
 			}
 		}
 		delete(w.jobs, id)
+	}
+	if err := w.store.Close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
@@ -258,7 +278,7 @@ func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
 	return j, nil
 }
 
-// releaseLocked drops one job's cached state and deletes its spill
+// releaseLocked drops one job's cached state, pack handles and spill
 // directory. Caller holds w.mu.
 func (w *Worker) releaseLocked(jobID string) {
 	if j, ok := w.jobs[jobID]; ok {
@@ -267,6 +287,7 @@ func (w *Worker) releaseLocked(jobID string) {
 		}
 		delete(w.jobs, jobID)
 	}
+	w.store.ReleaseJob(jobID)
 	os.RemoveAll(filepath.Join(w.cfg.SpillDir, jobID))
 }
 
@@ -296,8 +317,12 @@ func (w *Worker) handleRelease(rw http.ResponseWriter, r *http.Request) {
 			http.Error(rw, "bad split/attempt", http.StatusBadRequest)
 			return
 		}
+		w.store.ReleaseAttempt(req.JobID, *req.Split, *req.Attempt)
 		os.RemoveAll(filepath.Join(w.cfg.SpillDir, req.JobID,
 			fmt.Sprintf("%d-%d", *req.Split, *req.Attempt)))
+		// Release is also the natural sweep point for temp files a
+		// crashed or aborted attempt orphaned.
+		w.store.SweepTemps(time.Minute)
 		w.logf("released job %s split %d attempt %d", req.JobID, *req.Split, *req.Attempt)
 		rw.WriteHeader(http.StatusOK)
 		return
@@ -305,6 +330,7 @@ func (w *Worker) handleRelease(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
 	w.releaseLocked(req.JobID)
 	w.mu.Unlock()
+	w.store.SweepTemps(time.Minute)
 	w.logf("released job %s", req.JobID)
 	rw.WriteHeader(http.StatusOK)
 }
@@ -404,19 +430,32 @@ func (w *Worker) handleMap(rw http.ResponseWriter, r *http.Request) {
 
 	rank := j.plan.Space.Shape.Rank()
 	resp := MapResponse{JobID: req.JobID, Split: req.Split, Attempt: req.Attempt, Records: records}
+	pw, err := w.store.Begin(req.JobID, req.Split, req.Attempt)
+	if err != nil {
+		http.Error(rw, "spill store: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	opts := kv.V3Options{BlockPairs: w.cfg.SpillBlockPairs, Compress: w.cfg.SpillCompress}
 	for _, kb := range j.plan.Graph.SplitToKB[req.Split] {
-		path := w.spillPath(req.JobID, req.Split, req.Attempt, kb)
-		n, err := writeSpillFile(path, rank, outs[kb].SourceCount, outs[kb].Pairs)
+		out := outs[kb]
+		n, err := pw.Append(kb, func(dst io.Writer) error {
+			return kv.WriteSpillV3(dst, rank, out.SourceCount, out.Pairs, opts)
+		})
 		if err != nil {
+			pw.Abort()
 			http.Error(rw, "spill write: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
 		resp.Outputs = append(resp.Outputs, KeyblockMeta{
 			Keyblock:    kb,
-			Pairs:       len(outs[kb].Pairs),
-			SourceCount: outs[kb].SourceCount,
+			Pairs:       len(out.Pairs),
+			SourceCount: out.SourceCount,
 			Bytes:       n,
 		})
+	}
+	if err := pw.Commit(); err != nil {
+		http.Error(rw, "spill commit: "+err.Error(), http.StatusInternalServerError)
+		return
 	}
 	w.mapsDone.Add(1)
 	w.logf("map job=%s split=%d attempt=%d records=%d keyblocks=%d",
@@ -425,37 +464,11 @@ func (w *Worker) handleMap(rw http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(rw).Encode(resp)
 }
 
-// writeSpillFile writes a spill atomically (temp file + rename) so a
-// concurrent shuffle fetch never observes a half-written spill and a
-// duplicate attempt's re-write is idempotent. Returns the byte size.
-func writeSpillFile(path string, rank int, sourceCount int64, pairs []kv.Pair) (int64, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return 0, err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".spill-*")
-	if err != nil {
-		return 0, err
-	}
-	defer os.Remove(tmp.Name())
-	if err := kv.WriteSpill(tmp, rank, sourceCount, pairs); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	info, err := tmp.Stat()
-	if err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return 0, err
-	}
-	return info.Size(), nil
-}
-
-// spillPath lays spills out as spillDir/job/split-attempt/kb-N.spill.
+// spillPath is the legacy per-keyblock layout:
+// spillDir/job/split-attempt/kb-N.spill. Map attempts no longer write
+// it (they append to a spillstore pack), but the serving path still
+// falls back to it so pre-pack spills and directly-written fixtures
+// stay fetchable.
 func (w *Worker) spillPath(jobID string, split, attempt, kb int) string {
 	return filepath.Join(w.cfg.SpillDir, jobID,
 		fmt.Sprintf("%d-%d", split, attempt), fmt.Sprintf("kb-%d.spill", kb))
@@ -473,7 +486,34 @@ func validJobID(id string) bool {
 	return id != ""
 }
 
+// openSpill resolves one spill to a ReadSeeker over its exact on-disk
+// bytes: the pack store first (a SectionReader over the shared pack
+// handle — zero copy, zero re-decode), then the legacy per-keyblock
+// layout. closer is nil for pack entries; the store owns that handle.
+func (w *Worker) openSpill(job string, split, attempt, kb int) (src io.ReadSeeker, closer io.Closer, size int64, mtime time.Time, err error) {
+	sr, mt, err := w.store.Open(job, split, attempt, kb)
+	if err == nil {
+		return sr, nil, sr.Size(), mt, nil
+	}
+	if !errors.Is(err, spillstore.ErrNotFound) {
+		return nil, nil, 0, time.Time{}, err
+	}
+	f, ferr := os.Open(w.spillPath(job, split, attempt, kb))
+	if ferr != nil {
+		return nil, nil, 0, time.Time{}, spillstore.ErrNotFound
+	}
+	info, ferr := f.Stat()
+	if ferr != nil {
+		f.Close()
+		return nil, nil, 0, time.Time{}, ferr
+	}
+	return f, f, info.Size(), info.ModTime(), nil
+}
+
 // handleShuffle streams one spill: GET /v1/shuffle/{job}/{split}/{attempt}/{kb}.
+// ServeContent sets an exact Content-Length (and handles ranges), so
+// the coordinator's response-header timeout never waits on an unsized
+// stream.
 func (w *Worker) handleShuffle(rw http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
@@ -493,19 +533,85 @@ func (w *Worker) handleShuffle(rw http.ResponseWriter, r *http.Request) {
 		}
 		nums[i] = n
 	}
-	path := w.spillPath(parts[0], nums[0], nums[1], nums[2])
-	f, err := os.Open(path)
+	src, closer, _, mtime, err := w.openSpill(parts[0], nums[0], nums[1], nums[2])
 	if err != nil {
 		http.Error(rw, "no such spill", http.StatusNotFound)
 		return
 	}
-	defer f.Close()
-	info, err := f.Stat()
-	if err != nil {
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
-		return
+	if closer != nil {
+		defer closer.Close()
 	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
-	rw.Header().Set("Content-Length", strconv.FormatInt(info.Size(), 10))
-	io.Copy(rw, f)
+	http.ServeContent(rw, r, "", mtime, src)
+}
+
+// handleShuffleBatch streams a Reduce task's whole spill subset from
+// this worker in one response: POST /v1/shuffle/batch with a
+// BatchFetchRequest body. Frames are emitted in request order — the
+// coordinator's merge is order-sensitive — each a 24-byte SFRM header
+// followed by the spill's exact on-disk bytes. Every spill is resolved
+// before the status line is written, so a 200 always carries an exact
+// precomputed Content-Length and every requested frame; the request
+// context is checked between frames so an abandoned fetch stops
+// consuming disk bandwidth.
+func (w *Worker) handleShuffleBatch(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchFetchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad batch request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !validJobID(req.JobID) || req.Keyblock < 0 || len(req.Spills) == 0 {
+		http.Error(rw, "bad batch request", http.StatusBadRequest)
+		return
+	}
+	type frame struct {
+		ref    SpillRef
+		src    io.ReadSeeker
+		closer io.Closer
+		size   int64
+	}
+	frames := make([]frame, 0, len(req.Spills))
+	closeAll := func() {
+		for _, fr := range frames {
+			if fr.closer != nil {
+				fr.closer.Close()
+			}
+		}
+	}
+	var total int64
+	for _, ref := range req.Spills {
+		if ref.Split < 0 || ref.Attempt < 0 {
+			closeAll()
+			http.Error(rw, "bad split/attempt", http.StatusBadRequest)
+			return
+		}
+		src, closer, size, _, err := w.openSpill(req.JobID, ref.Split, ref.Attempt, req.Keyblock)
+		if err != nil {
+			closeAll()
+			http.Error(rw, fmt.Sprintf("no spill %d/%d for keyblock %d", ref.Split, ref.Attempt, req.Keyblock), http.StatusNotFound)
+			return
+		}
+		frames = append(frames, frame{ref: ref, src: src, closer: closer, size: size})
+		total += frameHeaderLen + size
+	}
+	defer closeAll()
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.FormatInt(total, 10))
+	var hdr [frameHeaderLen]byte
+	for _, fr := range frames {
+		if r.Context().Err() != nil {
+			return // client gone; abandon the stream
+		}
+		putFrameHeader(hdr[:], fr.ref.Split, fr.ref.Attempt, req.Keyblock, fr.size)
+		if _, err := rw.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := io.Copy(rw, fr.src); err != nil {
+			return
+		}
+	}
 }

@@ -314,8 +314,10 @@ type flipReader struct {
 }
 
 // flipSkip is the byte offset corruption prefers to land past: the
-// size of a v2 kv spill header, so flips hit checksummed payload.
-const flipSkip = 26
+// size of a v3 kv spill header (28 bytes; v2's was 26), so flips land
+// in CRC-guarded territory — block payloads, block headers, or batch
+// frame headers — rather than in uncovered structural header fields.
+const flipSkip = 28
 
 func (f *flipReader) Read(p []byte) (int, error) {
 	if !f.read {

@@ -32,6 +32,10 @@ import (
 // sourceCount annotation stays independently verifiable by the Reduce
 // side's kv-count tally (§3.2.1), while the checksum guards the pair
 // bytes that tally cannot see inside.
+//
+// Version 3 — the block-framed columnar format the clustered shuffle
+// writes — lives in codecv3.go. ReadSpill and ReadSpillHeader accept
+// both versions.
 
 var spillMagic = [4]byte{'S', 'P', 'I', 'L'}
 
@@ -55,6 +59,9 @@ var (
 
 // SpillHeader is the metadata of one Map output partition file.
 type SpillHeader struct {
+	// Version is the spill format version (2: row-oriented with one
+	// whole-payload CRC; 3: block-framed columnar, see codecv3.go).
+	Version uint16
 	// Rank is the dimensionality of the intermediate keys.
 	Rank int
 	// SourceCount is the number of source ⟨k,v⟩ pairs the file's
@@ -62,8 +69,13 @@ type SpillHeader struct {
 	SourceCount int64
 	// Pairs is the number of ⟨k',v'⟩ records in the file.
 	Pairs int
-	// CRC is the CRC32C (Castagnoli) of the pair payload bytes.
+	// CRC is the CRC32C (Castagnoli) of the pair payload bytes (v2 only;
+	// v3 checksums per block).
 	CRC uint32
+	// Flags holds v3 format flags (V3FlagDeflate).
+	Flags uint16
+	// Blocks is the v3 block count.
+	Blocks int
 }
 
 // WriteSpill serialises sorted pairs with their source-count annotation.
@@ -131,46 +143,74 @@ func writeSpillPayload(bw *bytes.Buffer, rank int, pairs []Pair) error {
 // (§3.2.1).
 func ReadSpillHeader(r io.Reader) (SpillHeader, error) {
 	br := bufio.NewReaderSize(r, 64)
-	return readSpillHeader(br)
+	h, _, err := readSpillHeader(br)
+	return h, err
 }
 
-func readSpillHeader(br *bufio.Reader) (SpillHeader, error) {
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return SpillHeader{}, err
+// readSpillHeader reads the version-dispatching fixed header. Both
+// formats share the first 22 bytes (magic, version, rank, sourceCount,
+// nPairs); v2 follows with the payload CRC, v3 with flags and the
+// block count. rawHdr returns the exact header bytes consumed, which
+// the v3 reader folds into its per-block CRC seed.
+func readSpillHeader(br *bufio.Reader) (SpillHeader, []byte, error) {
+	raw := make([]byte, 0, spillHeaderLenV3)
+	take := func(n int) ([]byte, error) {
+		off := len(raw)
+		raw = raw[:off+n]
+		_, err := io.ReadFull(br, raw[off:])
+		return raw[off:], err
 	}
-	if magic != spillMagic {
-		return SpillHeader{}, ErrBadSpillMagic
+	if b, err := take(4); err != nil {
+		return SpillHeader{}, nil, err
+	} else if [4]byte(b) != spillMagic {
+		return SpillHeader{}, nil, ErrBadSpillMagic
 	}
 	le := binary.LittleEndian
-	var b2 [2]byte
-	if _, err := io.ReadFull(br, b2[:]); err != nil {
-		return SpillHeader{}, err
+	h := SpillHeader{}
+	b, err := take(2)
+	if err != nil {
+		return SpillHeader{}, nil, err
 	}
-	if le.Uint16(b2[:]) != spillVersion {
-		return SpillHeader{}, ErrBadSpillVersion
+	h.Version = le.Uint16(b)
+	if h.Version != spillVersion && h.Version != spillVersionV3 {
+		return SpillHeader{}, nil, ErrBadSpillVersion
 	}
-	var b4 [4]byte
-	if _, err := io.ReadFull(br, b4[:]); err != nil {
-		return SpillHeader{}, err
+	if b, err = take(4); err != nil {
+		return SpillHeader{}, nil, err
 	}
-	rank := int(le.Uint32(b4[:]))
-	if rank <= 0 || rank > coords.MaxRank {
-		return SpillHeader{}, fmt.Errorf("kv: implausible spill rank %d", rank)
+	h.Rank = int(le.Uint32(b))
+	if h.Rank <= 0 || h.Rank > coords.MaxRank {
+		return SpillHeader{}, nil, fmt.Errorf("kv: implausible spill rank %d", h.Rank)
 	}
-	var b8 [8]byte
-	if _, err := io.ReadFull(br, b8[:]); err != nil {
-		return SpillHeader{}, err
+	if b, err = take(8); err != nil {
+		return SpillHeader{}, nil, err
 	}
-	src := int64(le.Uint64(b8[:]))
-	if _, err := io.ReadFull(br, b4[:]); err != nil {
-		return SpillHeader{}, err
+	h.SourceCount = int64(le.Uint64(b))
+	if b, err = take(4); err != nil {
+		return SpillHeader{}, nil, err
 	}
-	pairs := int(le.Uint32(b4[:]))
-	if _, err := io.ReadFull(br, b4[:]); err != nil {
-		return SpillHeader{}, err
+	h.Pairs = int(le.Uint32(b))
+	if h.Version == spillVersion {
+		if b, err = take(4); err != nil {
+			return SpillHeader{}, nil, err
+		}
+		h.CRC = le.Uint32(b)
+		return h, raw, nil
 	}
-	return SpillHeader{Rank: rank, SourceCount: src, Pairs: pairs, CRC: le.Uint32(b4[:])}, nil
+	if b, err = take(2); err != nil {
+		return SpillHeader{}, nil, err
+	}
+	h.Flags = le.Uint16(b)
+	if h.Flags&^V3FlagDeflate != 0 {
+		// Unknown flag bits would change payload interpretation; and on a
+		// blockless (empty) spill no block CRC exists to catch the flip.
+		return SpillHeader{}, nil, fmt.Errorf("kv: unknown spill flags %#x: %w", h.Flags, ErrBadSpillVersion)
+	}
+	if b, err = take(4); err != nil {
+		return SpillHeader{}, nil, err
+	}
+	h.Blocks = int(le.Uint32(b))
+	return h, raw, nil
 }
 
 // crcReader updates a running CRC32C over exactly the bytes consumed
@@ -187,14 +227,22 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// ReadSpill deserialises a full spill file, verifying the payload
-// against the header's CRC32C. A mismatch returns ErrChecksum — the
-// caller must treat the spill as lost, never merge its pairs.
+// ReadSpill deserialises a full spill file of either format, verifying
+// the payload checksums (whole-payload for v2, per-block for v3). A
+// mismatch returns ErrChecksum — the caller must treat the spill as
+// lost, never merge its pairs.
 func ReadSpill(r io.Reader) (SpillHeader, []Pair, error) {
 	br := bufio.NewReader(r)
-	h, err := readSpillHeader(br)
+	h, rawHdr, err := readSpillHeader(br)
 	if err != nil {
 		return SpillHeader{}, nil, err
+	}
+	if h.Version == spillVersionV3 {
+		pairs, err := readSpillV3Body(br, h, v3HeaderCRCSeed(rawHdr))
+		if err != nil {
+			return h, nil, err
+		}
+		return h, pairs, nil
 	}
 	cr := &crcReader{r: br}
 	le := binary.LittleEndian

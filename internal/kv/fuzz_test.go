@@ -53,6 +53,12 @@ func FuzzReadSpill(f *testing.F) {
 		if err != nil {
 			return // graceful rejection is the required behaviour
 		}
+		if h.Version != 2 {
+			// A mutated input that parses as a v3 spill exercised the
+			// decoder for panics; its fixed point is FuzzReadSpillV3's
+			// property (re-encoding with WriteSpill would change formats).
+			return
+		}
 		if len(pairs) != h.Pairs {
 			t.Fatalf("decoded %d pairs, header says %d", len(pairs), h.Pairs)
 		}
