@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve bench bench-prune bench-shuffle fuzz smoke clean
+.PHONY: build test race vet serve bench bench-prune bench-shuffle bench-serve fuzz smoke smoke-serve clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ SHUFFLE_OUT ?= BENCH_PR7.json
 bench-shuffle:
 	$(GO) run ./cmd/sidrbench -json $(SHUFFLE_OUT)
 
+# bench-serve drives the serving tier with >=1000 concurrent streaming
+# clients (zipf mix + identical-query burst) and emits the cross-PR perf
+# snapshot with cold/cached/collapsed latency percentiles.
+SERVE_OUT ?= BENCH_PR8.json
+SERVE_CLIENTS ?= 1000
+bench-serve:
+	$(GO) run ./cmd/sidrbench -serveclients $(SERVE_CLIENTS) -json $(SERVE_OUT)
+
 # fuzz exercises the untrusted-bytes decoders briefly (CI runs the same
 # targets; crashers land in testdata/fuzz).
 FUZZTIME ?= 30s
@@ -46,6 +54,12 @@ fuzz:
 # smoke runs the multi-process cluster smoke test (sidrd + 2 workers).
 smoke:
 	scripts/cluster_smoke.sh
+
+# smoke-serve checks the serving tier end to end over real HTTP: repeat
+# query is a recorded byte-identical cache hit, gzip decodes to identity
+# bytes, tenant quota breaches 429.
+smoke-serve:
+	scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, prune)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, prune, serve)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
 		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
@@ -40,6 +40,9 @@ func main() {
 		shufPair = flag.Int("shufflepairs", 50000, "pair count for the shuffle micro-benchmark spill")
 		shufN    = flag.Int("shufflefetches", 200, "timed fetches in the shuffle micro-benchmark")
 		shufRows = flag.Int64("shufflerows", 40*512*512, "source rows for the batched-vs-per-spill shuffle head-to-head")
+		srvCli   = flag.Int("serveclients", 1000, "concurrent streaming clients in the serving-tier experiment")
+		srvReqs  = flag.Int("servereqs", 3, "requests per client in the serving-tier mix phase")
+		srvUniq  = flag.Int("serveuniques", 64, "distinct queries in the serving-tier zipf mix")
 		jsonTo   = flag.String("json", "", "write a machine-readable benchmark summary to this file and exit")
 	)
 	flag.Usage = func() {
@@ -51,7 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonTo != "" {
-		if err := writeBenchJSON(*jsonTo, *seed, *micro, *shufPair, *shufN, *shufRows); err != nil {
+		if err := writeBenchJSON(*jsonTo, *seed, *micro, *shufPair, *shufN, *shufRows, *srvCli, *srvReqs, *srvUniq); err != nil {
 			fmt.Fprintf(os.Stderr, "sidrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -225,6 +228,15 @@ func main() {
 		fmt.Println("  " + r.Format())
 		return nil
 	})
+	run("serve", func() error {
+		fmt.Printf("serving tier: %d streaming clients, zipf mix over %d queries + identical-query burst\n", *srvCli, *srvUniq)
+		r, err := serveExperiment(*seed, *srvCli, *srvReqs, *srvUniq)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r.Format())
+		return nil
+	})
 }
 
 // benchCurve is one Figure 9/10 curve's headline numbers.
@@ -239,7 +251,10 @@ type benchCurve struct {
 // sidrbench/2 added the networked-shuffle micro-benchmark; sidrbench/3
 // added the chaos experiment (fault-recovery latency on real workers);
 // sidrbench/4 added the structural-index pruning experiment;
-// sidrbench/5 adds the batched-vs-per-spill shuffle head-to-head.
+// sidrbench/5 added the batched-vs-per-spill shuffle head-to-head;
+// sidrbench/6 adds the serving-tier experiment (result cache, query
+// collapsing, per-path latency percentiles under 1000 streaming
+// clients).
 type benchReport struct {
 	Schema string       `json:"schema"`
 	Seed   int64        `json:"seed"`
@@ -262,6 +277,7 @@ type benchReport struct {
 	Shuffle      shuffleHeadToHead  `json:"shuffle"`
 	Chaos        []chaosResult      `json:"chaos"`
 	Prune        pruneResult        `json:"prune"`
+	Serve        serveResult        `json:"serve"`
 }
 
 func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
@@ -279,8 +295,8 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 
 // writeBenchJSON runs the headline experiments and one real in-process
 // engine query, and writes the summary file.
-func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int, shuffleRows int64) error {
-	rep := benchReport{Schema: "sidrbench/5", Seed: seed}
+func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int, shuffleRows int64, serveClients, serveReqs, serveUniques int) error {
+	rep := benchReport{Schema: "sidrbench/6", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
 
 	rs, err := experiments.Figure9(cfg)
@@ -339,6 +355,10 @@ func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFe
 	}
 
 	if rep.Prune, err = pruneExperiment(5); err != nil {
+		return err
+	}
+
+	if rep.Serve, err = serveExperiment(seed, serveClients, serveReqs, serveUniques); err != nil {
 		return err
 	}
 

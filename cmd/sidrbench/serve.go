@@ -1,0 +1,334 @@
+// Serving-tier load harness: drives a full in-process daemon stack
+// (registry → job manager → HTTP server) with >=1000 concurrent
+// streaming clients and a zipf-skewed query mix, and reports per-path
+// latency percentiles — cold executions vs result-cache hits vs
+// in-flight collapses — plus the executed-vs-served job counts that
+// quantify how much work the serving tier absorbs.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sidr/internal/cluster"
+	"sidr/internal/jobs"
+	"sidr/internal/metrics"
+	"sidr/internal/server"
+	"sidr/internal/wire"
+)
+
+// serveLatency summarises one serving path's request latencies
+// (submit → terminal stream event, measured at the client).
+type serveLatency struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+func summarize(durs []time.Duration) serveLatency {
+	if len(durs) == 0 {
+		return serveLatency{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(durs)-1))
+		return float64(durs[i]) / float64(time.Millisecond)
+	}
+	return serveLatency{Count: len(durs), P50MS: pct(0.50), P95MS: pct(0.95), P99MS: pct(0.99)}
+}
+
+// serveResult is the -exp serve / BENCH json form.
+type serveResult struct {
+	Clients        int   `json:"clients"`
+	RequestsServed int64 `json:"requests_served"`
+	JobsExecuted   int64 `json:"jobs_executed"`
+	UniqueQueries  int   `json:"unique_queries"`
+	Collapsed      int64 `json:"collapsed_followers"`
+	CacheHits      int64 `json:"result_cache_hits"`
+	Errors         int64 `json:"errors"`
+
+	Cold                serveLatency `json:"cold"`
+	Cached              serveLatency `json:"cached"`
+	Collapse            serveLatency `json:"collapsed"`
+	CachedVsColdSpeedup float64      `json:"cached_vs_cold_p50_speedup"`
+	// MixWindowMS is the open-loop arrival window of the hot-mix phase;
+	// requests fire at uniform-random offsets inside it.
+	MixWindowMS float64 `json:"mix_window_ms"`
+
+	// Burst is the collapse stress: every client submits the same fresh
+	// query at once; JobsExecuted records how many actually ran.
+	Burst struct {
+		Requests     int   `json:"requests"`
+		JobsExecuted int64 `json:"jobs_executed"`
+		Collapsed    int64 `json:"collapsed_followers"`
+	} `json:"burst"`
+}
+
+func (r serveResult) Format() string {
+	return fmt.Sprintf("clients=%d served=%d executed=%d (%.1fx absorbed) errors=%d | cold n=%d p50=%.2fms p99=%.2fms | cached n=%d p50=%.3fms p99=%.3fms (%.0fx) | collapsed n=%d p50=%.2fms p99=%.2fms | burst %d->%d jobs (%d collapsed)",
+		r.Clients, r.RequestsServed, r.JobsExecuted,
+		float64(r.RequestsServed)/float64(max64(r.JobsExecuted, 1)), r.Errors,
+		r.Cold.Count, r.Cold.P50MS, r.Cold.P99MS,
+		r.Cached.Count, r.Cached.P50MS, r.Cached.P99MS, r.CachedVsColdSpeedup,
+		r.Collapse.Count, r.Collapse.P50MS, r.Collapse.P99MS,
+		r.Burst.Requests, r.Burst.JobsExecuted, r.Burst.Collapsed)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// raiseNoFile lifts RLIMIT_NOFILE to its hard cap so >=1000 concurrent
+// HTTP streams (two fds each: client and server side) fit; best-effort.
+func raiseNoFile() {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+}
+
+// serveExperiment stands up the daemon stack and runs two phases:
+// a zipf-skewed mix (cold + cached + collapsed all exercised) and an
+// all-identical burst (pure collapse). Every request is a streaming
+// client: submit, then ride the NDJSON stream to the terminal event.
+func serveExperiment(seed int64, clients, reqsPerClient, uniques int) (serveResult, error) {
+	raiseNoFile()
+	var out serveResult
+	out.Clients = clients
+	out.UniqueQueries = uniques
+
+	reg := metrics.New()
+	registry := server.NewRegistry()
+	if err := registry.AddGenerated("grid", cluster.DatasetSpec{
+		Kind: "synthetic", Generator: "temperature", Shape: []int64{256, 256}, Seed: seed,
+	}); err != nil {
+		return out, err
+	}
+	// "slow" models an expensive query (I/O-bound or huge): ~100µs per
+	// point. The burst phase runs against it so the leader's execution
+	// window is wide enough for followers to attach — a query that
+	// finishes in single-digit milliseconds leaves nothing to collapse
+	// onto; late arrivals hit the result cache instead.
+	if err := registry.AddSynthetic("slow", []int64{64, 64}, func(k []int64) float64 {
+		time.Sleep(100 * time.Microsecond)
+		return float64(k[0] ^ k[1])
+	}); err != nil {
+		return out, err
+	}
+	mgr, err := jobs.NewManager(jobs.Config{
+		QueueDepth: uniques * 4,
+		RetainJobs: -1, // keep all: clients stream jobs after they finish
+		Datasets:   registry,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return out, err
+	}
+	ts := httptest.NewServer(server.New(mgr, registry, reg, nil))
+	defer ts.Close()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+
+	// The query mix: distinct row extents make distinct canonical
+	// queries; zipf skews popularity so hot queries cache/collapse while
+	// the tail stays cold.
+	queries := make([]string, uniques)
+	for i := range queries {
+		// 64-row slabs at distinct offsets: every entry canonicalises to a
+		// distinct query, so each is its own cache/collapse key.
+		off := int64(i) % 192
+		queries[i] = fmt.Sprintf("avg v[%d,0 : %d,256] es {64,64}", off, off+64)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.2, 1, uint64(uniques-1))
+
+	type sample struct {
+		class string
+		dur   time.Duration
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		errs    atomic.Int64
+	)
+
+	// one streaming request: submit, classify from the snapshot, stream
+	// to the terminal event, record the end-to-end latency.
+	doRequest := func(dataset, query string) {
+		start := time.Now()
+		body, _ := json.Marshal(jobs.Request{Dataset: dataset, Query: query, Reducers: 4})
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			errs.Add(1)
+			return
+		}
+		var snap jobs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			resp.Body.Close()
+			errs.Add(1)
+			return
+		}
+		resp.Body.Close()
+
+		class := "cold"
+		switch {
+		case snap.ResultHit:
+			class = "cached"
+		case snap.CollapsedInto != "":
+			class = "collapsed"
+		}
+
+		sresp, err := client.Get(ts.URL + "/v1/jobs/" + snap.ID + "/stream")
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		defer sresp.Body.Close()
+		sc := bufio.NewScanner(sresp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		terminal := false
+		for sc.Scan() {
+			var ev wire.StreamEvent
+			if json.Unmarshal(sc.Bytes(), &ev) != nil {
+				continue
+			}
+			if ev.Type == wire.EventDone || ev.Type == wire.EventFailed || ev.Type == wire.EventCancelled {
+				terminal = ev.Type == wire.EventDone
+				break
+			}
+		}
+		if !terminal {
+			errs.Add(1)
+			return
+		}
+		mu.Lock()
+		samples = append(samples, sample{class: class, dur: time.Since(start)})
+		mu.Unlock()
+	}
+
+	// Phase 1: the cold sweep — every unique query once, concurrently.
+	// These executions populate the result cache and are the cold
+	// latency samples.
+	var wg sync.WaitGroup
+	coldGate := make(chan struct{})
+	for i := 0; i < uniques; i++ {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			<-coldGate
+			doRequest("grid", q)
+		}(queries[i])
+	}
+	close(coldGate)
+	wg.Wait()
+
+	// Phase 2: the hot mix — every client concurrently, zipf-skewed over
+	// the now-warm query set. Arrivals are open-loop: each request fires
+	// at a uniform-random offset inside a window sized ~4ms per request,
+	// so the measurement is steady-state serving latency at a sustained
+	// arrival rate rather than a single synchronized thundering herd —
+	// closed-loop hammering on a small machine measures scheduler
+	// queueing, not the serving path. Each client draws its queries and
+	// offsets up front (the zipf source is not goroutine-safe), then all
+	// clients start together and hold their streams concurrently.
+	window := 4 * time.Millisecond * time.Duration(clients*reqsPerClient)
+	out.MixWindowMS = float64(window) / float64(time.Millisecond)
+	rnd := rand.New(rand.NewSource(seed + 1))
+	type timedReq struct {
+		query string
+		at    time.Duration
+	}
+	plans := make([][]timedReq, clients)
+	for c := range plans {
+		plans[c] = make([]timedReq, reqsPerClient)
+		for r := range plans[c] {
+			plans[c][r] = timedReq{
+				query: queries[zipf.Uint64()],
+				at:    time.Duration(rnd.Int63n(int64(window))),
+			}
+		}
+		sort.Slice(plans[c], func(i, j int) bool { return plans[c][i].at < plans[c][j].at })
+	}
+	startGate := make(chan struct{})
+	epoch := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(plan []timedReq) {
+			defer wg.Done()
+			<-startGate
+			for _, tr := range plan {
+				if d := time.Until(epoch.Add(tr.at)); d > 0 {
+					time.Sleep(d)
+				}
+				doRequest("grid", tr.query)
+			}
+		}(plans[c])
+	}
+	close(startGate)
+	wg.Wait()
+
+	// Phase 3: the collapse burst — every client, one identical fresh
+	// query against the slow dataset, all at once. The leader's long
+	// execution window is what the followers attach to.
+	burstQuery := "avg v[0,0 : 64,64] es {16,16}"
+	executedBefore := reg.Counter("sidrd_jobs_done_total").Value()
+	collapsedBefore := reg.Counter("sidrd_collapse_followers_total").Value()
+	burstGate := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-burstGate
+			doRequest("slow", burstQuery)
+		}()
+	}
+	close(burstGate)
+	wg.Wait()
+	out.Burst.Requests = clients
+	out.Burst.JobsExecuted = reg.Counter("sidrd_jobs_done_total").Value() - executedBefore
+	out.Burst.Collapsed = reg.Counter("sidrd_collapse_followers_total").Value() - collapsedBefore
+
+	byClass := map[string][]time.Duration{}
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s.dur)
+	}
+	out.RequestsServed = reg.Counter("sidrd_jobs_submitted_total").Value()
+	out.JobsExecuted = reg.Counter("sidrd_jobs_done_total").Value()
+	out.Collapsed = reg.Counter("sidrd_collapse_followers_total").Value()
+	out.CacheHits = reg.Counter("sidrd_resultcache_hits_total").Value()
+	out.Errors = errs.Load()
+	out.Cold = summarize(byClass["cold"])
+	out.Cached = summarize(byClass["cached"])
+	out.Collapse = summarize(byClass["collapsed"])
+	if out.Cached.P50MS > 0 {
+		out.CachedVsColdSpeedup = out.Cold.P50MS / out.Cached.P50MS
+	}
+	return out, nil
+}

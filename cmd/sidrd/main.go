@@ -9,6 +9,14 @@
 // share), so total task concurrency stays fixed no matter how many jobs
 // -max-jobs admits.
 //
+// The serving tier in front of execution: finished results are kept in
+// a -result-cache-bytes LRU keyed on {dataset version, canonical
+// query, engine, plan parameters} and repeat queries are answered from
+// it without re-executing; concurrent identical queries collapse onto
+// one running job; and -tenant/-tenant-default give each X-SIDR-Tenant
+// a max-in-flight quota (429 detail "tenant-quota" on breach) and a
+// weighted-fair share of the executor.
+//
 // Usage:
 //
 //	sidrd -addr :7171 -data ./datasets -max-jobs 8 -exec-workers 8 -queue 64
@@ -58,15 +66,31 @@ func main() {
 		specOn    = flag.Bool("speculation", false, "launch backup attempts for straggling Map dispatches (with -cluster)")
 		batchOn   = flag.Bool("batch-shuffle", true, "fetch each reduce's spill subset with one batched request per worker; false forces per-spill fetches (with -cluster)")
 		chaos     = flag.String("chaos", "", "coordinator-side fault-injection spec applied to dispatch/shuffle requests, e.g. \"seed=42,match=/v1/shuffle/,delay=0.1:50ms,flip=0.01\" (see internal/faultinject)")
+		rcBytes   = flag.Int64("result-cache-bytes", 64<<20, "byte budget of the versioned result cache serving repeat queries without re-execution (-1 disables)")
+		tenantDef = flag.String("tenant-default", "0:1", "admission policy MAXINFLIGHT[:WEIGHT] for tenants without an explicit -tenant entry (0 = unlimited)")
 	)
+	tenants := make(map[string]jobs.TenantPolicy)
+	flag.Func("tenant", "per-tenant admission policy NAME=MAXINFLIGHT[:WEIGHT], repeatable; tenants are named by the X-SIDR-Tenant header", func(s string) error {
+		name, p, err := jobs.ParseTenantSpec(s)
+		if err != nil {
+			return err
+		}
+		tenants[name] = p
+		return nil
+	})
 	flag.Parse()
-	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout, *specOn, *batchOn, *chaos); err != nil {
+	tdef, err := jobs.ParseTenantPolicy(*tenantDef)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidrd: -tenant-default: %v\n", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout, *specOn, *batchOn, *chaos, *rcBytes, tenants, tdef); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration, specOn, batchOn bool, chaos string) error {
+func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration, specOn, batchOn bool, chaos string, rcBytes int64, tenants map[string]jobs.TenantPolicy, tenantDefault jobs.TenantPolicy) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
 	if dataDir != "" {
@@ -106,14 +130,17 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 		log.Printf("sidrd: clustering enabled (heartbeat timeout %v, speculation %v); workers register at /v1/cluster/register", hbTimeout, specOn)
 	}
 	mgr, err := jobs.NewManager(jobs.Config{
-		MaxConcurrent: maxJobs,
-		ExecWorkers:   execWorkers,
-		QueueDepth:    queue,
-		PlanCacheSize: planCache,
-		RetainJobs:    retain,
-		Datasets:      registry,
-		Cluster:       coord,
-		Metrics:       reg,
+		MaxConcurrent:    maxJobs,
+		ExecWorkers:      execWorkers,
+		QueueDepth:       queue,
+		PlanCacheSize:    planCache,
+		RetainJobs:       retain,
+		ResultCacheBytes: rcBytes,
+		Tenants:          tenants,
+		TenantDefault:    tenantDefault,
+		Datasets:         registry,
+		Cluster:          coord,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return err

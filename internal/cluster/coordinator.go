@@ -613,6 +613,10 @@ type JobSpec struct {
 	Exec *exec.Executor
 	// Workers caps the job's concurrently running tasks (0 = pool bound).
 	Workers int
+	// Weight is the job's weighted-fair share of the shared executor
+	// (default 1): tenant-weighted scheduling carried down to the task
+	// dispatch level.
+	Weight int
 	// OnPartial receives each keyblock's output the moment it commits.
 	// Callbacks may arrive concurrently.
 	OnPartial func(ReduceResult)
@@ -784,7 +788,7 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 		plan:       plan,
 		ctx:        jctx,
 		cancel:     cancel,
-		handle:     spec.Exec.NewHandle(exec.HandleOptions{MaxParallel: spec.Workers}),
+		handle:     spec.Exec.NewHandle(exec.HandleOptions{Weight: spec.Weight, MaxParallel: spec.Workers}),
 		maps:       make([]mapTask, len(plan.Splits)),
 		enqueued:   make([]bool, plan.Part.NumKeyblocks()),
 		outputs:    make([]ReduceResult, plan.Part.NumKeyblocks()),

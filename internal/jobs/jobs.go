@@ -73,27 +73,47 @@ type Request struct {
 	// their I_ℓ spills over the networked shuffle. Requires the manager
 	// to be configured with a coordinator.
 	Cluster bool `json:"cluster,omitempty"`
+	// Tenant is the tenant the job is accounted to for quota and
+	// weighted-fair scheduling; the server fills it from the
+	// X-SIDR-Tenant header, and empty means DefaultTenantName.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Snapshot is a point-in-time view of a job for status responses.
 type Snapshot struct {
-	ID       string    `json:"id"`
-	State    string    `json:"state"`
-	Dataset  string    `json:"dataset"`
-	Query    string    `json:"query"`
-	Engine   string    `json:"engine"`
-	Reducers int       `json:"reducers"`
-	Cluster  bool      `json:"cluster,omitempty"`
-	Partials int       `json:"partials"`
-	PlanHit  bool      `json:"plan_cache_hit"`
-	Error    string    `json:"error,omitempty"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started"`
-	Finished time.Time `json:"finished"`
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Dataset  string `json:"dataset"`
+	Query    string `json:"query"`
+	Engine   string `json:"engine"`
+	Reducers int    `json:"reducers"`
+	Cluster  bool   `json:"cluster,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Partials int    `json:"partials"`
+	PlanHit  bool   `json:"plan_cache_hit"`
+	// ResultHit marks a job served entirely from the versioned result
+	// cache: it was terminal at submission and never executed.
+	ResultHit bool `json:"result_cache_hit,omitempty"`
+	// CollapsedInto names the in-flight job this submission attached to
+	// as a collapse subscriber (empty for jobs that executed).
+	CollapsedInto string    `json:"collapsed_into,omitempty"`
+	Error         string    `json:"error,omitempty"`
+	Created       time.Time `json:"created"`
+	Started       time.Time `json:"started"`
+	Finished      time.Time `json:"finished"`
 }
 
 // Job is one managed query execution. All exported methods are safe for
 // concurrent use.
+//
+// A job is usually a leader: it owns an execution and its partial log is
+// the bounded replay buffer late stream subscribers read from. A job can
+// instead be a collapse follower — an identical concurrent submission
+// that attached to a running leader: it never executes, its partial log
+// mirrors the leader's (already-committed partials replayed at attach,
+// live ones forwarded as they commit), and it terminalises when the
+// leader does. Cancelling a follower detaches only that subscriber; the
+// shared execution and its other subscribers are unaffected.
 type Job struct {
 	ID  string
 	Req Request
@@ -101,16 +121,29 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    State
-	err      error
-	result   *sidr.Result
-	partials []sidr.PartialResult
-	planHit  bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	// cacheKey is the fast-path identity {dataset version, canonical
+	// query, engine, reducers, ...} the manager collapses and caches on
+	// (empty when the dataset provider is unversioned). notify fires
+	// exactly once when the job turns terminal, with no job lock held —
+	// the manager uses it for tenant in-flight and collapse-map cleanup.
+	cacheKey   string
+	follower   bool
+	notify     func()
+	notifyOnce sync.Once
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	state         State
+	err           error
+	result        *sidr.Result
+	partials      []sidr.PartialResult
+	followers     []*Job
+	planHit       bool
+	resultHit     bool
+	collapsedInto string
+	created       time.Time
+	started       time.Time
+	finished      time.Time
 }
 
 func newJob(id string, req Request) *Job {
@@ -146,18 +179,21 @@ func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Snapshot{
-		ID:       j.ID,
-		State:    j.state.String(),
-		Dataset:  j.Req.Dataset,
-		Query:    j.Req.Query,
-		Engine:   j.Req.Engine,
-		Reducers: j.Req.Reducers,
-		Cluster:  j.Req.Cluster,
-		Partials: len(j.partials),
-		PlanHit:  j.planHit,
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
+		ID:            j.ID,
+		State:         j.state.String(),
+		Dataset:       j.Req.Dataset,
+		Query:         j.Req.Query,
+		Engine:        j.Req.Engine,
+		Reducers:      j.Req.Reducers,
+		Cluster:       j.Req.Cluster,
+		Tenant:        j.Req.Tenant,
+		Partials:      len(j.partials),
+		PlanHit:       j.planHit,
+		ResultHit:     j.resultHit,
+		CollapsedInto: j.collapsedInto,
+		Created:       j.created,
+		Started:       j.started,
+		Finished:      j.finished,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -167,9 +203,11 @@ func (j *Job) Snapshot() Snapshot {
 
 // Cancel moves the job to Cancelled if it is still queued and signals
 // the run context; a running job transitions once the engine unwinds.
+// Cancelling a collapse follower detaches only that subscriber — the
+// leader's execution and its other subscribers keep going.
 func (j *Job) Cancel() {
 	j.mu.Lock()
-	if j.state == Queued {
+	if j.state == Queued || (j.follower && !j.state.Terminal()) {
 		j.state = Cancelled
 		j.err = context.Canceled
 		j.finished = time.Now()
@@ -177,6 +215,20 @@ func (j *Job) Cancel() {
 	}
 	j.mu.Unlock()
 	j.cancel()
+	j.notifyTerminal()
+}
+
+// notifyTerminal fires the manager's cleanup hook exactly once, with no
+// job lock held, but only once the job is actually terminal.
+func (j *Job) notifyTerminal() {
+	if !j.State().Terminal() {
+		return
+	}
+	j.notifyOnce.Do(func() {
+		if j.notify != nil {
+			j.notify()
+		}
+	})
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done,
@@ -239,12 +291,49 @@ func (j *Job) Stream(ctx context.Context, fn func(sidr.PartialResult) error) (St
 	}
 }
 
-// addPartial appends one committed keyblock and wakes subscribers.
+// addPartial appends one committed keyblock, wakes subscribers, and
+// forwards the partial to every attached collapse follower. The lock
+// order is strictly leader→follower (followers never lock their leader),
+// and forwarding happens under the leader's lock so a follower can never
+// observe the terminal state before its last partial — every subscriber
+// sees the complete partial sequence.
 func (j *Job) addPartial(pr sidr.PartialResult) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.partials = append(j.partials, pr)
+	for _, f := range j.followers {
+		f.addPartial(pr)
+	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
+}
+
+// attach registers f as a collapse follower: already-committed partials
+// are replayed into f's log, then live ones arrive via addPartial and
+// the leader's terminal state propagates on finish. It reports false
+// when the leader is already terminal (the caller should execute or
+// serve from the result cache instead). Callers must not attach a job to
+// itself or build follower chains; the manager only attaches fresh jobs
+// to in-flight leaders.
+func (j *Job) attach(f *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	f.mu.Lock()
+	f.follower = true
+	f.collapsedInto = j.ID
+	f.state = Running // being served by the leader's execution
+	f.started = time.Now()
+	f.partials = append(f.partials, j.partials...)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	j.followers = append(j.followers, f)
+	return true
 }
 
 // start transitions Queued→Running; false means the job was already
@@ -261,8 +350,39 @@ func (j *Job) start() bool {
 	return true
 }
 
-// finish records the terminal state and wakes all waiters.
+// finish records the terminal state, wakes all waiters, and propagates
+// the outcome to attached collapse followers. Followers terminalise
+// under the leader's lock — after the last forwarded partial, never
+// before it — while the manager-facing notify hooks run afterwards with
+// no lock held.
 func (j *Job) finish(state State, res *sidr.Result, err error) {
+	j.mu.Lock()
+	var fws []*Job
+	if !j.state.Terminal() {
+		j.state = state
+		j.result = res
+		j.err = err
+		j.finished = time.Now()
+		fws = j.followers
+		j.followers = nil
+		for _, f := range fws {
+			f.deliverTerminal(state, res, err)
+		}
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	j.notifyTerminal()
+	for _, f := range fws {
+		f.notifyTerminal()
+	}
+}
+
+// deliverTerminal is a follower's share of its leader's finish: record
+// the state and wake waiters. A follower its subscriber already
+// cancelled stays cancelled. The manager notify hook is NOT fired here —
+// the leader fires it lock-free after unwinding.
+func (j *Job) deliverTerminal(state State, res *sidr.Result, err error) {
 	j.mu.Lock()
 	if !j.state.Terminal() {
 		j.state = state
@@ -272,7 +392,7 @@ func (j *Job) finish(state State, res *sidr.Result, err error) {
 	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
-	j.cancel() // release the context's resources
+	j.cancel()
 }
 
 func (j *Job) setPlanHit(hit bool) {

@@ -33,6 +33,10 @@ var (
 	// ErrClusterDisabled rejects cluster-routed submissions when the
 	// manager has no coordinator configured.
 	ErrClusterDisabled = errors.New("jobs: clustered execution not enabled")
+	// ErrTenantQuota is per-tenant admission control rejecting a
+	// submission because the tenant is at its max-in-flight quota; the
+	// server answers 429 with detail "tenant-quota".
+	ErrTenantQuota = errors.New("jobs: tenant quota exceeded")
 )
 
 // DatasetProvider resolves dataset names to open datasets. Acquire
@@ -92,9 +96,31 @@ type Config struct {
 	// execute on this manager's shared executor, so reduce-first
 	// scheduling and the process-wide concurrency budget apply.
 	Cluster *cluster.Coordinator
+	// ResultCacheBytes is the byte budget of the versioned result cache
+	// (default 64 MiB; < 0 disables caching). Entries are keyed on
+	// {dataset version, canonical query, engine, plan parameters} and
+	// store the finished wire-format result.
+	ResultCacheBytes int64
+	// Tenants maps tenant names to explicit admission policies; tenants
+	// absent from the map fall back to TenantDefault.
+	Tenants map[string]TenantPolicy
+	// TenantDefault applies to every tenant without an explicit policy
+	// (zero value: unlimited in-flight, weight 1).
+	TenantDefault TenantPolicy
 	// Metrics receives job and plan-cache instrumentation (default: a
 	// private registry).
 	Metrics *metrics.Registry
+}
+
+// VersionProvider is an optional DatasetProvider extension: it returns
+// an opaque version token for a registered dataset variable that
+// changes whenever the dataset's contents could have changed
+// (re-registration bumps a generation; shape and structural-index
+// fingerprints ride along). The result cache requires it — without a
+// version to pin, cached results could go stale, so managers whose
+// provider lacks it simply never hit.
+type VersionProvider interface {
+	DatasetVersion(name, variable string) (string, bool)
 }
 
 // Manager owns the worker pool, job table and plan cache.
@@ -106,16 +132,21 @@ type Manager struct {
 	seq   atomic.Int64
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	closed bool
+	rcache *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	collapse map[string]*Job // fast key -> live leader job
+	inflight map[string]int  // tenant -> non-terminal job count
+	closed   bool
 
 	mSubmitted, mDone, mFailed, mCancelled, mRejected, mEvicted *metrics.Counter
-	mPlanHits, mPlanMisses, mPlanEvictions            *metrics.Counter
-	mSidxHits, mSidxMisses, mSidxPruned               *metrics.Counter
-	gQueued, gRunning, gPlanSize                      *metrics.Gauge
-	hQuerySeconds, hFirstResultSeconds                *metrics.Histogram
+	mPlanHits, mPlanMisses, mPlanEvictions                      *metrics.Counter
+	mSidxHits, mSidxMisses, mSidxPruned                         *metrics.Counter
+	mCollapsed, mTenantRejected                                 *metrics.Counter
+	gQueued, gRunning, gPlanSize                                *metrics.Gauge
+	hQuerySeconds, hFirstResultSeconds                          *metrics.Histogram
 }
 
 // NewManager starts the worker pool and returns the manager.
@@ -138,14 +169,19 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.RetainJobs == 0 {
 		cfg.RetainJobs = 256
 	}
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = 64 << 20
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
 	m := &Manager{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		exec:  exec.New(cfg.ExecWorkers),
-		jobs:  make(map[string]*Job),
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		exec:     exec.New(cfg.ExecWorkers),
+		jobs:     make(map[string]*Job),
+		collapse: make(map[string]*Job),
+		inflight: make(map[string]int),
 
 		mSubmitted:          cfg.Metrics.Counter("sidrd_jobs_submitted_total"),
 		mDone:               cfg.Metrics.Counter("sidrd_jobs_done_total"),
@@ -159,6 +195,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		mSidxHits:           cfg.Metrics.Counter("sidrd_sidx_hits_total"),
 		mSidxMisses:         cfg.Metrics.Counter("sidrd_sidx_misses_total"),
 		mSidxPruned:         cfg.Metrics.Counter("sidrd_sidx_pruned_splits_total"),
+		mCollapsed:          cfg.Metrics.Counter("sidrd_collapse_followers_total"),
+		mTenantRejected:     cfg.Metrics.Counter("sidrd_tenant_rejected_total"),
 		gQueued:             cfg.Metrics.Gauge("sidrd_jobs_queued"),
 		gRunning:            cfg.Metrics.Gauge("sidrd_jobs_running"),
 		gPlanSize:           cfg.Metrics.Gauge("sidrd_plan_cache_size"),
@@ -166,7 +204,10 @@ func NewManager(cfg Config) (*Manager, error) {
 		hFirstResultSeconds: cfg.Metrics.Histogram("sidrd_first_result_seconds", nil),
 	}
 	if cfg.PlanCacheSize > 0 {
-		m.cache = newPlanCache(cfg.PlanCacheSize)
+		m.cache = newPlanCache(cfg.PlanCacheSize, cfg.Metrics)
+	}
+	if cfg.ResultCacheBytes > 0 {
+		m.rcache = newResultCache(cfg.ResultCacheBytes, cfg.Metrics)
 	}
 	for w := 0; w < cfg.MaxConcurrent; w++ {
 		m.wg.Add(1)
@@ -192,17 +233,38 @@ func parseEngine(s string) (sidr.Engine, error) {
 	return e, nil
 }
 
-// Submit validates the request, admits it into the queue (or rejects
-// with ErrQueueFull) and returns the queued job.
+// Submit validates the request and admits it, trying the serving-tier
+// fast paths in order before paying for an execution:
+//
+//  1. result cache — a finished result for the same {dataset version,
+//     canonical query, engine, plan parameters} is served as an
+//     already-terminal job, byte-identical to the original run's;
+//  2. in-flight collapse — an identical query already executing gains
+//     the caller as a follower: it replays the leader's committed
+//     partials and then rides the live stream, so N concurrent
+//     identical requests cost one execution;
+//  3. the queue — a fresh leader job, rejected with ErrQueueFull at
+//     capacity.
+//
+// Per-tenant quotas gate all three: a tenant at its max-in-flight cap
+// is refused with ErrTenantQuota before any path is tried.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if _, err := parseEngine(req.Engine); err != nil {
 		return nil, err
 	}
-	if _, err := sidr.ParseQuery(req.Query); err != nil {
+	// Canonicalise the query up front: every spelling of one query maps
+	// to one string, so the plan cache, result cache and collapse table
+	// all share entries across textual variants.
+	canon, err := query.Canonical(req.Query)
+	if err != nil {
 		return nil, err
 	}
+	req.Query = canon
 	if req.Dataset == "" {
 		return nil, fmt.Errorf("jobs: request needs a dataset")
+	}
+	if req.Tenant == "" {
+		req.Tenant = DefaultTenantName
 	}
 	if req.Cluster {
 		// Reject unroutable cluster jobs at the door: no coordinator, a
@@ -218,18 +280,70 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 			return nil, cluster.ErrNoWorkers
 		}
 	}
+	key, keyed := m.fastKey(req)
 	j := newJob(fmt.Sprintf("job-%06d", m.seq.Add(1)), req)
+	j.cacheKey = key
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
+	if quota := m.tenantPolicy(req.Tenant).MaxInFlight; quota > 0 && m.inflight[req.Tenant] >= quota {
+		m.mu.Unlock()
+		m.mTenantRejected.Inc()
+		return nil, ErrTenantQuota
+	}
+
+	// Fast path 1: a finished result under this exact version-pinned key.
+	// The job is born terminal — no queue slot, no tenant in-flight
+	// charge — with the cached run's partial log so streams replay the
+	// same sequence.
+	if keyed && m.rcache != nil {
+		if res, ok := m.rcache.get(key); ok {
+			j.resultHit = true
+			j.partials = append(j.partials, res.Partials...)
+			j.started = j.created
+			m.jobs[j.ID] = j
+			m.order = append(m.order, j.ID)
+			m.mu.Unlock()
+			j.finish(Done, res, nil)
+			m.mSubmitted.Inc()
+			m.tenantGauge(req.Tenant) // ensure the gauge exists even for pure-hit tenants
+			m.prune()
+			return j, nil
+		}
+	}
+
+	// Fast path 2: the same query is executing right now — attach as a
+	// follower of the live leader instead of queueing a duplicate.
+	if keyed {
+		if leader, ok := m.collapse[key]; ok && leader.attach(j) {
+			m.jobs[j.ID] = j
+			m.order = append(m.order, j.ID)
+			m.inflight[req.Tenant]++
+			m.tenantGauge(req.Tenant).Add(1)
+			tenant := req.Tenant
+			j.notify = func() { m.jobDone(tenant, "", nil) }
+			m.mu.Unlock()
+			m.mSubmitted.Inc()
+			m.mCollapsed.Inc()
+			return j, nil
+		}
+	}
+
 	m.gQueued.Add(1) // before the send: a worker may pop immediately
 	select {
 	case m.queue <- j:
 		m.jobs[j.ID] = j
 		m.order = append(m.order, j.ID)
+		if keyed {
+			m.collapse[key] = j
+		}
+		m.inflight[req.Tenant]++
+		m.tenantGauge(req.Tenant).Add(1)
+		tenant := req.Tenant
+		j.notify = func() { m.jobDone(tenant, key, j) }
 		m.mu.Unlock()
 		m.mSubmitted.Inc()
 		return j, nil
@@ -239,6 +353,75 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.mRejected.Inc()
 		return nil, ErrQueueFull
 	}
+}
+
+// jobDone is the terminal-notify hook shared by leaders and followers:
+// it releases the tenant's in-flight slot and, for leaders (leader !=
+// nil), retires the collapse-table entry. Runs with no job lock held
+// (see notifyTerminal).
+func (m *Manager) jobDone(tenant, key string, leader *Job) {
+	m.mu.Lock()
+	if m.inflight[tenant] > 0 {
+		m.inflight[tenant]--
+	}
+	gauge := m.tenantGauge(tenant)
+	// Identity check: only the owning leader clears its entry, so a
+	// newer leader registered under the same key is never evicted.
+	if leader != nil && m.collapse[key] == leader {
+		delete(m.collapse, key)
+	}
+	m.mu.Unlock()
+	gauge.Add(-1)
+}
+
+// tenantGauge returns the per-tenant in-flight gauge, creating it on
+// first use. Callers may hold m.mu; the metrics registry has its own
+// lock and never calls back into the manager.
+func (m *Manager) tenantGauge(tenant string) *metrics.Gauge {
+	return m.cfg.Metrics.Gauge(fmt.Sprintf("sidrd_tenant_inflight{tenant=%q}", tenant))
+}
+
+// fastKey derives the result-cache / collapse key for a request:
+// dataset version (contents, not name), canonical query, engine, and
+// the plan parameters that change the answer's shape (reducers and
+// split points normalised with sidr.Prepare's defaults, max skew,
+// cluster routing). Workers is deliberately excluded — it changes only
+// scheduling, never bytes. Returns false when the provider cannot
+// version the dataset; such requests always execute.
+func (m *Manager) fastKey(req Request) (string, bool) {
+	vp, ok := m.cfg.Datasets.(VersionProvider)
+	if !ok {
+		return "", false
+	}
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		return "", false
+	}
+	ver, ok := vp.DatasetVersion(req.Dataset, q.Variable)
+	if !ok {
+		return "", false
+	}
+	reducers := req.Reducers
+	if reducers <= 0 {
+		reducers = 4
+	}
+	splitPoints := req.SplitPoints
+	if splitPoints <= 0 {
+		splitPoints = q.Input.Size()/8 + 1
+	}
+	return fmt.Sprintf("%s\x1f%s\x1f%s\x1f%d\x1f%d\x1f%d\x1f%t",
+		ver, req.Query, req.Engine, reducers, splitPoints, req.MaxSkew, req.Cluster), true
+}
+
+// InvalidateDataset drops every cached result for the named dataset.
+// The server calls it when a dataset is re-registered or removed;
+// version-keying already prevents stale hits, so this only reclaims
+// the dead entries' bytes eagerly.
+func (m *Manager) InvalidateDataset(name string) int {
+	if m.rcache == nil {
+		return 0
+	}
+	return m.rcache.invalidate(name)
 }
 
 // Get returns the job by id.
@@ -295,6 +478,13 @@ func (m *Manager) runJob(j *Job) {
 		m.mDone.Inc()
 		m.hQuerySeconds.Observe(res.Elapsed.Seconds())
 		m.hFirstResultSeconds.Observe(res.FirstResult.Seconds())
+		if m.rcache != nil && j.cacheKey != "" {
+			// Insert before finish: finish fires the notify hook that
+			// retires the collapse entry, so a concurrent identical submit
+			// always finds either the live leader or the cached result —
+			// never neither.
+			m.rcache.put(j.cacheKey, j.Req.Dataset, res)
+		}
 		j.finish(Done, res, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		m.mCancelled.Inc()
@@ -362,6 +552,7 @@ func (m *Manager) execute(j *Job) (*sidr.Result, error) {
 		Engine:      engine,
 		Reducers:    j.Req.Reducers,
 		Workers:     j.Req.Workers,
+		Weight:      m.tenantWeight(j.Req.Tenant),
 		Exec:        m.exec,
 		SplitPoints: j.Req.SplitPoints,
 		MaxSkew:     j.Req.MaxSkew,
@@ -462,6 +653,7 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 		Dataset: dspec,
 		Exec:    m.exec,
 		Workers: j.Req.Workers,
+		Weight:  m.tenantWeight(j.Req.Tenant),
 		OnPartial: func(rr cluster.ReduceResult) {
 			pr := toPartialResult(rr)
 			partMu.Lock()
@@ -544,15 +736,21 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.closed = true
 	close(m.queue)
-	running := make([]*Job, 0, len(m.jobs))
+	// Partition under the lock, cancel after: Cancel fires the
+	// terminal-notify hook, which re-enters m.mu to release the tenant
+	// slot and collapse entry.
+	var queued, running []*Job
 	for _, j := range m.jobs {
 		if j.State() == Queued {
-			j.Cancel()
+			queued = append(queued, j)
 		} else {
 			running = append(running, j)
 		}
 	}
 	m.mu.Unlock()
+	for _, j := range queued {
+		j.Cancel()
+	}
 
 	done := make(chan struct{})
 	go func() {

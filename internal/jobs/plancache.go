@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sidr"
+	"sidr/internal/metrics"
 )
 
 // planCache is an LRU of prepared execution plans. SIDR routing is a
@@ -19,6 +20,11 @@ type planCache struct {
 	cap   int
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
+
+	// Canonical instrument names. The manager additionally keeps the
+	// legacy sidrd_plan_cache_* spellings for dashboards that predate
+	// the serving tier; these are the documented ones.
+	hits, misses, evictions *metrics.Counter
 }
 
 type planEntry struct {
@@ -26,8 +32,15 @@ type planEntry struct {
 	prep *sidr.Prepared
 }
 
-func newPlanCache(capacity int) *planCache {
-	return &planCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+func newPlanCache(capacity int, reg *metrics.Registry) *planCache {
+	return &planCache{
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter("sidrd_plancache_hits_total"),
+		misses:    reg.Counter("sidrd_plancache_misses_total"),
+		evictions: reg.Counter("sidrd_plancache_evictions_total"),
+	}
 }
 
 // planKey canonicalises the plan-determining inputs. An index-pruned
@@ -49,9 +62,11 @@ func (c *planCache) get(key string) (*sidr.Prepared, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
+	c.hits.Inc()
 	return el.Value.(*planEntry).prep, true
 }
 
@@ -71,6 +86,7 @@ func (c *planCache) put(key string, prep *sidr.Prepared) int {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*planEntry).key)
+		c.evictions.Inc()
 		evicted++
 	}
 	return evicted

@@ -1,0 +1,152 @@
+package jobs
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+
+	"sidr"
+	"sidr/internal/metrics"
+	"sidr/internal/wire"
+)
+
+// resultCache is a byte-budgeted LRU of completed query results. SIDR's
+// premise makes this sound: a structural query's result is a pure
+// function of {dataset contents, query, engine} — §3's precomputability
+// taken to its endpoint — so the daemon may serve a finished result
+// again instead of re-running the Map/shuffle/Reduce pipeline, as long
+// as the key pins the dataset *contents*, not just its name. The fast
+// key therefore embeds the dataset version (registration generation +
+// shape + structural-index fingerprint, see jobs.VersionProvider):
+// re-registering a dataset changes the version, so a stale hit is
+// impossible by construction, and InvalidateDataset additionally drops
+// the dead entries eagerly to free the byte budget.
+//
+// Entries store the job's *sidr.Result pointer. Results are immutable
+// once a job finishes, so a hit serves the exact object a previous run
+// produced and the wire encoding is byte-identical to the original
+// response — including the partial sequence a cached job's stream
+// replays.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recent
+	items  map[string]*list.Element
+
+	hits, misses, evictions *metrics.Counter
+	gBytes, gEntries        *metrics.Gauge
+}
+
+type resultEntry struct {
+	key     string
+	dataset string // registry name, for InvalidateDataset
+	res     *sidr.Result
+	size    int64
+}
+
+// newResultCache builds a cache with the given byte budget and registers
+// its instruments.
+func newResultCache(budget int64, reg *metrics.Registry) *resultCache {
+	return &resultCache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter("sidrd_resultcache_hits_total"),
+		misses:    reg.Counter("sidrd_resultcache_misses_total"),
+		evictions: reg.Counter("sidrd_resultcache_evictions_total"),
+		gBytes:    reg.Gauge("sidrd_resultcache_bytes"),
+		gEntries:  reg.Gauge("sidrd_resultcache_entries"),
+	}
+}
+
+// resultSize estimates an entry's wire footprint: the encoded final
+// result plus the encoded partial sequence a cached stream replays.
+func resultSize(res *sidr.Result) int64 {
+	b, err := json.Marshal(wire.FromResult(res))
+	if err != nil {
+		return 0
+	}
+	n := int64(len(b))
+	for i := range res.Partials {
+		p := wire.FromPartial(res.Partials[i])
+		if pb, err := json.Marshal(&p); err == nil {
+			n += int64(len(pb))
+		}
+	}
+	return n
+}
+
+// get returns the cached result and bumps its recency, counting the hit
+// or miss.
+func (c *resultCache) get(key string) (*sidr.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*resultEntry).res, true
+}
+
+// put inserts a completed result under the key, evicting least recently
+// used entries until the byte budget holds. A result larger than the
+// whole budget is not cached.
+func (c *resultCache) put(key, dataset string, res *sidr.Result) {
+	size := resultSize(res)
+	if size <= 0 || size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Same key, same version, pure function: the result is equivalent;
+		// keep the incumbent and just bump recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&resultEntry{key: key, dataset: dataset, res: res, size: size})
+	c.bytes += size
+	for c.bytes > c.budget && c.ll.Len() > 1 {
+		c.evictLocked(c.ll.Back())
+	}
+	c.publishLocked()
+}
+
+// invalidate drops every entry of the named dataset (any version) and
+// returns how many were dropped. Version-keying already makes stale hits
+// impossible; this reclaims their bytes the moment a re-registration
+// makes them unreachable.
+func (c *resultCache) invalidate(dataset string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*resultEntry).dataset == dataset {
+			c.evictLocked(el)
+			n++
+		}
+		el = next
+	}
+	c.publishLocked()
+	return n
+}
+
+// evictLocked removes one entry and counts the eviction. Caller holds mu.
+func (c *resultCache) evictLocked(el *list.Element) {
+	e := el.Value.(*resultEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+	c.evictions.Inc()
+}
+
+// publishLocked refreshes the size gauges. Caller holds mu.
+func (c *resultCache) publishLocked() {
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(c.ll.Len()))
+}

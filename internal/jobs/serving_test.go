@@ -1,0 +1,318 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sidr"
+	"sidr/internal/metrics"
+	"sidr/internal/wire"
+)
+
+// versionedProvider is a fakeProvider that also implements
+// VersionProvider, unlocking the result-cache and collapse fast paths.
+// bump simulates a re-registration; gate, when set, blocks every point
+// read until released so runs stay in flight under test control.
+type versionedProvider struct {
+	mu    sync.Mutex
+	gens  map[string]int
+	shape []int64
+	gate  chan struct{}
+}
+
+func newVersionedProvider(shape []int64) *versionedProvider {
+	return &versionedProvider{gens: make(map[string]int), shape: shape}
+}
+
+func (p *versionedProvider) Acquire(name, variable string) (*sidr.Dataset, func(), error) {
+	p.mu.Lock()
+	gen := p.gens[name]
+	gate := p.gate
+	p.mu.Unlock()
+	ds, err := sidr.Synthetic(p.shape, func(k []int64) float64 {
+		if gate != nil {
+			<-gate
+		}
+		// Contents depend on the generation, like a re-registered file.
+		return float64(k[0] + int64(gen)*1000)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, func() { ds.Close() }, nil
+}
+
+func (p *versionedProvider) DatasetVersion(name, variable string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("%s#%d", name, p.gens[name]), true
+}
+
+func (p *versionedProvider) bump(name string) {
+	p.mu.Lock()
+	p.gens[name]++
+	p.mu.Unlock()
+}
+
+// wireBytes renders a result exactly as the HTTP layer would: the final
+// result document plus the replayed partial sequence.
+func wireBytes(t *testing.T, res *sidr.Result) string {
+	t.Helper()
+	b, err := json.Marshal(wire.FromResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	for i := range res.Partials {
+		p := wire.FromPartial(res.Partials[i])
+		pb, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += "\n" + string(pb)
+	}
+	return out
+}
+
+func TestResultCacheServesByteIdenticalRepeat(t *testing.T) {
+	reg := metrics.New()
+	m := newTestManager(t, Config{Datasets: newVersionedProvider([]int64{32, 32}), Metrics: reg})
+
+	j1, err := m.Submit(Request{Dataset: "d", Query: testQuery, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := j1.Wait(context.Background()); st != Done {
+		t.Fatalf("first run state = %v", st)
+	}
+
+	// Textual variant of the same query: canonicalization must land it on
+	// the same cache entry.
+	j2, err := m.Submit(Request{Dataset: "d", Query: "avg   v[ 0,0 : 32,32 ]  es {4,4}", Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := j2.Wait(context.Background()); st != Done {
+		t.Fatalf("cached run state = %v", st)
+	}
+	if !j2.Snapshot().ResultHit {
+		t.Fatal("second identical submission not marked result_cache_hit")
+	}
+	if got, want := wireBytes(t, j2.Result()), wireBytes(t, j1.Result()); got != want {
+		t.Fatalf("cached wire bytes differ from original:\n%s\nvs\n%s", got, want)
+	}
+	if got := reg.Counter("sidrd_jobs_done_total").Value(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (repeat must not re-run)", got)
+	}
+	if got := reg.Counter("sidrd_resultcache_hits_total").Value(); got != 1 {
+		t.Fatalf("result-cache hits = %d, want 1", got)
+	}
+	// The cached job replays the full partial sequence.
+	if got, want := j2.Snapshot().Partials, j1.Snapshot().Partials; got != want {
+		t.Fatalf("cached job replays %d partials, original had %d", got, want)
+	}
+}
+
+func TestReregistrationInvalidatesResultCache(t *testing.T) {
+	reg := metrics.New()
+	p := newVersionedProvider([]int64{32, 32})
+	m := newTestManager(t, Config{Datasets: p, Metrics: reg})
+
+	run := func() *Job {
+		t.Helper()
+		j, err := m.Submit(Request{Dataset: "d", Query: testQuery, Reducers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, _ := j.Wait(context.Background()); st != Done {
+			t.Fatalf("state = %v", st)
+		}
+		return j
+	}
+
+	first := run()
+	// Re-register: new generation, new contents, and the eager drop.
+	p.bump("d")
+	if n := m.InvalidateDataset("d"); n != 1 {
+		t.Fatalf("InvalidateDataset dropped %d entries, want 1", n)
+	}
+	if got := reg.Gauge("sidrd_resultcache_entries").Value(); got != 0 {
+		t.Fatalf("entries after invalidation = %d, want 0", got)
+	}
+
+	second := run()
+	if second.Snapshot().ResultHit {
+		t.Fatal("post-re-registration run served from cache")
+	}
+	if got, old := wireBytes(t, second.Result()), wireBytes(t, first.Result()); got == old {
+		t.Fatal("re-registered dataset produced the old contents' result")
+	}
+	if got := reg.Counter("sidrd_jobs_done_total").Value(); got != 2 {
+		t.Fatalf("executions = %d, want 2", got)
+	}
+
+	// A repeat against the new version is a fresh cache hit,
+	// byte-identical to the fresh execution.
+	third := run()
+	if !third.Snapshot().ResultHit {
+		t.Fatal("repeat against new version missed the cache")
+	}
+	if got, want := wireBytes(t, third.Result()), wireBytes(t, second.Result()); got != want {
+		t.Fatal("cached bytes differ from the fresh execution's")
+	}
+}
+
+func TestCollapseConcurrentIdenticalQueries(t *testing.T) {
+	const n = 8
+	reg := metrics.New()
+	p := newVersionedProvider([]int64{32, 32})
+	p.gate = make(chan struct{})
+	m := newTestManager(t, Config{Datasets: p, Metrics: reg, MaxConcurrent: 4})
+
+	jobsOut := make([]*Job, n)
+	var wg sync.WaitGroup
+	var submitMu sync.Mutex
+	var submitErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := m.Submit(Request{Dataset: "d", Query: testQuery, Reducers: 4})
+			if err != nil {
+				submitMu.Lock()
+				submitErr = err
+				submitMu.Unlock()
+				return
+			}
+			jobsOut[i] = j
+		}(i)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		t.Fatal(submitErr)
+	}
+	close(p.gate) // release the one real execution
+
+	leaderBytes, leaderPartials := "", -1
+	for i, j := range jobsOut {
+		if st, _ := j.Wait(context.Background()); st != Done {
+			t.Fatalf("job %d state = %v", i, st)
+		}
+		// Every subscriber sees the complete partial sequence and the same
+		// wire bytes, whether it led, followed, or hit the cache.
+		b := wireBytes(t, j.Result())
+		np := j.Snapshot().Partials
+		if leaderPartials == -1 {
+			leaderBytes, leaderPartials = b, np
+			continue
+		}
+		if b != leaderBytes {
+			t.Fatalf("job %d wire bytes differ from leader's", i)
+		}
+		if np != leaderPartials {
+			t.Fatalf("job %d saw %d partials, leader saw %d", i, np, leaderPartials)
+		}
+	}
+	if leaderPartials == 0 {
+		t.Fatal("no partials streamed at all")
+	}
+	if got := reg.Counter("sidrd_jobs_done_total").Value(); got != 1 {
+		t.Fatalf("executions = %d, want exactly 1 for %d identical submissions", got, n)
+	}
+	if got := reg.Counter("sidrd_jobs_submitted_total").Value(); got != n {
+		t.Fatalf("submissions = %d, want %d", got, n)
+	}
+	// Everyone after the leader either collapsed onto it or (having
+	// arrived after it finished) hit the result cache.
+	collapsed := reg.Counter("sidrd_collapse_followers_total").Value()
+	hits := reg.Counter("sidrd_resultcache_hits_total").Value()
+	if collapsed+hits != n-1 {
+		t.Fatalf("collapsed %d + cache hits %d != %d", collapsed, hits, n-1)
+	}
+}
+
+func TestCollapsedFollowerCancelLeavesLeaderRunning(t *testing.T) {
+	reg := metrics.New()
+	p := newVersionedProvider([]int64{32, 32})
+	p.gate = make(chan struct{})
+	m := newTestManager(t, Config{Datasets: p, Metrics: reg})
+
+	leader, err := m.Submit(Request{Dataset: "d", Query: testQuery, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the leader actually runs so the next submit collapses.
+	deadline := time.Now().Add(5 * time.Second)
+	for leader.State() != Running && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	follower, err := m.Submit(Request{Dataset: "d", Query: testQuery, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.Snapshot().CollapsedInto; got != leader.ID {
+		t.Fatalf("follower collapsed into %q, want %q", got, leader.ID)
+	}
+
+	follower.Cancel()
+	if st, _ := follower.Wait(context.Background()); st != Cancelled {
+		t.Fatalf("cancelled follower state = %v", st)
+	}
+	if st := leader.State(); st.Terminal() {
+		t.Fatalf("cancelling a follower terminalised the leader (state %v)", st)
+	}
+
+	close(p.gate)
+	if st, _ := leader.Wait(context.Background()); st != Done {
+		t.Fatalf("leader state = %v, want Done despite follower cancel", st)
+	}
+	if leader.Result() == nil {
+		t.Fatal("leader lost its result")
+	}
+}
+
+func TestTenantQuotaRejects(t *testing.T) {
+	reg := metrics.New()
+	p := newVersionedProvider([]int64{32, 32})
+	p.gate = make(chan struct{})
+	m := newTestManager(t, Config{
+		Datasets: p,
+		Metrics:  reg,
+		Tenants:  map[string]TenantPolicy{"acme": {MaxInFlight: 1, Weight: 2}},
+	})
+
+	j1, err := m.Submit(Request{Dataset: "d", Query: testQuery, Reducers: 4, Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different query (no collapse) from the same tenant breaches the
+	// quota of 1.
+	_, err = m.Submit(Request{Dataset: "d", Query: "sum v[0,0 : 32,32] es {4,4}", Reducers: 4, Tenant: "acme"})
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-quota submit err = %v, want ErrTenantQuota", err)
+	}
+	if got := reg.Counter("sidrd_tenant_rejected_total").Value(); got != 1 {
+		t.Fatalf("tenant rejections = %d, want 1", got)
+	}
+	// Other tenants are unaffected (default policy: unlimited).
+	if _, err := m.Submit(Request{Dataset: "d", Query: "sum v[0,0 : 32,32] es {4,4}", Reducers: 4}); err != nil {
+		t.Fatalf("default-tenant submit rejected: %v", err)
+	}
+
+	close(p.gate)
+	if st, _ := j1.Wait(context.Background()); st != Done {
+		t.Fatalf("state = %v", st)
+	}
+	// The slot frees on completion; the tenant can submit again.
+	if !m.WaitIdle(5 * time.Second) {
+		t.Fatal("manager never went idle")
+	}
+	if _, err := m.Submit(Request{Dataset: "d", Query: "sum v[0,0 : 32,32] es {4,4}", Reducers: 4, Tenant: "acme"}); err != nil {
+		t.Fatalf("post-completion submit rejected: %v", err)
+	}
+}

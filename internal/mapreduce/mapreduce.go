@@ -168,6 +168,12 @@ type Config struct {
 	// outlive the Run call.
 	Exec *exec.Executor
 
+	// Weight is the job's weighted-fair share of the shared executor:
+	// when several jobs have runnable tasks, a weight-w job dispatches up
+	// to w consecutive tasks per round-robin turn (default 1; only
+	// meaningful with Exec).
+	Weight int
+
 	// MapOrder optionally reorders Map task execution (SIDR's scheduler
 	// feeds dependency-driven order); nil runs splits in slice order.
 	MapOrder []int
@@ -340,7 +346,7 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		maxPar = cfg.Workers
 	}
-	j.h = ex.NewHandle(exec.HandleOptions{MaxParallel: maxPar})
+	j.h = ex.NewHandle(exec.HandleOptions{Weight: cfg.Weight, MaxParallel: maxPar})
 	defer j.h.Close()
 
 	started := time.Now()

@@ -237,6 +237,20 @@ func Parse(s string) (*Query, error) {
 	return q, nil
 }
 
+// Canonical parses s and re-renders it in the canonical text form, so
+// trivially different spellings of one query — extra whitespace, spaces
+// inside bracket groups, "40.0" vs "40", "+1e1" vs "10" — map to one
+// string. Every cache keyed on query text (the plan cache, the result
+// cache, in-flight collapsing) keys on the canonical form, so textual
+// variants of the same query share entries instead of fragmenting them.
+func Canonical(s string) (string, error) {
+	q, err := Parse(s)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
 // tokenize splits on whitespace but keeps {...} and [...] groups (which
 // may contain spaces) attached to a single token.
 func tokenize(s string) ([]string, error) {

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+)
+
+// gzipWriter layers a gzip compressor over the response while keeping
+// the streaming contract: Flush drains the compressor's buffer as a
+// complete deflate block and then flushes the HTTP layer, so an NDJSON
+// partial written before a Flush is decodable by the client the moment
+// it is sent — compression must not hold early results hostage.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipWriter) Write(p []byte) (int, error) { return g.gz.Write(p) }
+
+func (g *gzipWriter) Flush() {
+	g.gz.Flush()
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding allows a
+// gzip response (a "gzip" token not disabled with q=0).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(enc) != "gzip" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		return !(strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0."))
+	}
+	return false
+}
+
+// gzipped wraps a handler so clients that ask for gzip get it — JSON
+// results and NDJSON streams alike — and clients that don't are served
+// identity bytes. The Content-Length is necessarily dropped (the
+// compressed size isn't known up front); streaming responses never had
+// one anyway.
+func gzipped(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !acceptsGzip(r) {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		h(&gzipWriter{ResponseWriter: w, gz: gz}, r)
+	}
+}

@@ -36,8 +36,9 @@ type source struct {
 
 // handle is one refcounted open dataset, keyed by (dataset, variable).
 type handle struct {
-	ds   *sidr.Dataset
-	refs int
+	ds      *sidr.Dataset
+	refs    int
+	retired bool // source removed or replaced; close on last release
 }
 
 // Registry maps dataset names to open sidr.Datasets. Handles are opened
@@ -49,12 +50,28 @@ type Registry struct {
 	mu      sync.Mutex
 	sources map[string]*source
 	open    map[string]*handle // key: name + "\x00" + variable
-	closing bool
+	// gens counts registrations per dataset name, surviving Remove:
+	// re-registering a name always yields a new generation, so version
+	// tokens from the old contents can never collide with the new.
+	gens         map[string]uint64
+	onInvalidate func(name string)
+	closing      bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{sources: make(map[string]*source), open: make(map[string]*handle)}
+	return &Registry{sources: make(map[string]*source), open: make(map[string]*handle), gens: make(map[string]uint64)}
+}
+
+// SetOnInvalidate installs the hook fired (outside the registry lock)
+// whenever a dataset is removed — including the removal half of a
+// re-registration. The server points it at the job manager's
+// InvalidateDataset so cached results die with the dataset version
+// that produced them.
+func (r *Registry) SetOnInvalidate(fn func(name string)) {
+	r.mu.Lock()
+	r.onInvalidate = fn
+	r.mu.Unlock()
 }
 
 // AddFile registers an ncfile container under the given name, reading
@@ -118,6 +135,7 @@ func (r *Registry) AddFile(name, path string) error {
 	if _, dup := r.sources[name]; dup {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
+	r.gens[name]++
 	r.sources[name] = &source{info: info, path: path, idx: idx}
 	return nil
 }
@@ -176,6 +194,7 @@ func (r *Registry) AddSynthetic(name string, shape []int64, fn func(k []int64) f
 	if _, dup := r.sources[name]; dup {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
+	r.gens[name]++
 	r.sources[name] = &source{info: info, shape: append([]int64(nil), shape...), fn: fn}
 	return nil
 }
@@ -210,6 +229,7 @@ func (r *Registry) AddGenerated(name string, spec cluster.DatasetSpec) error {
 	if _, dup := r.sources[name]; dup {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
+	r.gens[name]++
 	r.sources[name] = &source{
 		info:  info,
 		shape: append([]int64(nil), spec.Shape...),
@@ -272,6 +292,77 @@ func (r *Registry) List() []DatasetInfo {
 	return out
 }
 
+// Remove unregisters the dataset and fires the invalidation hook. Open
+// handles are retired: idle ones close immediately, busy ones close as
+// their last user releases them — in-flight jobs finish against the
+// contents they started with. Returns false for unknown names.
+// Re-registration is Remove followed by Add*: the name's generation
+// keeps counting up, so cached results keyed on the old version can
+// never be served against the new contents.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	_, ok := r.sources[name]
+	if !ok {
+		r.mu.Unlock()
+		return false
+	}
+	delete(r.sources, name)
+	prefix := name + "\x00"
+	for key, h := range r.open {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		h.retired = true
+		if h.refs <= 0 {
+			h.ds.Close()
+		}
+		delete(r.open, key)
+	}
+	fn := r.onInvalidate
+	r.mu.Unlock()
+	if fn != nil {
+		fn(name)
+	}
+	return true
+}
+
+// DatasetVersion returns an opaque token pinning the dataset variable's
+// current contents: registration generation, variable shape, and the
+// structural index fingerprint (a content summary for file and
+// generated datasets). Any re-registration bumps the generation, so the
+// token changes whenever the answer to a query could. Implements
+// jobs.VersionProvider. Returns false for unknown datasets or
+// variables — such requests bypass the result cache entirely, which is
+// also how opaque AddSynthetic functions without indexes stay safe:
+// their token still changes per registration via the generation.
+func (r *Registry) DatasetVersion(name, variable string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.sources[name]
+	if !ok {
+		return "", false
+	}
+	var vi *VariableInfo
+	for i := range src.info.Variables {
+		if src.info.Variables[i].Name == variable || src.info.Variables[i].Name == "*" {
+			vi = &src.info.Variables[i]
+			break
+		}
+	}
+	if vi == nil {
+		return "", false
+	}
+	var fp uint32
+	if src.idx != nil {
+		if ix := src.idx[variable]; ix != nil {
+			fp = ix.Fingerprint()
+		} else if ix := src.idx["*"]; ix != nil {
+			fp = ix.Fingerprint()
+		}
+	}
+	return fmt.Sprintf("%s#%d|%v|%08x", name, r.gens[name], vi.Shape, fp), true
+}
+
 // Acquire opens (or reuses) the dataset's handle for the variable and
 // bumps its refcount; the returned release func must be called when the
 // job is done with it. Implements jobs.DatasetProvider.
@@ -284,7 +375,7 @@ func (r *Registry) Acquire(name, variable string) (*sidr.Dataset, func(), error)
 	}
 	if h, ok := r.open[key]; ok {
 		h.refs++
-		return h.ds, r.releaseFunc(key), nil
+		return h.ds, r.releaseFunc(key, h), nil
 	}
 	src, ok := r.sources[name]
 	if !ok {
@@ -300,26 +391,35 @@ func (r *Registry) Acquire(name, variable string) (*sidr.Dataset, func(), error)
 	if err != nil {
 		return nil, nil, err
 	}
-	r.open[key] = &handle{ds: ds, refs: 1}
-	return ds, r.releaseFunc(key), nil
+	h := &handle{ds: ds, refs: 1}
+	r.open[key] = h
+	return ds, r.releaseFunc(key, h), nil
 }
 
-// releaseFunc returns a once-only decrement for the handle. Caller holds
-// r.mu.
-func (r *Registry) releaseFunc(key string) func() {
+// releaseFunc returns a once-only decrement for the handle. It captures
+// the handle itself, not just the key: after a Remove and
+// re-registration the key may map to a fresh handle, and releasing the
+// retired one must not touch its replacement. Caller holds r.mu.
+func (r *Registry) releaseFunc(key string, h *handle) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			r.mu.Lock()
 			defer r.mu.Unlock()
-			h := r.open[key]
-			if h == nil {
+			h.refs--
+			if h.refs > 0 {
 				return
 			}
-			h.refs--
-			if h.refs <= 0 && r.closing {
+			if h.retired {
+				// Already out of r.open (Remove evicted it); just close.
 				h.ds.Close()
-				delete(r.open, key)
+				return
+			}
+			if r.closing {
+				h.ds.Close()
+				if r.open[key] == h {
+					delete(r.open, key)
+				}
 			}
 		})
 	}

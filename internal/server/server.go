@@ -12,6 +12,14 @@
 //	GET    /v1/datasets         registered datasets and their variables
 //	GET    /metrics             plain-text metrics exposition
 //	GET    /healthz             liveness probe
+//
+// Query-API responses (JSON and the NDJSON stream) are gzip-compressed
+// when the client sends Accept-Encoding: gzip; the stream's compressor
+// is flushed with every partial so compression never delays an early
+// result. Submissions are attributed to the tenant named by the
+// X-SIDR-Tenant header (default "default") for per-tenant admission
+// quotas and weighted scheduling; quota breaches answer 429 with
+// detail "tenant-quota".
 package server
 
 import (
@@ -48,17 +56,20 @@ func New(mgr *jobs.Manager, registry *Registry, reg *metrics.Registry, coord *cl
 		mux:      http.NewServeMux(),
 		requests: reg.Counter("sidrd_http_requests_total"),
 	}
-	s.mux.HandleFunc("POST /v1/query", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("POST /v1/query", gzipped(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", gzipped(s.handleListJobs))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", gzipped(s.handleGetJob))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", gzipped(s.handleStream))
+	s.mux.HandleFunc("GET /v1/datasets", gzipped(s.handleDatasets))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if coord != nil {
 		coord.Mount(s.mux)
 	}
+	// A re-registered or removed dataset invalidates its cached results;
+	// version-keying already prevents stale hits, this reclaims the bytes.
+	registry.SetOnInvalidate(func(name string) { mgr.InvalidateDataset(name) })
 	return s
 }
 
@@ -91,6 +102,8 @@ func errorDetail(err error) string {
 		return wire.DetailSpillCorrupt
 	case errors.Is(err, cluster.ErrRetryExhausted):
 		return wire.DetailShuffleRetryExhausted
+	case errors.Is(err, jobs.ErrTenantQuota):
+		return wire.DetailTenantQuota
 	}
 	return ""
 }
@@ -119,10 +132,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	// The header is the authoritative tenant identity: it overrides a
+	// body field so a proxy stamping X-SIDR-Tenant cannot be bypassed by
+	// request payloads.
+	if t := r.Header.Get("X-SIDR-Tenant"); t != "" {
+		req.Tenant = t
+	}
 	j, err := s.mgr.Submit(req)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.rejectFull(w, err)
+	case errors.Is(err, jobs.ErrTenantQuota):
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, jobs.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, cluster.ErrNoWorkers):

@@ -235,9 +235,24 @@ func TestStreamingEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Second identical submission: the plan must come from the cache.
+	// Second identical submission: served from the result cache without
+	// re-executing.
 	snap2 := f.submit(req)
 	f.waitState(snap2.ID, "done")
+	if !strings.Contains(f.metricsText(), "sidrd_resultcache_hits_total 1") {
+		t.Fatalf("metrics do not record a result-cache hit:\n%s", f.metricsText())
+	}
+
+	// The same query against a different dataset of the same shape misses
+	// the result cache (version differs) but reuses the prepared plan —
+	// plans are a function of shape, not contents.
+	if err := registry.AddSynthetic("blocky2", []int64{64}, func(k []int64) float64 { return float64(k[0]) }); err != nil {
+		t.Fatal(err)
+	}
+	req3 := req
+	req3.Dataset = "blocky2"
+	snap3 := f.submit(req3)
+	f.waitState(snap3.ID, "done")
 	if !strings.Contains(f.metricsText(), "sidrd_plan_cache_hits_total 1") {
 		t.Fatalf("metrics do not record a plan-cache hit:\n%s", f.metricsText())
 	}
@@ -504,10 +519,16 @@ func TestQueueFullDetailAndExecGauges(t *testing.T) {
 	req := jobs.Request{Dataset: "gated", Query: "avg v[0 : 16] es {4}", Workers: 1}
 	running := f.submit(req)
 	f.waitState(running.ID, "running")
-	f.submit(req) // fills the depth-1 queue
+	// Distinct queries: identical ones would collapse onto the running
+	// leader instead of consuming queue slots.
+	req2 := req
+	req2.Query = "avg v[0 : 16] es {8}"
+	f.submit(req2) // fills the depth-1 queue
 
 	// Third submission must be rejected with a structured 429.
-	body, _ := json.Marshal(req)
+	req3 := req
+	req3.Query = "avg v[0 : 16] es {2}"
+	body, _ := json.Marshal(req3)
 	resp, err := http.Post(f.ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)

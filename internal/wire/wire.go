@@ -33,6 +33,9 @@ const (
 	// spills that kept failing their payload checksum — the job refused
 	// to commit corrupt data.
 	DetailSpillCorrupt = "spill-corrupt"
+	// DetailTenantQuota: the submitting tenant (X-SIDR-Tenant header) is
+	// at its max-in-flight quota; retry after one of its jobs finishes.
+	DetailTenantQuota = "tenant-quota"
 )
 
 // VariableInfo describes one queryable variable of a registered

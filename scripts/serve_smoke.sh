@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the serving-tier fast path.
+#
+# Builds sidrd, registers a dataset, and runs the same query twice:
+# the first submission must execute cold, the second must be a recorded
+# result-cache hit (snapshot result_cache_hit=true, metrics counter
+# incremented) whose result bytes are identical to the first's. Also
+# checks gzip responses decode to the identity bytes and that a tenant
+# quota breach returns 429 with detail "tenant-quota".
+#
+# Usage: scripts/serve_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-7191}"
+BASE="http://127.0.0.1:${PORT}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+DATA="$WORK/data"
+mkdir -p "$BIN" "$DATA"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+(cd "$ROOT" && go build -o "$BIN" ./cmd/sidrd ./cmd/datagen)
+
+echo "== dataset"
+"$BIN/datagen" -out "$DATA/temperature.ncf" -var temperature \
+  -shape 90,20,20 -kind temperature -seed 1
+"$BIN/datagen" -out "$DATA/wind.ncf" -var windspeed \
+  -shape 365,50,40 -kind windspeed -seed 2
+
+echo "== launch sidrd (result cache on, tenant quota for acme, 1 job slot)"
+"$BIN/sidrd" -addr "127.0.0.1:${PORT}" -data "$DATA" -max-jobs 1 \
+  -result-cache-bytes $((16 << 20)) -tenant 'acme=1:2' \
+  >"$WORK/sidrd.log" 2>&1 &
+PIDS+=($!)
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+QUERY='avg temperature[0,0,0 : 90,20,20] es {9,4,4}'
+submit() { # submit -> prints "<id> <result_cache_hit>"
+  curl -fsS "$BASE/v1/query" -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"temperature\",\"query\":\"$QUERY\",\"reducers\":4}" \
+    | python3 -c 'import json,sys; s=json.load(sys.stdin); print(s["id"], str(s.get("result_cache_hit", False)).lower())'
+}
+wait_done() { # wait_done <job-id>
+  for _ in $(seq 1 200); do
+    st=$(curl -fsS "$BASE/v1/jobs/$1" \
+      | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+    [ "$st" = "done" ] && return 0
+    case "$st" in failed|cancelled) echo "FAIL: job $1 state $st"; exit 1;; esac
+    sleep 0.05
+  done
+  echo "FAIL: job $1 never finished"; exit 1
+}
+result_of() { # result_of <job-id> -> canonical JSON of the result field
+  curl -fsS "$BASE/v1/jobs/$1" | python3 -c '
+import json, sys
+print(json.dumps(json.load(sys.stdin)["result"], sort_keys=True))'
+}
+
+echo "== cold run"
+read -r JOB1 HIT1 <<<"$(submit)"
+[ "$HIT1" = "false" ] || { echo "FAIL: first submission claimed a cache hit"; exit 1; }
+wait_done "$JOB1"
+result_of "$JOB1" >"$WORK/first.json"
+
+echo "== repeat run (must be a recorded cache hit, byte-identical)"
+read -r JOB2 HIT2 <<<"$(submit)"
+[ "$HIT2" = "true" ] || { echo "FAIL: repeat submission not marked result_cache_hit"; exit 1; }
+wait_done "$JOB2"
+result_of "$JOB2" >"$WORK/second.json"
+if ! cmp -s "$WORK/first.json" "$WORK/second.json"; then
+  echo "FAIL: cached result bytes differ from the cold run"
+  diff "$WORK/first.json" "$WORK/second.json" | head -5
+  exit 1
+fi
+curl -fsS "$BASE/metrics" | grep -q '^sidrd_resultcache_hits_total 1' \
+  || { echo "FAIL: sidrd_resultcache_hits_total != 1"; exit 1; }
+echo "   cache hit recorded, result bytes identical"
+
+echo "== gzip fetch decodes to the identity bytes"
+curl -fsS -H 'Accept-Encoding: identity' "$BASE/v1/jobs/$JOB1" >"$WORK/plain.json"
+curl -fsS -H 'Accept-Encoding: gzip' "$BASE/v1/jobs/$JOB1" --compressed >"$WORK/gunzip.json"
+cmp -s "$WORK/plain.json" "$WORK/gunzip.json" \
+  || { echo "FAIL: gzip response decodes differently"; exit 1; }
+echo "   gzip payload identical after decode"
+
+echo "== tenant quota: a second in-flight acme job is a 429 tenant-quota"
+# Occupy the single job slot with a long default-tenant median (730k
+# points, one keyblock), so acme's next job queues — queued jobs count
+# toward the quota — and its job after that breaches it.
+SLOW='median windspeed[0,0,0 : 365,50,40] es {365,50,40}'
+HOLD=$(curl -fsS "$BASE/v1/query" -H 'Content-Type: application/json' \
+  -d "{\"dataset\":\"wind\",\"query\":\"$SLOW\",\"reducers\":1}" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+AJOB=$(curl -fsS "$BASE/v1/query" -H 'Content-Type: application/json' \
+  -H 'X-SIDR-Tenant: acme' \
+  -d "{\"dataset\":\"temperature\",\"query\":\"min temperature[0,0,0 : 90,20,20] es {9,4,4}\",\"reducers\":4}" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+code=$(curl -s -o "$WORK/quota.json" -w '%{http_code}' "$BASE/v1/query" \
+  -H 'Content-Type: application/json' -H 'X-SIDR-Tenant: acme' \
+  -d "{\"dataset\":\"temperature\",\"query\":\"sum temperature[0,0,0 : 90,20,20] es {9,4,4}\",\"reducers\":4}")
+[ "$code" = "429" ] || { echo "FAIL: over-quota submit returned $code, want 429"; exit 1; }
+grep -q '"tenant-quota"' "$WORK/quota.json" \
+  || { echo "FAIL: 429 body lacks detail tenant-quota: $(cat "$WORK/quota.json")"; exit 1; }
+wait_done "$HOLD"
+wait_done "$AJOB"
+echo "   quota breach rejected with 429 tenant-quota"
+
+echo "PASS: repeat query served from cache byte-identically; gzip and tenant quotas behave"

@@ -224,6 +224,11 @@ type RunOptions struct {
 	// concurrent runs stay within one process-wide worker budget. The
 	// executor must outlive the call.
 	Exec *exec.Executor
+	// Weight is the run's weighted-fair share of the shared executor:
+	// when several runs have runnable tasks, a weight-w run dispatches up
+	// to w consecutive tasks per scheduling turn (default 1; only
+	// meaningful with Exec). The daemon maps per-tenant weights onto it.
+	Weight int
 	// OnPartial receives each keyblock's output as soon as it commits.
 	// Callbacks may arrive concurrently.
 	OnPartial func(PartialResult)
@@ -289,7 +294,7 @@ func (p *Prepared) SplitCount() int { return len(p.plan.Splits) }
 func (p *Prepared) PrunedSplits() int { return p.plan.PrunedSplits }
 
 // Run executes the prepared plan over a dataset of the prepared shape.
-// Only the execution-time fields of opts (Workers, OnPartial) are used;
+// Only the execution-time fields of opts (Workers, Weight, Exec, OnPartial) are used;
 // ctx cancellation aborts the run promptly, returning ctx.Err().
 func (p *Prepared) Run(ctx context.Context, ds *Dataset, opts RunOptions) (*Result, error) {
 	if ds == nil {
@@ -304,6 +309,7 @@ func (p *Prepared) Run(ctx context.Context, ds *Dataset, opts RunOptions) (*Resu
 		cfg.Ctx = ctx
 		cfg.Workers = opts.Workers
 		cfg.Exec = opts.Exec
+		cfg.Weight = opts.Weight
 		cfg.OnReduceOutput = func(out mapreduce.ReduceOutput) {
 			pr := toPartial(out)
 			if opts.OnPartial != nil {
