@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve bench bench-prune bench-shuffle bench-serve fuzz smoke smoke-serve clean
+.PHONY: build test race vet serve bench bench-prune bench-shuffle bench-serve bench-join fuzz smoke smoke-serve clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,15 @@ SERVE_CLIENTS ?= 1000
 bench-serve:
 	$(GO) run ./cmd/sidrbench -serveclients $(SERVE_CLIENTS) -json $(SERVE_OUT)
 
+# bench-join runs the structural-join skew experiment (zipf-skewed side
+# B, re-tiling on vs off) and emits the cross-PR perf snapshot with
+# reduce wall-clock and keyblock skew statistics. JOIN_SCALE scales the
+# input extents (CI uses a reduced scale).
+JOIN_OUT ?= BENCH_PR9.json
+JOIN_SCALE ?= 1.0
+bench-join:
+	$(GO) run ./cmd/sidrbench -exp join -joinscale $(JOIN_SCALE) -json $(JOIN_OUT)
+
 # fuzz exercises the untrusted-bytes decoders briefly (CI runs the same
 # targets; crashers land in testdata/fuzz).
 FUZZTIME ?= 30s
@@ -50,6 +59,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadSpillV3 -fuzztime=$(FUZZTIME) ./internal/kv/
 	$(GO) test -run=^$$ -fuzz=FuzzReadIndex -fuzztime=$(FUZZTIME) ./internal/sidx/
 	$(GO) test -run=^$$ -fuzz=FuzzIndexCRC -fuzztime=$(FUZZTIME) ./internal/sidx/
+	$(GO) test -run=^$$ -fuzz=FuzzParseJoin -fuzztime=$(FUZZTIME) ./internal/query/
 
 # smoke runs the multi-process cluster smoke test (sidrd + 2 workers).
 smoke:

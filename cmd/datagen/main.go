@@ -22,10 +22,11 @@ func main() {
 		out     = flag.String("out", "", "output .ncf path (required)")
 		varName = flag.String("var", "data", "variable name")
 		shapeS  = flag.String("shape", "", "dataset shape, e.g. 365,250,200 (required)")
-		kind    = flag.String("kind", "windspeed", "generator: windspeed, gaussian, temperature")
+		kind    = flag.String("kind", "windspeed", "generator: windspeed, gaussian, temperature, integers, zipf")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		mean    = flag.Float64("mean", 0, "gaussian mean")
 		std     = flag.Float64("std", 1, "gaussian standard deviation")
+		zskew   = flag.Float64("skew", 1.2, "zipf presence skew along the leading dimension")
 	)
 	flag.Parse()
 	if *out == "" || *shapeS == "" {
@@ -45,6 +46,10 @@ func main() {
 		fn = datagen.Gaussian(*seed, *mean, *std)
 	case "temperature":
 		fn = datagen.Temperature(*seed)
+	case "integers":
+		fn = datagen.Integers(*seed)
+	case "zipf":
+		fn = datagen.Zipf(*seed, *zskew)
 	default:
 		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
 		os.Exit(1)

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"time"
+
+	"sidr"
+	"sidr/internal/coords"
+	"sidr/internal/datagen"
+	"sidr/internal/skew"
+)
+
+// joinRun is one configuration's outcome: wall-clock plus the imbalance
+// statistics of the plan's per-keyblock estimated loads.
+type joinRun struct {
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	FirstResultMS float64 `json:"first_result_ms"`
+	Keyblocks     int     `json:"keyblocks"`
+	Starved       int     `json:"starved"`
+	MaxLoad       int64   `json:"max_load"`
+	MaxOverMean   float64 `json:"max_over_mean"`
+	CV            float64 `json:"cv"`
+	Gini          float64 `json:"gini"`
+}
+
+// joinResult is the structural-join skew experiment's summary: the same
+// zipf-skewed join run with skew-adaptive re-tiling on and off.
+type joinResult struct {
+	Query         string  `json:"query"`
+	Shape         []int64 `json:"shape"`
+	ZipfSkew      float64 `json:"zipf_skew"`
+	Reducers      int     `json:"reducers"`
+	MaxSkew       int64   `json:"max_skew"`
+	Rows          int     `json:"rows"`
+	Naive         joinRun `json:"naive"`
+	Retiled       joinRun `json:"retiled"`
+	SkewReduction float64 `json:"skew_reduction"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+}
+
+func (r joinResult) Format() string {
+	return fmt.Sprintf("%d rows  naive max/mean=%.2f cv=%.2f %.1fms → retiled max/mean=%.2f cv=%.2f %.1fms  (skew ÷%.2f, %.2fx)  identical=%v",
+		r.Rows, r.Naive.MaxOverMean, r.Naive.CV, r.Naive.ElapsedMS,
+		r.Retiled.MaxOverMean, r.Retiled.CV, r.Retiled.ElapsedMS,
+		r.SkewReduction, r.Speedup, r.Identical)
+}
+
+// joinExperiment joins a dense integer side A against a zipf-skewed side
+// B, whose data presence collapses down the leading dimension, so the
+// value-dependent load piles into the low keyblocks. The same query runs
+// with re-tiling disabled (naive partition+ layout) and enabled
+// (heavy keyblocks split into sub-ranges and SharesSkew shares), each
+// `runs` times keeping the fastest, and the experiment asserts the two
+// configurations returned byte-identical results and that re-tiling
+// strictly reduced max-over-mean keyblock load. scale scales the leading
+// extent (CI runs reduced).
+func joinExperiment(seed int64, scale float64, runs int) (joinResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	if scale <= 0 {
+		scale = 1.0
+	}
+	lead := int64(256 * scale)
+	lead -= lead % 16
+	if lead < 32 {
+		lead = 32
+	}
+	shape := []int64{lead, 128}
+	const zipfSkew = 1.4
+	const reducers = 8
+	// A tight skew tolerance: the load bound falls back to the per-reducer
+	// mean, so sampled hot spots actually trigger re-tiling (the default
+	// partition+ tolerance is sized for key counts, not sampled pairs).
+	const maxSkew = 16
+
+	genA, genB := datagen.Integers(seed), datagen.Zipf(seed+1, zipfSkew)
+	dsA, err := sidr.Synthetic(shape, func(k []int64) float64 { return genA(coords.Coord(k)) })
+	if err != nil {
+		return joinResult{}, err
+	}
+	dsB, err := sidr.Synthetic(shape, func(k []int64) float64 { return genB(coords.Coord(k)) })
+	if err != nil {
+		return joinResult{}, err
+	}
+
+	queryText := fmt.Sprintf("join javg a[0,0 : %d,%d] es {16,16} with b[0,0 : %d,%d] es {16,16}",
+		shape[0], shape[1], shape[0], shape[1])
+	q, err := sidr.ParseQuery(queryText)
+	if err != nil {
+		return joinResult{}, err
+	}
+	res := joinResult{Query: queryText, Shape: shape, ZipfSkew: zipfSkew, Reducers: reducers, MaxSkew: maxSkew}
+
+	run := func(noRetile bool) (*sidr.Result, joinRun, error) {
+		var best *sidr.Result
+		jr := joinRun{ElapsedMS: math.Inf(1), FirstResultMS: math.Inf(1)}
+		for i := 0; i < runs; i++ {
+			r, err := sidr.RunJoin(dsA, dsB, q, sidr.RunOptions{
+				Engine:       sidr.SIDR,
+				Reducers:     reducers,
+				MaxSkew:      maxSkew,
+				NoJoinRetile: noRetile,
+			})
+			if err != nil {
+				return nil, jr, err
+			}
+			if ms := float64(r.Elapsed) / float64(time.Millisecond); ms < jr.ElapsedMS {
+				jr.ElapsedMS = ms
+				best = r
+			}
+			if ms := float64(r.FirstResult) / float64(time.Millisecond); ms < jr.FirstResultMS {
+				jr.FirstResultMS = ms
+			}
+		}
+		s := skew.Summarize(best.KeyblockLoads)
+		jr.Keyblocks = s.Keyblocks
+		jr.Starved = s.Starved
+		jr.MaxLoad = s.Max
+		jr.MaxOverMean = s.MaxOverMean
+		jr.CV = s.CV
+		jr.Gini = s.Gini
+		return best, jr, nil
+	}
+
+	naive, naiveRun, err := run(true)
+	if err != nil {
+		return joinResult{}, err
+	}
+	retiled, retiledRun, err := run(false)
+	if err != nil {
+		return joinResult{}, err
+	}
+
+	res.Naive = naiveRun
+	res.Retiled = retiledRun
+	res.Rows = len(retiled.Keys)
+	if retiledRun.MaxOverMean > 0 {
+		res.SkewReduction = naiveRun.MaxOverMean / retiledRun.MaxOverMean
+	}
+	if retiledRun.ElapsedMS > 0 {
+		res.Speedup = naiveRun.ElapsedMS / retiledRun.ElapsedMS
+	}
+	res.Identical = reflect.DeepEqual(naive.Keys, retiled.Keys) &&
+		reflect.DeepEqual(naive.Values, retiled.Values)
+	if !res.Identical {
+		return res, fmt.Errorf("re-tiled and naive join results diverge (%d vs %d rows)",
+			len(retiled.Keys), len(naive.Keys))
+	}
+	if retiledRun.MaxOverMean >= naiveRun.MaxOverMean {
+		return res, fmt.Errorf("re-tiling did not reduce keyblock skew: max/mean %.3f (naive) vs %.3f (retiled)",
+			naiveRun.MaxOverMean, retiledRun.MaxOverMean)
+	}
+	return res, nil
+}

@@ -12,9 +12,10 @@
 //
 // Usage:
 //
-//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|shuffle|failures|chaos|prune]
+//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|shuffle|failures|chaos|prune|serve|join]
 //	          [-seed N] [-runs N] [-curves] [-dir DIR]
 //	sidrbench -json BENCH_PR7.json
+//	sidrbench -exp join -joinscale 0.5 -json BENCH_PR9.json
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, prune, serve)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, prune, serve, join)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
 		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
@@ -43,6 +44,7 @@ func main() {
 		srvCli   = flag.Int("serveclients", 1000, "concurrent streaming clients in the serving-tier experiment")
 		srvReqs  = flag.Int("servereqs", 3, "requests per client in the serving-tier mix phase")
 		srvUniq  = flag.Int("serveuniques", 64, "distinct queries in the serving-tier zipf mix")
+		joinScl  = flag.Float64("joinscale", 1.0, "input-extent scale for the structural-join skew experiment (CI runs reduced)")
 		jsonTo   = flag.String("json", "", "write a machine-readable benchmark summary to this file and exit")
 	)
 	flag.Usage = func() {
@@ -54,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonTo != "" {
-		if err := writeBenchJSON(*jsonTo, *seed, *micro, *shufPair, *shufN, *shufRows, *srvCli, *srvReqs, *srvUniq); err != nil {
+		if err := writeBenchJSON(*jsonTo, *exp, *seed, *micro, *shufPair, *shufN, *shufRows, *srvCli, *srvReqs, *srvUniq, *joinScl); err != nil {
 			fmt.Fprintf(os.Stderr, "sidrbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -237,6 +239,15 @@ func main() {
 		fmt.Println("  " + r.Format())
 		return nil
 	})
+	run("join", func() error {
+		fmt.Println("structural join: zipf-skewed side B, re-tiling on vs off (real engine)")
+		r, err := joinExperiment(*seed, *joinScl, *runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r.Format())
+		return nil
+	})
 }
 
 // benchCurve is one Figure 9/10 curve's headline numbers.
@@ -278,6 +289,7 @@ type benchReport struct {
 	Chaos        []chaosResult      `json:"chaos"`
 	Prune        pruneResult        `json:"prune"`
 	Serve        serveResult        `json:"serve"`
+	Join         joinResult         `json:"join"`
 }
 
 func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
@@ -294,72 +306,101 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 }
 
 // writeBenchJSON runs the headline experiments and one real in-process
-// engine query, and writes the summary file.
-func writeBenchJSON(path string, seed int64, microPairs, shufflePairs, shuffleFetches int, shuffleRows int64, serveClients, serveReqs, serveUniques int) error {
-	rep := benchReport{Schema: "sidrbench/6", Seed: seed}
+// engine query, and writes the summary file. exp narrows the snapshot
+// to one experiment's section (-exp join -json ... in CI); "all" fills
+// every section.
+func writeBenchJSON(path, exp string, seed int64, microPairs, shufflePairs, shuffleFetches int, shuffleRows int64, serveClients, serveReqs, serveUniques int, joinScale float64) error {
+	rep := benchReport{Schema: "sidrbench/7", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
+	want := func(name string) bool { return exp == "all" || exp == name }
 
-	rs, err := experiments.Figure9(cfg)
-	if err != nil {
-		return err
+	if want("fig9") {
+		rs, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Fig9 = toBenchCurves(rs)
 	}
-	rep.Fig9 = toBenchCurves(rs)
-	if rs, err = experiments.Figure10(cfg); err != nil {
-		return err
-	}
-	rep.Fig10 = toBenchCurves(rs)
-
-	// A real engine run (not simulated): SIDR engine, dependency
-	// barrier, streamed partials — the serving path's wall-clock.
-	const engineQuery = "avg v[0,0 : 512,512] es {16,16}"
-	ds, err := sidr.Synthetic([]int64{512, 512}, func(k []int64) float64 {
-		return float64(k[0]^k[1]) * 0.25
-	})
-	if err != nil {
-		return err
-	}
-	defer ds.Close()
-	q, err := sidr.ParseQuery(engineQuery)
-	if err != nil {
-		return err
-	}
-	res, err := sidr.Run(ds, q, sidr.RunOptions{Engine: sidr.SIDR, Reducers: 8})
-	if err != nil {
-		return err
-	}
-	rep.Engine.Query = engineQuery
-	rep.Engine.Rows = len(res.Keys)
-	rep.Engine.FirstResultMS = float64(res.FirstResult) / float64(time.Millisecond)
-	rep.Engine.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
-	rep.Engine.TasksDispatched = res.TasksDispatched
-
-	allocs, bytes, ns, err := experiments.PartitionMicroAllocs(microPairs, 22)
-	if err != nil {
-		return err
-	}
-	rep.PartitionMicro.Pairs = microPairs
-	rep.PartitionMicro.NsPerOp = ns
-	rep.PartitionMicro.AllocsPerOp = allocs
-	rep.PartitionMicro.BytesPerOp = bytes
-
-	if rep.ShuffleMicro, err = shuffleMicro(shufflePairs, shuffleFetches); err != nil {
-		return err
+	if want("fig10") {
+		rs, err := experiments.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Fig10 = toBenchCurves(rs)
 	}
 
-	if rep.Shuffle, err = shuffleExperiment(seed, shuffleRows); err != nil {
-		return err
+	if want("engine") {
+		// A real engine run (not simulated): SIDR engine, dependency
+		// barrier, streamed partials — the serving path's wall-clock.
+		const engineQuery = "avg v[0,0 : 512,512] es {16,16}"
+		ds, err := sidr.Synthetic([]int64{512, 512}, func(k []int64) float64 {
+			return float64(k[0]^k[1]) * 0.25
+		})
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		q, err := sidr.ParseQuery(engineQuery)
+		if err != nil {
+			return err
+		}
+		res, err := sidr.Run(ds, q, sidr.RunOptions{Engine: sidr.SIDR, Reducers: 8})
+		if err != nil {
+			return err
+		}
+		rep.Engine.Query = engineQuery
+		rep.Engine.Rows = len(res.Keys)
+		rep.Engine.FirstResultMS = float64(res.FirstResult) / float64(time.Millisecond)
+		rep.Engine.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+		rep.Engine.TasksDispatched = res.TasksDispatched
 	}
 
-	if rep.Chaos, err = chaosExperiment(seed); err != nil {
-		return err
+	if want("partmicro") {
+		allocs, bytes, ns, err := experiments.PartitionMicroAllocs(microPairs, 22)
+		if err != nil {
+			return err
+		}
+		rep.PartitionMicro.Pairs = microPairs
+		rep.PartitionMicro.NsPerOp = ns
+		rep.PartitionMicro.AllocsPerOp = allocs
+		rep.PartitionMicro.BytesPerOp = bytes
 	}
 
-	if rep.Prune, err = pruneExperiment(5); err != nil {
-		return err
+	var err error
+	if want("shufflemicro") {
+		if rep.ShuffleMicro, err = shuffleMicro(shufflePairs, shuffleFetches); err != nil {
+			return err
+		}
 	}
 
-	if rep.Serve, err = serveExperiment(seed, serveClients, serveReqs, serveUniques); err != nil {
-		return err
+	if want("shuffle") {
+		if rep.Shuffle, err = shuffleExperiment(seed, shuffleRows); err != nil {
+			return err
+		}
+	}
+
+	if want("chaos") {
+		if rep.Chaos, err = chaosExperiment(seed); err != nil {
+			return err
+		}
+	}
+
+	if want("prune") {
+		if rep.Prune, err = pruneExperiment(5); err != nil {
+			return err
+		}
+	}
+
+	if want("serve") {
+		if rep.Serve, err = serveExperiment(seed, serveClients, serveReqs, serveUniques); err != nil {
+			return err
+		}
+	}
+
+	if want("join") {
+		if rep.Join, err = joinExperiment(seed, joinScale, 3); err != nil {
+			return err
+		}
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")

@@ -19,6 +19,7 @@ import (
 	"sidr/internal/core"
 	"sidr/internal/exec"
 	"sidr/internal/hdfs"
+	"sidr/internal/join"
 	"sidr/internal/kv"
 	"sidr/internal/metrics"
 	"sidr/internal/ops"
@@ -603,6 +604,9 @@ type JobSpec struct {
 	Plan JobPlan
 	// Dataset tells workers how to open the input.
 	Dataset DatasetSpec
+	// Dataset2 is a join's side-B dataset; nil for single-input jobs.
+	// The plan tuple must then carry the join query and its Retile.
+	Dataset2 *DatasetSpec
 	// Namespace and File optionally attach HDFS block locations to
 	// splits for locality-aware placement (coordinator side only; split
 	// geometry is unaffected, so worker plans stay identical).
@@ -1219,11 +1223,12 @@ func (j *clusterJob) postMap(ctx context.Context, baseURL string, split, attempt
 	j.counters.MapsDispatched++
 	j.mu.Unlock()
 	body, err := json.Marshal(MapRequest{
-		JobID:   j.spec.ID,
-		Split:   split,
-		Attempt: attempt,
-		Plan:    j.spec.Plan,
-		Dataset: j.spec.Dataset,
+		JobID:    j.spec.ID,
+		Split:    split,
+		Attempt:  attempt,
+		Plan:     j.spec.Plan,
+		Dataset:  j.spec.Dataset,
+		Dataset2: j.spec.Dataset2,
 	})
 	if err != nil {
 		return nil, err
@@ -1469,24 +1474,32 @@ func (j *clusterJob) runReduce(l int) {
 	}
 
 	merged := kv.MergeSorted(streams)
-	op, err := j.plan.Query.Op()
-	if err != nil {
-		j.fail(err)
-		return
-	}
-	out := ReduceResult{Keyblock: l, Keys: make([]coords.Coord, 0, len(merged)), Values: make([][]float64, 0, len(merged))}
-	isFilter := op.Kind() == ops.Filter
-	params := j.plan.Query.Params()
-	for _, p := range merged {
-		vals := op.Apply(p.Value, params...)
-		if isFilter && len(vals) == 0 {
-			// Match the in-process engine: predicated operators omit
-			// keys with no surviving samples, keeping pruned and
-			// unpruned plans byte-identical.
-			continue
+	out := ReduceResult{Keyblock: l}
+	if jp := j.plan.Join; jp != nil {
+		// Join reduces fold per-side aggregates; the caller assembles
+		// share units across keyblocks afterwards.
+		out.Keys, out.Values = join.Reduce(jp, l, merged)
+	} else {
+		op, err := j.plan.Query.Op()
+		if err != nil {
+			j.fail(err)
+			return
 		}
-		out.Keys = append(out.Keys, p.Key)
-		out.Values = append(out.Values, vals)
+		out.Keys = make([]coords.Coord, 0, len(merged))
+		out.Values = make([][]float64, 0, len(merged))
+		isFilter := op.Kind() == ops.Filter
+		params := j.plan.Query.Params()
+		for _, p := range merged {
+			vals := op.Apply(p.Value, params...)
+			if isFilter && len(vals) == 0 {
+				// Match the in-process engine: predicated operators omit
+				// keys with no surviving samples, keeping pruned and
+				// unpruned plans byte-identical.
+				continue
+			}
+			out.Keys = append(out.Keys, p.Key)
+			out.Values = append(out.Values, vals)
+		}
 	}
 
 	j.mu.Lock()

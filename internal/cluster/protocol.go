@@ -37,6 +37,7 @@ import (
 
 	"sidr/internal/core"
 	"sidr/internal/hdfs"
+	"sidr/internal/join"
 	"sidr/internal/query"
 )
 
@@ -89,6 +90,9 @@ type DatasetSpec struct {
 	// Mean and Std parameterise the gaussian generator (Std 0 means 1).
 	Mean float64 `json:"mean,omitempty"`
 	Std  float64 `json:"std,omitempty"`
+	// Skew parameterises the zipf generator's presence exponent (0 means
+	// the datagen default).
+	Skew float64 `json:"skew,omitempty"`
 }
 
 // JobPlan is the plan-defining tuple shipped with every Map task. A
@@ -110,6 +114,12 @@ type JobPlan struct {
 	// omitempty: an empty non-nil list ("every split pruned") must
 	// survive the wire distinct from nil ("unpruned").
 	Pruned []int `json:"pruned"`
+	// Retile carries a join plan's keyblock layout — the one plan input
+	// that is NOT a pure function of the tuple (it was sampled from the
+	// data at plan time). Workers rebuild routing from it verbatim and
+	// never re-sample, so clustered and in-process runs stay
+	// byte-identical. Nil for single-input plans.
+	Retile *join.Retile `json:"retile,omitempty"`
 }
 
 // NewPlan derives the coordinator-identical core.Plan from the tuple.
@@ -142,6 +152,7 @@ func (jp JobPlan) newPlan(ns *hdfs.Namespace, file string) (*core.Plan, error) {
 		Namespace:   ns,
 		File:        file,
 		KeepSplits:  jp.Pruned,
+		Retile:      jp.Retile,
 	})
 }
 
@@ -152,6 +163,8 @@ type MapRequest struct {
 	Attempt int         `json:"attempt"`
 	Plan    JobPlan     `json:"plan"`
 	Dataset DatasetSpec `json:"dataset"`
+	// Dataset2 is the join's side-B dataset; nil for single-input jobs.
+	Dataset2 *DatasetSpec `json:"dataset2,omitempty"`
 }
 
 // KeyblockMeta summarises one keyblock's share of a completed Map task:

@@ -19,6 +19,7 @@ import (
 	"sidr/internal/core"
 	"sidr/internal/datagen"
 	"sidr/internal/faultinject"
+	"sidr/internal/join"
 	"sidr/internal/kv"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
@@ -90,19 +91,23 @@ type Worker struct {
 // against the stale plan. Entries live until released (POST
 // /v1/release) or replaced.
 type workerJob struct {
-	fingerprint string // canonical {Plan,Dataset} encoding
+	fingerprint string // canonical {Plan,Dataset,Dataset2} encoding
 	plan        *core.Plan
 	input       mapreduce.MapInput
 	closer      io.Closer // ncfile handle for file datasets
+	// reader2/closer2 serve a join's side-B dataset (nil otherwise).
+	reader2 mapreduce.RecordReader
+	closer2 io.Closer
 }
 
 // jobFingerprint canonically encodes the plan-and-dataset tuple a job's
 // cached state is valid for.
 func jobFingerprint(req *MapRequest) string {
 	b, _ := json.Marshal(struct {
-		Plan    JobPlan     `json:"plan"`
-		Dataset DatasetSpec `json:"dataset"`
-	}{req.Plan, req.Dataset})
+		Plan     JobPlan      `json:"plan"`
+		Dataset  DatasetSpec  `json:"dataset"`
+		Dataset2 *DatasetSpec `json:"dataset2,omitempty"`
+	}{req.Plan, req.Dataset, req.Dataset2})
 	return string(b)
 }
 
@@ -156,6 +161,11 @@ func (w *Worker) Close() error {
 	for id, j := range w.jobs {
 		if j.closer != nil {
 			if err := j.closer.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if j.closer2 != nil {
+			if err := j.closer2.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -254,6 +264,25 @@ func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	j := &workerJob{fingerprint: fp, plan: plan, closer: closer}
+	if plan.Join != nil {
+		if req.Dataset2 == nil {
+			if closer != nil {
+				closer.Close()
+			}
+			return nil, fmt.Errorf("cluster: join job %s has no dataset2", req.JobID)
+		}
+		j.reader2, j.closer2, err = OpenDataset(*req.Dataset2)
+		if err != nil {
+			if closer != nil {
+				closer.Close()
+			}
+			return nil, err
+		}
+		j.input = mapreduce.MapInput{Query: plan.Query, Space: plan.Space, Part: plan.Part, Reader: reader}
+		w.jobs[req.JobID] = j
+		return j, nil
+	}
 	op, err := plan.Query.Op()
 	if err != nil {
 		if closer != nil {
@@ -261,18 +290,13 @@ func (w *Worker) jobFor(req *MapRequest) (*workerJob, error) {
 		}
 		return nil, err
 	}
-	j := &workerJob{
-		fingerprint: fp,
-		plan:        plan,
-		input: mapreduce.MapInput{
-			Query:   plan.Query,
-			Op:      op,
-			Space:   plan.Space,
-			Part:    plan.Part,
-			Reader:  reader,
-			Combine: true,
-		},
-		closer: closer,
+	j.input = mapreduce.MapInput{
+		Query:   plan.Query,
+		Op:      op,
+		Space:   plan.Space,
+		Part:    plan.Part,
+		Reader:  reader,
+		Combine: true,
 	}
 	w.jobs[req.JobID] = j
 	return j, nil
@@ -284,6 +308,9 @@ func (w *Worker) releaseLocked(jobID string) {
 	if j, ok := w.jobs[jobID]; ok {
 		if j.closer != nil {
 			j.closer.Close()
+		}
+		if j.closer2 != nil {
+			j.closer2.Close()
 		}
 		delete(w.jobs, jobID)
 	}
@@ -374,6 +401,10 @@ func GeneratorFunc(spec DatasetSpec) (func(coords.Coord) float64, error) {
 		return datagen.Temperature(spec.Seed), nil
 	case "evenkeyed":
 		return datagen.EvenKeyed(spec.Seed), nil
+	case "zipf":
+		return datagen.Zipf(spec.Seed, spec.Skew), nil
+	case "integers":
+		return datagen.Integers(spec.Seed), nil
 	default:
 		return nil, fmt.Errorf("cluster: unknown synthetic generator %q", spec.Generator)
 	}
@@ -420,15 +451,37 @@ func (w *Worker) handleMap(rw http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	in := j.input
-	in.Ctx = r.Context()
-	outs, records, err := mapreduce.ExecMap(in, j.plan.Splits[req.Split])
-	if err != nil {
-		http.Error(rw, "map execution: "+err.Error(), http.StatusInternalServerError)
-		return
-	}
-
+	var outs []mapreduce.MapOut
+	var records int64
 	rank := j.plan.Space.Shape.Rank()
+	if jp := j.plan.Join; jp != nil {
+		// Join path: the split index picks the side and its reader; spill
+		// keys carry the trailing side bit.
+		side := jp.Side(req.Split)
+		reader := j.input.Reader
+		if side == 1 {
+			reader = j.reader2
+		}
+		jouts, n, err := join.ExecMap(jp, side, reader, j.plan.Splits[req.Split].Slab, r.Context())
+		if err != nil {
+			http.Error(rw, "join map execution: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		outs = make([]mapreduce.MapOut, len(jouts))
+		for kb, o := range jouts {
+			outs[kb] = mapreduce.MapOut{Pairs: o.Pairs, SourceCount: o.SourceCount}
+		}
+		records, rank = n, jp.SpillRank()
+	} else {
+		in := j.input
+		in.Ctx = r.Context()
+		var err error
+		outs, records, err = mapreduce.ExecMap(in, j.plan.Splits[req.Split])
+		if err != nil {
+			http.Error(rw, "map execution: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
 	resp := MapResponse{JobID: req.JobID, Split: req.Split, Attempt: req.Attempt, Records: records}
 	pw, err := w.store.Begin(req.JobID, req.Split, req.Attempt)
 	if err != nil {

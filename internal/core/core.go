@@ -21,6 +21,7 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/depgraph"
 	"sidr/internal/hdfs"
+	"sidr/internal/join"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ops"
 	"sidr/internal/partition"
@@ -128,6 +129,22 @@ type Options struct {
 	// so every party derives the identical pruned plan. Takes
 	// precedence over Index.
 	KeepSplits []int
+
+	// File2 names side B's HDFS file for locality hints (join queries).
+	File2 string
+	// JoinSamplerA/B, when both set for a join query, let the planner
+	// sample per-keyblock expected load from the data and re-tile hot
+	// keyblocks. Nil skips sampling (base partition+ layout).
+	JoinSamplerA mapreduce.RecordReader
+	JoinSamplerB mapreduce.RecordReader
+	// Retile, when set for a join query, rebuilds the recorded keyblock
+	// layout instead of sampling — how clustered workers derive the exact
+	// plan the coordinator shipped. Takes precedence over the samplers.
+	Retile *join.Retile
+	// NoJoinRetile keeps the base partition+ layout for a join even when
+	// samplers are supplied (loads are still sampled and recorded) — the
+	// naive baseline the bench compares against.
+	NoJoinRetile bool
 }
 
 // Plan is a fully derived execution plan.
@@ -156,6 +173,11 @@ type Plan struct {
 	KeptSplits []int
 	// PrunedSplits counts the splits the structural index dropped.
 	PrunedSplits int
+	// Join is the resolved join plan for two-input queries: Splits is then
+	// the combined two-sided list (side A first) and Part/Keyblocks come
+	// from the join's (possibly re-tiled) keyblock layout. Nil for
+	// single-input queries.
+	Join *join.Plan
 }
 
 // NewPlan derives a plan for the query under the given engine.
@@ -176,6 +198,9 @@ func NewPlan(q *query.Query, engine Engine, opts Options) (*Plan, error) {
 	splitPoints := opts.SplitPoints
 	if splitPoints <= 0 {
 		splitPoints = (128 << 20) / bpp
+	}
+	if q.Join {
+		return newJoinPlan(q, engine, opts, splitPoints, bpp)
 	}
 	splits, err := mapreduce.GenerateSplits(q.Input, splitPoints, opts.Namespace, opts.File, bpp)
 	if err != nil {
@@ -241,6 +266,68 @@ func NewPlan(q *query.Query, engine Engine, opts Options) (*Plan, error) {
 			}
 			p.Priority = append([]int(nil), opts.Priority...)
 		}
+	}
+	return p, nil
+}
+
+// newJoinPlan derives a plan for a two-input join query. Both sides'
+// splits are generated with the same geometry rules and concatenated
+// into one combined index space (side A first), so dispatch, shuffle and
+// spill addressing work unchanged; the keyblock layout comes from the
+// join planner — sampled and re-tiled when samplers are supplied,
+// rebuilt verbatim when a recorded Retile is (the clustered-worker
+// path). Structural index pruning does not apply to joins.
+func newJoinPlan(q *query.Query, engine Engine, opts Options, splitPoints, bpp int64) (*Plan, error) {
+	splitsA, err := mapreduce.GenerateSplits(q.Input, splitPoints, opts.Namespace, opts.File, bpp)
+	if err != nil {
+		return nil, fmt.Errorf("core: side A splits: %w", err)
+	}
+	splitsB, err := mapreduce.GenerateSplits(q.Input2, splitPoints, opts.Namespace, opts.File2, bpp)
+	if err != nil {
+		return nil, fmt.Errorf("core: side B splits: %w", err)
+	}
+	slabsA, slabsB := mapreduce.Slabs(splitsA), mapreduce.Slabs(splitsB)
+
+	var jp *join.Plan
+	if opts.Retile != nil {
+		jp, err = join.Rebuild(q, len(splitsA), *opts.Retile)
+	} else {
+		jp, err = join.Build(q, join.Options{
+			Reducers: opts.Reducers,
+			MaxSkew:  opts.MaxSkew,
+			NoRetile: opts.NoJoinRetile,
+		}, opts.JoinSamplerA, opts.JoinSamplerB, slabsA, slabsB)
+	}
+	if err != nil {
+		return nil, err
+	}
+	graph, err := join.BuildGraph(jp, slabsA, slabsB)
+	if err != nil {
+		return nil, err
+	}
+
+	splits := make([]mapreduce.InputSplit, 0, len(splitsA)+len(splitsB))
+	splits = append(splits, splitsA...)
+	for _, s := range splitsB {
+		s.ID += len(splitsA)
+		splits = append(splits, s)
+	}
+	p := &Plan{
+		Query:     q,
+		Engine:    engine,
+		Reducers:  opts.Reducers,
+		Splits:    splits,
+		Space:     jp.Space,
+		Part:      jp.Partitioner(),
+		Graph:     graph,
+		Keyblocks: jp.Keyblocks(),
+		Join:      jp,
+	}
+	if engine == EngineSIDR && opts.Priority != nil {
+		if len(opts.Priority) != jp.NumKeyblocks() {
+			return nil, fmt.Errorf("core: priority has %d entries for %d keyblocks", len(opts.Priority), jp.NumKeyblocks())
+		}
+		p.Priority = append([]int(nil), opts.Priority...)
 	}
 	return p, nil
 }
@@ -316,6 +403,34 @@ func (p *Plan) RunLocal(reader mapreduce.RecordReader, tweak func(*mapreduce.Con
 		cfg.ValidateCounts = true
 		cfg.MapOrder = sched.DependencyDrivenMapOrder(p.Graph, p.Priority)
 		cfg.ReduceOrder = p.Priority // nil keeps keyblock order
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return mapreduce.Run(cfg)
+}
+
+// RunLocalJoin executes a join plan on the in-process engine, one reader
+// per side. Engine semantics (barrier, shuffle, count validation, task
+// order) follow RunLocal.
+func (p *Plan) RunLocalJoin(readerA, readerB mapreduce.RecordReader, tweak func(*mapreduce.Config)) (*mapreduce.Result, error) {
+	if p.Join == nil {
+		return nil, fmt.Errorf("core: RunLocalJoin on a non-join plan")
+	}
+	cfg := mapreduce.Config{
+		Query:   p.Query,
+		Splits:  p.Splits,
+		Reader:  readerA,
+		Reader2: readerB,
+		Join:    p.Join,
+		Part:    p.Part,
+		Graph:   p.Graph,
+	}
+	if p.Engine == EngineSIDR {
+		cfg.Barrier = mapreduce.DependencyBarrier
+		cfg.ValidateCounts = true
+		cfg.MapOrder = sched.DependencyDrivenMapOrder(p.Graph, p.Priority)
+		cfg.ReduceOrder = p.Priority
 	}
 	if tweak != nil {
 		tweak(&cfg)

@@ -94,6 +94,40 @@ func EvenKeyed(seed int64) func(coords.Coord) float64 {
 	}
 }
 
+// Zipf returns a generator with Zipf-distributed data presence along the
+// leading dimension: early rows are dense, deep rows are mostly missing
+// (NaN), with presence probability (1 + r/4)^-skew for leading
+// coordinate r. A skew <= 0 defaults to 1.2. Present cells hold small
+// integers, so float sums over them are exact and order-independent —
+// the property the join byte-identity tests rely on. Joining a Zipf side
+// against a uniform one concentrates value-dependent load in the low
+// keyblocks, the skew the planner's re-tiling exists to absorb.
+func Zipf(seed int64, skew float64) func(coords.Coord) float64 {
+	if skew <= 0 {
+		skew = 1.2
+	}
+	return func(k coords.Coord) float64 {
+		var r float64
+		if len(k) > 0 {
+			r = float64(k[0])
+		}
+		p := math.Pow(1+r/4, -skew)
+		if uniform(seed^0x5eedface, k) >= p {
+			return math.NaN()
+		}
+		return float64(hash64(seed, k) % 1024)
+	}
+}
+
+// Integers returns a generator of dense small-integer values — the
+// uniform counterpart to Zipf for join tests and benches where exact,
+// order-independent float summation matters.
+func Integers(seed int64) func(coords.Coord) float64 {
+	return func(k coords.Coord) float64 {
+		return float64(hash64(seed, k) % 1024)
+	}
+}
+
 // WriteDataset materialises a generated dataset into an ncfile container
 // with a single float64 variable named varName over dims d0, d1, ....
 func WriteDataset(path, varName string, shape coords.Shape, fn func(coords.Coord) float64) error {

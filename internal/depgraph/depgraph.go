@@ -101,6 +101,59 @@ func Build(q *query.Query, splits []coords.Slab, p partition.Partitioner) (*Grap
 	return g, nil
 }
 
+// Builder accumulates per-(split, keyblock) source-pair contributions
+// and finalizes them into a Graph. Multi-input planners (internal/join)
+// use it to derive I_ℓ as the union of contributing splits across all
+// inputs, with splits addressed in one combined index space.
+type Builder struct {
+	contribs []map[int]int64
+	numKB    int
+}
+
+// NewBuilder returns a builder for the given split and keyblock counts.
+func NewBuilder(numSplits, numKeyblocks int) *Builder {
+	return &Builder{contribs: make([]map[int]int64, numSplits), numKB: numKeyblocks}
+}
+
+// Add records n source pairs flowing from split to keyblock kb.
+func (b *Builder) Add(split, kb int, n int64) {
+	if n <= 0 {
+		return
+	}
+	m := b.contribs[split]
+	if m == nil {
+		m = make(map[int]int64)
+		b.contribs[split] = m
+	}
+	m[kb] += n
+}
+
+// Graph finalizes the accumulated contributions.
+func (b *Builder) Graph() *Graph {
+	g := &Graph{
+		SplitToKB:     make([][]int, len(b.contribs)),
+		KBToSplits:    make([][]int, b.numKB),
+		ExpectedCount: make([]int64, b.numKB),
+		SplitPoints:   make([]int64, len(b.contribs)),
+	}
+	for i, touched := range b.contribs {
+		kbs := make([]int, 0, len(touched))
+		for kb, n := range touched {
+			kbs = append(kbs, kb)
+			g.ExpectedCount[kb] += n
+			g.SplitPoints[i] += n
+		}
+		sortInts(kbs)
+		g.SplitToKB[i] = kbs
+	}
+	for i, kbs := range g.SplitToKB {
+		for _, kb := range kbs {
+			g.KBToSplits[kb] = append(g.KBToSplits[kb], i)
+		}
+	}
+	return g
+}
+
 // NumSplits returns the split count.
 func (g *Graph) NumSplits() int { return len(g.SplitToKB) }
 

@@ -55,6 +55,10 @@ func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancell
 type Request struct {
 	// Dataset names a dataset in the manager's provider.
 	Dataset string `json:"dataset"`
+	// Dataset2 names the side-B dataset of a structural join query;
+	// required for (and only valid with) the `join ...` grammar. Both
+	// datasets' versions enter the result-cache and collapse keys.
+	Dataset2 string `json:"dataset2,omitempty"`
 	// Query is the structural query text.
 	Query string `json:"query"`
 	// Engine is "hadoop", "scihadoop" or "sidr" (default).
@@ -79,11 +83,27 @@ type Request struct {
 	Tenant string `json:"tenant,omitempty"`
 }
 
+// SkewStats is the per-job keyblock load-imbalance summary, computed
+// from the plan's expected per-keyblock loads (sampled estimates for
+// join plans, geometric expected counts otherwise). It is the wire form
+// of skew.Summary.
+type SkewStats struct {
+	Keyblocks   int     `json:"keyblocks"`
+	Total       int64   `json:"total"`
+	Starved     int     `json:"starved"`
+	Max         int64   `json:"max"`
+	Min         int64   `json:"min"`
+	MaxOverMean float64 `json:"max_over_mean"`
+	CV          float64 `json:"cv"`
+	Gini        float64 `json:"gini"`
+}
+
 // Snapshot is a point-in-time view of a job for status responses.
 type Snapshot struct {
 	ID       string `json:"id"`
 	State    string `json:"state"`
 	Dataset  string `json:"dataset"`
+	Dataset2 string `json:"dataset2,omitempty"`
 	Query    string `json:"query"`
 	Engine   string `json:"engine"`
 	Reducers int    `json:"reducers"`
@@ -91,6 +111,9 @@ type Snapshot struct {
 	Tenant   string `json:"tenant,omitempty"`
 	Partials int    `json:"partials"`
 	PlanHit  bool   `json:"plan_cache_hit"`
+	// Skew summarises the plan's per-keyblock load balance; set once the
+	// job has executed (absent for cache hits and collapse followers).
+	Skew *SkewStats `json:"skew,omitempty"`
 	// ResultHit marks a job served entirely from the versioned result
 	// cache: it was terminal at submission and never executed.
 	ResultHit bool `json:"result_cache_hit,omitempty"`
@@ -140,6 +163,7 @@ type Job struct {
 	followers     []*Job
 	planHit       bool
 	resultHit     bool
+	skewStats     *SkewStats
 	collapsedInto string
 	created       time.Time
 	started       time.Time
@@ -182,6 +206,7 @@ func (j *Job) Snapshot() Snapshot {
 		ID:            j.ID,
 		State:         j.state.String(),
 		Dataset:       j.Req.Dataset,
+		Dataset2:      j.Req.Dataset2,
 		Query:         j.Req.Query,
 		Engine:        j.Req.Engine,
 		Reducers:      j.Req.Reducers,
@@ -190,6 +215,7 @@ func (j *Job) Snapshot() Snapshot {
 		Partials:      len(j.partials),
 		PlanHit:       j.planHit,
 		ResultHit:     j.resultHit,
+		Skew:          j.skewStats,
 		CollapsedInto: j.collapsedInto,
 		Created:       j.created,
 		Started:       j.started,
@@ -398,5 +424,11 @@ func (j *Job) deliverTerminal(state State, res *sidr.Result, err error) {
 func (j *Job) setPlanHit(hit bool) {
 	j.mu.Lock()
 	j.planHit = hit
+	j.mu.Unlock()
+}
+
+func (j *Job) setSkew(s *SkewStats) {
+	j.mu.Lock()
+	j.skewStats = s
 	j.mu.Unlock()
 }

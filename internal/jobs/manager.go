@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -15,10 +16,12 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/core"
 	"sidr/internal/exec"
+	"sidr/internal/join"
 	"sidr/internal/metrics"
 	"sidr/internal/ops"
 	"sidr/internal/query"
 	"sidr/internal/sidx"
+	"sidr/internal/skew"
 )
 
 // Errors reported by Submit and lookup paths.
@@ -146,6 +149,8 @@ type Manager struct {
 	mSidxHits, mSidxMisses, mSidxPruned                         *metrics.Counter
 	mCollapsed, mTenantRejected                                 *metrics.Counter
 	gQueued, gRunning, gPlanSize                                *metrics.Gauge
+	gSkewKeyblocks, gSkewStarved, gSkewMax                      *metrics.Gauge
+	gSkewMaxOverMean, gSkewCV, gSkewGini                        *metrics.Gauge
 	hQuerySeconds, hFirstResultSeconds                          *metrics.Histogram
 }
 
@@ -200,6 +205,12 @@ func NewManager(cfg Config) (*Manager, error) {
 		gQueued:             cfg.Metrics.Gauge("sidrd_jobs_queued"),
 		gRunning:            cfg.Metrics.Gauge("sidrd_jobs_running"),
 		gPlanSize:           cfg.Metrics.Gauge("sidrd_plan_cache_size"),
+		gSkewKeyblocks:      cfg.Metrics.Gauge("sidrd_job_skew_keyblocks"),
+		gSkewStarved:        cfg.Metrics.Gauge("sidrd_job_skew_starved"),
+		gSkewMax:            cfg.Metrics.Gauge("sidrd_job_skew_max_load"),
+		gSkewMaxOverMean:    cfg.Metrics.Gauge("sidrd_job_skew_max_over_mean_milli"),
+		gSkewCV:             cfg.Metrics.Gauge("sidrd_job_skew_cv_milli"),
+		gSkewGini:           cfg.Metrics.Gauge("sidrd_job_skew_gini_milli"),
 		hQuerySeconds:       cfg.Metrics.Histogram("sidrd_query_seconds", nil),
 		hFirstResultSeconds: cfg.Metrics.Histogram("sidrd_first_result_seconds", nil),
 	}
@@ -262,6 +273,15 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	req.Query = canon
 	if req.Dataset == "" {
 		return nil, fmt.Errorf("jobs: request needs a dataset")
+	}
+	// A join query reads two datasets; anything else exactly one.
+	if pq, perr := query.Parse(canon); perr == nil {
+		if pq.Join && req.Dataset2 == "" {
+			return nil, fmt.Errorf("jobs: join query needs dataset2")
+		}
+		if !pq.Join && req.Dataset2 != "" {
+			return nil, fmt.Errorf("jobs: dataset2 is only valid with a join query")
+		}
 	}
 	if req.Tenant == "" {
 		req.Tenant = DefaultTenantName
@@ -381,13 +401,14 @@ func (m *Manager) tenantGauge(tenant string) *metrics.Gauge {
 	return m.cfg.Metrics.Gauge(fmt.Sprintf("sidrd_tenant_inflight{tenant=%q}", tenant))
 }
 
-// fastKey derives the result-cache / collapse key for a request:
-// dataset version (contents, not name), canonical query, engine, and
-// the plan parameters that change the answer's shape (reducers and
-// split points normalised with sidr.Prepare's defaults, max skew,
-// cluster routing). Workers is deliberately excluded — it changes only
-// scheduling, never bytes. Returns false when the provider cannot
-// version the dataset; such requests always execute.
+// fastKey derives the result-cache / collapse key for a request: the
+// version of EVERY input dataset (contents, not names — both sides of a
+// join), canonical query, engine, and the plan parameters that change
+// the answer's shape (reducers and split points normalised with
+// sidr.Prepare's defaults, max skew, cluster routing). Workers is
+// deliberately excluded — it changes only scheduling, never bytes.
+// Returns false when the provider cannot version any input; such
+// requests always execute.
 func (m *Manager) fastKey(req Request) (string, bool) {
 	vp, ok := m.cfg.Datasets.(VersionProvider)
 	if !ok {
@@ -401,16 +422,37 @@ func (m *Manager) fastKey(req Request) (string, bool) {
 	if !ok {
 		return "", false
 	}
+	var ver2 string
+	if q.Join {
+		// Both inputs pin the key: a re-registration of EITHER side must
+		// change it, or a stale join result could be served.
+		if ver2, ok = vp.DatasetVersion(req.Dataset2, q.Variable2); !ok {
+			return "", false
+		}
+	}
 	reducers := req.Reducers
 	if reducers <= 0 {
 		reducers = 4
 	}
 	splitPoints := req.SplitPoints
 	if splitPoints <= 0 {
-		splitPoints = q.Input.Size()/8 + 1
+		splitPoints = defaultSplitPoints(q)
 	}
-	return fmt.Sprintf("%s\x1f%s\x1f%s\x1f%d\x1f%d\x1f%d\x1f%t",
-		ver, req.Query, req.Engine, reducers, splitPoints, req.MaxSkew, req.Cluster), true
+	return fmt.Sprintf("%s\x1f%s\x1f%s\x1f%s\x1f%d\x1f%d\x1f%d\x1f%t",
+		ver, ver2, req.Query, req.Engine, reducers, splitPoints, req.MaxSkew, req.Cluster), true
+}
+
+// defaultSplitPoints mirrors sidr.Prepare's (and JoinSplitPoints')
+// default split granularity so keyed requests normalise identically to
+// what actually executes.
+func defaultSplitPoints(q *query.Query) int64 {
+	n := q.Input.Size()
+	if q.Join {
+		if s := q.Input2.Size(); s > n {
+			n = s
+		}
+	}
+	return n/8 + 1
 }
 
 // InvalidateDataset drops every cached result for the named dataset.
@@ -478,12 +520,15 @@ func (m *Manager) runJob(j *Job) {
 		m.mDone.Inc()
 		m.hQuerySeconds.Observe(res.Elapsed.Seconds())
 		m.hFirstResultSeconds.Observe(res.FirstResult.Seconds())
+		if len(res.KeyblockLoads) > 0 {
+			m.publishSkew(j, skew.Summarize(res.KeyblockLoads))
+		}
 		if m.rcache != nil && j.cacheKey != "" {
 			// Insert before finish: finish fires the notify hook that
 			// retires the collapse entry, so a concurrent identical submit
 			// always finds either the live leader or the cached result —
 			// never neither.
-			m.rcache.put(j.cacheKey, j.Req.Dataset, res)
+			m.rcache.put(j.cacheKey, requestDatasets(j.Req), res)
 		}
 		j.finish(Done, res, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -528,6 +573,37 @@ func (m *Manager) prune() {
 	m.order = keep
 }
 
+// requestDatasets lists every dataset name a request reads, for
+// result-cache invalidation (two entries for joins).
+func requestDatasets(req Request) []string {
+	if req.Dataset2 != "" {
+		return []string{req.Dataset, req.Dataset2}
+	}
+	return []string{req.Dataset}
+}
+
+// publishSkew records the finished job's keyblock balance: on the job
+// snapshot and on the last-job skew gauges (ratios in milli-units, the
+// registry being integer-valued).
+func (m *Manager) publishSkew(j *Job, s skew.Summary) {
+	j.setSkew(&SkewStats{
+		Keyblocks:   s.Keyblocks,
+		Total:       s.Total,
+		Starved:     s.Starved,
+		Max:         s.Max,
+		Min:         s.Min,
+		MaxOverMean: s.MaxOverMean,
+		CV:          s.CV,
+		Gini:        s.Gini,
+	})
+	m.gSkewKeyblocks.Set(int64(s.Keyblocks))
+	m.gSkewStarved.Set(int64(s.Starved))
+	m.gSkewMax.Set(s.Max)
+	m.gSkewMaxOverMean.Set(int64(s.MaxOverMean * 1000))
+	m.gSkewCV.Set(int64(s.CV * 1000))
+	m.gSkewGini.Set(int64(s.Gini * 1000))
+}
+
 // execute resolves the dataset, prepares (or reuses) the plan, and runs
 // the query under the job's context.
 func (m *Manager) execute(j *Job) (*sidr.Result, error) {
@@ -541,6 +617,9 @@ func (m *Manager) execute(j *Job) (*sidr.Result, error) {
 	engine, err := parseEngine(j.Req.Engine)
 	if err != nil {
 		return nil, err
+	}
+	if q.IsJoin() {
+		return m.executeJoin(j, q, engine)
 	}
 	ds, release, err := m.cfg.Datasets.Acquire(j.Req.Dataset, q.Variable())
 	if err != nil {
@@ -567,6 +646,33 @@ func (m *Manager) execute(j *Job) (*sidr.Result, error) {
 	}
 	m.mSidxPruned.Add(int64(prep.PrunedSplits()))
 	return prep.Run(j.ctx, ds, opts)
+}
+
+// executeJoin runs a two-input join in process. The plan cache is
+// skipped on purpose: a join plan embeds a load profile sampled from
+// the data at plan time, so it is not a pure function of
+// (shape, query, parameters) like single-input plans are.
+func (m *Manager) executeJoin(j *Job, q *sidr.Query, engine sidr.Engine) (*sidr.Result, error) {
+	dsA, releaseA, err := m.cfg.Datasets.Acquire(j.Req.Dataset, q.Variable())
+	if err != nil {
+		return nil, err
+	}
+	defer releaseA()
+	dsB, releaseB, err := m.cfg.Datasets.Acquire(j.Req.Dataset2, q.Variable2())
+	if err != nil {
+		return nil, err
+	}
+	defer releaseB()
+	return sidr.RunJoinContext(j.ctx, dsA, dsB, q, sidr.RunOptions{
+		Engine:      engine,
+		Reducers:    j.Req.Reducers,
+		Workers:     j.Req.Workers,
+		Weight:      m.tenantWeight(j.Req.Tenant),
+		Exec:        m.exec,
+		SplitPoints: j.Req.SplitPoints,
+		MaxSkew:     j.Req.MaxSkew,
+		OnPartial:   j.addPartial,
+	})
 }
 
 // lookupIndex resolves the structural index for a value-predicated
@@ -613,6 +719,9 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 	q, err := query.Parse(j.Req.Query)
 	if err != nil {
 		return nil, err
+	}
+	if q.Join {
+		return m.executeClusterJoin(j, coord, specs, q)
 	}
 	dspec, err := specs.DatasetSpec(j.Req.Dataset, q.Variable)
 	if err != nil {
@@ -672,6 +781,9 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 	res.FirstResult = first
 	res.Connections = cres.Counters.Connections
 	res.TasksDispatched = cres.Counters.MapsDispatched + int64(len(cres.Outputs))
+	if cres.Plan != nil && cres.Plan.Graph != nil {
+		res.KeyblockLoads = append([]int64(nil), cres.Plan.Graph.ExpectedCount...)
+	}
 
 	type row struct {
 		key  coords.Coord
@@ -689,6 +801,127 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 		res.Values = append(res.Values, r.vals)
 	}
 	return res, nil
+}
+
+// executeClusterJoin runs a two-input join on the distributed runtime.
+// The manager samples both sides itself — through the same DatasetSpecs
+// the workers will resolve — derives the skew-adapted keyblock layout,
+// and ships it verbatim in the JobPlan's Retile: workers rebuild the
+// identical routing without ever re-sampling, so the clustered result
+// is byte-identical to the in-process engine's for the same request.
+func (m *Manager) executeClusterJoin(j *Job, coord *cluster.Coordinator, specs DatasetSpecProvider, q *query.Query) (*sidr.Result, error) {
+	engine, err := parseEngine(j.Req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	dspecA, err := specs.DatasetSpec(j.Req.Dataset, q.Variable)
+	if err != nil {
+		return nil, err
+	}
+	dspecB, err := specs.DatasetSpec(j.Req.Dataset2, q.Variable2)
+	if err != nil {
+		return nil, err
+	}
+	// Same defaults as sidr.RunJoinContext, so both engines derive
+	// identical split sets from one request.
+	reducers := j.Req.Reducers
+	if reducers <= 0 {
+		reducers = 4
+	}
+	splitPoints := j.Req.SplitPoints
+	if splitPoints <= 0 {
+		splitPoints = defaultSplitPoints(q)
+	}
+
+	readerA, closerA, err := cluster.OpenDataset(dspecA)
+	if err != nil {
+		return nil, err
+	}
+	readerB, closerB, err := cluster.OpenDataset(dspecB)
+	if err != nil {
+		closeQuiet(closerA)
+		return nil, err
+	}
+	plan, err := core.NewPlan(q, engine, core.Options{
+		Reducers:     reducers,
+		SplitPoints:  splitPoints,
+		MaxSkew:      j.Req.MaxSkew,
+		JoinSamplerA: readerA,
+		JoinSamplerB: readerB,
+	})
+	closeQuiet(closerA)
+	closeQuiet(closerB)
+	if err != nil {
+		return nil, err
+	}
+	rt := plan.Join.Retiling()
+
+	start := time.Now()
+	var (
+		partMu sync.Mutex
+		first  time.Duration
+	)
+	res := &sidr.Result{}
+	cres, err := coord.Run(j.ctx, cluster.JobSpec{
+		ID: j.ID,
+		Plan: cluster.JobPlan{
+			Query:       q.String(),
+			Engine:      j.Req.Engine,
+			Reducers:    reducers,
+			SplitPoints: splitPoints,
+			MaxSkew:     j.Req.MaxSkew,
+			Retile:      &rt,
+		},
+		Dataset:  dspecA,
+		Dataset2: &dspecB,
+		Exec:     m.exec,
+		Workers:  j.Req.Workers,
+		Weight:   m.tenantWeight(j.Req.Tenant),
+		OnPartial: func(rr cluster.ReduceResult) {
+			pr := toPartialResult(rr)
+			partMu.Lock()
+			if first == 0 {
+				first = time.Since(start)
+			}
+			res.Partials = append(res.Partials, pr)
+			partMu.Unlock()
+			j.addPartial(pr)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.FirstResult = first
+	res.Connections = cres.Counters.Connections
+	res.TasksDispatched = cres.Counters.MapsDispatched + int64(len(cres.Outputs))
+	res.KeyblockLoads = append([]int64(nil), plan.Join.EstLoads...)
+
+	// Reduce outputs are raw per-keyblock rows (share units emit partial
+	// moment rows); fold them exactly like the in-process engine does.
+	var rows []join.Row
+	for _, out := range cres.Outputs {
+		for i, k := range out.Keys {
+			rows = append(rows, join.Row{KB: out.Keyblock, Key: k, Values: out.Values[i]})
+		}
+	}
+	assembled, err := join.Assemble(plan.Join, rows)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range assembled {
+		res.Keys = append(res.Keys, append([]int64(nil), r.Key...))
+		res.Values = append(res.Values, r.Values)
+	}
+	return res, nil
+}
+
+// closeQuiet closes a dataset handle that may legitimately be nil
+// (synthetic generator specs have nothing to close).
+func closeQuiet(c io.Closer) {
+	if c != nil {
+		c.Close()
+	}
 }
 
 // toPartialResult converts one finalized keyblock into the facade's

@@ -39,10 +39,13 @@ type resultCache struct {
 }
 
 type resultEntry struct {
-	key     string
-	dataset string // registry name, for InvalidateDataset
-	res     *sidr.Result
-	size    int64
+	key string
+	// datasets lists every input's registry name — both sides of a join —
+	// so InvalidateDataset drops an entry when ANY of its inputs dies,
+	// not just the primary.
+	datasets []string
+	res      *sidr.Result
+	size     int64
 }
 
 // newResultCache builds a cache with the given byte budget and registers
@@ -94,8 +97,9 @@ func (c *resultCache) get(key string) (*sidr.Result, bool) {
 
 // put inserts a completed result under the key, evicting least recently
 // used entries until the byte budget holds. A result larger than the
-// whole budget is not cached.
-func (c *resultCache) put(key, dataset string, res *sidr.Result) {
+// whole budget is not cached. datasets lists every input dataset name
+// the result was computed from (two for joins).
+func (c *resultCache) put(key string, datasets []string, res *sidr.Result) {
 	size := resultSize(res)
 	if size <= 0 || size > c.budget {
 		return
@@ -108,7 +112,7 @@ func (c *resultCache) put(key, dataset string, res *sidr.Result) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&resultEntry{key: key, dataset: dataset, res: res, size: size})
+	c.items[key] = c.ll.PushFront(&resultEntry{key: key, datasets: datasets, res: res, size: size})
 	c.bytes += size
 	for c.bytes > c.budget && c.ll.Len() > 1 {
 		c.evictLocked(c.ll.Back())
@@ -116,19 +120,22 @@ func (c *resultCache) put(key, dataset string, res *sidr.Result) {
 	c.publishLocked()
 }
 
-// invalidate drops every entry of the named dataset (any version) and
-// returns how many were dropped. Version-keying already makes stale hits
-// impossible; this reclaims their bytes the moment a re-registration
-// makes them unreachable.
+// invalidate drops every entry that read the named dataset (any
+// version, either join side) and returns how many were dropped.
+// Version-keying already makes stale hits impossible; this reclaims
+// their bytes the moment a re-registration makes them unreachable.
 func (c *resultCache) invalidate(dataset string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		if el.Value.(*resultEntry).dataset == dataset {
-			c.evictLocked(el)
-			n++
+		for _, d := range el.Value.(*resultEntry).datasets {
+			if d == dataset {
+				c.evictLocked(el)
+				n++
+				break
+			}
 		}
 		el = next
 	}

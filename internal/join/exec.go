@@ -1,0 +1,268 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"sidr/internal/coords"
+	"sidr/internal/kv"
+	"sidr/internal/ops"
+)
+
+// MapOut is one keyblock's share of a join Map task's output: sorted
+// pairs keyed [kp..., side] plus the §3.2.1 source-count annotation. The
+// annotation is geometric (RouteCounts) — independent of data content —
+// so the reduce-side tally validates transport completeness exactly even
+// though NaN cells are never accumulated.
+type MapOut struct {
+	Pairs       []kv.Pair
+	SourceCount int64
+}
+
+// ExecMap runs one join Map task: read the split's live region on the
+// given side, accumulate per-(tile, keyblock) aggregates (skipping NaN
+// missing cells), and emit side-tagged sorted pairs per keyblock. The
+// returned slice is indexed by keyblock; the second return value is the
+// number of source records that mapped into the join keyspace.
+func ExecMap(p *Plan, side int, reader Reader, split coords.Slab, ctx context.Context) ([]MapOut, int64, error) {
+	outs := make([]MapOut, len(p.Units))
+	live, ok := split.Intersect(p.SideInput(side))
+	if !ok {
+		return outs, 0, nil
+	}
+	counts, err := RouteCounts(p, side, live)
+	if err != nil {
+		return nil, 0, err
+	}
+	for kb, n := range counts {
+		outs[kb].SourceCount = n
+	}
+
+	needSamples := p.Op.NeedsSamples()
+	rank := p.Space.Rank()
+	accums := make(map[int]map[int64]*kv.Value) // keyblock -> K'-linear -> agg
+	acc := func(kb int, k int64) *kv.Value {
+		m := accums[kb]
+		if m == nil {
+			m = make(map[int64]*kv.Value)
+			accums[kb] = m
+		}
+		v := m[k]
+		if v == nil {
+			v = &kv.Value{}
+			m[k] = v
+		}
+		return v
+	}
+
+	// Per-tile routing is resolved once per tile and cached across the
+	// row-major record loop (runs of cells share a tile).
+	var (
+		curKey   int64 = -1
+		curIDs   []int
+		curHeavy bool
+		curTile  coords.Slab
+	)
+	kpBuf := make(coords.Coord, 0, rank)
+	var records, seen int64
+	err = reader.ReadSplit(live, func(c coords.Coord, v float64) error {
+		if seen&63 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		seen++
+		kp, mapped := p.Q.Extraction.MapKeyInto(c, kpBuf)
+		if kp != nil {
+			kpBuf = kp[:0]
+		}
+		if !mapped || !p.Space.Contains(kp) {
+			return nil
+		}
+		records++
+		if math.IsNaN(v) {
+			return nil // missing cell: counted by the annotation, never aggregated
+		}
+		k, err := p.Space.Linearize(kp)
+		if err != nil {
+			return err
+		}
+		if k != curKey {
+			curKey = k
+			curIDs, curHeavy = nil, false
+			if ids, shared := p.shares[k]; shared {
+				curIDs = ids
+				curHeavy = side == p.Units[ids[0]].Heavy
+				if curTile, err = p.Q.Extraction.Tile(kp); err != nil {
+					return err
+				}
+			}
+		}
+		switch {
+		case curIDs == nil:
+			acc(p.rangeUnit(k), k).Add(v, needSamples)
+		case curHeavy:
+			off, err := curTile.Linearize(c)
+			if err != nil {
+				return err
+			}
+			acc(p.shareByOffset(k, off), k).Add(v, needSamples)
+		default:
+			for _, id := range curIDs {
+				acc(id, k).Add(v, needSamples)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	for kb, m := range accums {
+		pairs := make([]kv.Pair, 0, len(m))
+		for k, val := range m {
+			kp, err := p.Space.Delinearize(k)
+			if err != nil {
+				return nil, 0, err
+			}
+			key := append(kp, int64(side))
+			pairs = append(pairs, kv.Pair{Key: key, Value: *val})
+		}
+		kv.SortPairs(pairs)
+		outs[kb].Pairs = pairs
+	}
+	return outs, records, nil
+}
+
+// Reduce evaluates keyblock l from its fully merged side-tagged pairs.
+// Plain units pair both sides per tile and emit final rows; share units
+// emit one partial row per tile — [heavySum, heavyCount, lightSum,
+// lightCount] — that Assemble folds across the tile's shares.
+func Reduce(p *Plan, l int, merged []kv.Pair) (keys []coords.Coord, values [][]float64) {
+	rank := p.Space.Rank()
+	unit := p.Units[l]
+	flush := func(kp coords.Coord, vA, vB *kv.Value) {
+		if kp == nil {
+			return
+		}
+		if unit.Shared() {
+			h, li := vA, vB
+			if unit.Heavy == 1 {
+				h, li = vB, vA
+			}
+			var row [4]float64
+			if h != nil {
+				row[0], row[1] = h.Sum, float64(h.Count)
+			}
+			if li != nil {
+				row[2], row[3] = li.Sum, float64(li.Count)
+			}
+			keys = append(keys, kp)
+			values = append(values, row[:])
+			return
+		}
+		var a, b ops.SideAgg
+		if vA != nil {
+			a = ops.SideAgg{Sum: vA.Sum, Count: vA.Count, Samples: vA.Samples}
+		}
+		if vB != nil {
+			b = ops.SideAgg{Sum: vB.Sum, Count: vB.Count, Samples: vB.Samples}
+		}
+		if out, ok := p.Op.Combine(a, b); ok {
+			keys = append(keys, kp)
+			values = append(values, out)
+		}
+	}
+	var kp coords.Coord
+	var vA, vB *kv.Value
+	for i := range merged {
+		pr := &merged[i]
+		tile := pr.Key[:rank]
+		if kp == nil || !coordEqual(kp, tile) {
+			flush(kp, vA, vB)
+			kp = append(coords.Coord(nil), tile...)
+			vA, vB = nil, nil
+		}
+		if pr.Key[rank] == 0 {
+			vA = &pr.Value
+		} else {
+			vB = &pr.Value
+		}
+	}
+	flush(kp, vA, vB)
+	return keys, values
+}
+
+func coordEqual(a, b coords.Coord) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row is one reduce-output row tagged with its keyblock, the unit of
+// final result assembly.
+type Row struct {
+	KB     int
+	Key    coords.Coord
+	Values []float64
+}
+
+// Assemble folds share-unit partial rows into final rows — summing the
+// heavy side's cell-partitioned moments across the tile's shares in
+// ascending keyblock order and taking the replicated light side from the
+// first share — then returns all rows sorted row-major by key. Both the
+// in-process engine and the clustered coordinator assemble through this
+// one function, so their results are byte-identical by construction.
+func Assemble(p *Plan, rows []Row) ([]Row, error) {
+	var out []Row
+	partials := make(map[int64][]Row)
+	for _, r := range rows {
+		k, err := p.Space.Linearize(r.Key)
+		if err != nil {
+			return nil, fmt.Errorf("join: assembling row %v: %w", r.Key, err)
+		}
+		if _, shared := p.shares[k]; shared {
+			partials[k] = append(partials[k], r)
+			continue
+		}
+		out = append(out, r)
+	}
+	for _, shares := range partials {
+		sort.Slice(shares, func(a, b int) bool { return shares[a].KB < shares[b].KB })
+		unit := p.Units[shares[0].KB]
+		var heavy, light ops.SideAgg
+		for i, r := range shares {
+			if len(r.Values) != 4 {
+				return nil, fmt.Errorf("join: share row for tile %v has %d values, want 4", r.Key, len(r.Values))
+			}
+			heavy.Sum += r.Values[0]
+			heavy.Count += int64(r.Values[1])
+			if i == 0 {
+				light.Sum, light.Count = r.Values[2], int64(r.Values[3])
+			}
+		}
+		a, b := heavy, light
+		if unit.Heavy == 1 {
+			a, b = light, heavy
+		}
+		if vals, ok := p.Op.Combine(a, b); ok {
+			out = append(out, Row{KB: shares[0].KB, Key: shares[0].Key, Values: vals})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return coordLess(out[i].Key, out[j].Key) })
+	return out, nil
+}
+
+func coordLess(a, b coords.Coord) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,388 @@
+// Package join implements SIDR's structural join subsystem: a two-input
+// query whose join keys are tiles of a shared extraction shape, executed
+// on the same readiness-driven task graph as single-input queries.
+//
+// Both inputs' splits live in one combined index space — side A's splits
+// occupy [0, SideBoundary), side B's the rest — so dispatch, shuffle and
+// per-split spill addressing work unchanged; the side is derived from
+// the split index and carried as a trailing coordinate on every spill
+// key. Each keyblock's dependency set I_ℓ is the union of contributing
+// splits from both datasets (depgraph.Builder).
+//
+// Because partition+'s uniform-tile assumption breaks when per-tile load
+// is value-dependent (missing data, selective sides), the planner
+// samples per-keyblock expected load from both inputs at plan time and
+// re-tiles hot keyblocks (Fan et al.): a keyblock whose sampled load
+// exceeds the MaxSkew-derived bound is split into load-weighted
+// contiguous sub-keyblocks, and a truly heavy single tile is carved into
+// shares SharesSkew-style (Afrati et al.) — the heavy side's cells are
+// range-partitioned across the shares by row-major cell offset while the
+// light side is replicated into every share. Re-tiling decisions are
+// recorded in the plan (Retile) so clustered workers rebuild the exact
+// same routing without re-sampling, keeping results byte-identical to an
+// in-process run.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"sidr/internal/coords"
+	"sidr/internal/depgraph"
+	"sidr/internal/ops"
+	"sidr/internal/partition"
+	"sidr/internal/query"
+)
+
+// Reader is the record-reader contract (structurally identical to
+// mapreduce.RecordReader, restated here to avoid an import cycle).
+type Reader interface {
+	ReadSplit(slab coords.Slab, emit func(coords.Coord, float64) error) error
+}
+
+// Unit is one keyblock of a join plan. A plain unit owns the contiguous
+// row-major K'-range [Lo, Hi) of the join keyspace. A share unit (Tile
+// non-nil) owns one heavy tile's cells whose row-major offset within the
+// full tile falls in [OffLo, OffHi) on the heavy side; the light side is
+// replicated into every share of the tile.
+type Unit struct {
+	Lo    int64        `json:"lo"`
+	Hi    int64        `json:"hi"`
+	Tile  coords.Coord `json:"tile,omitempty"`
+	OffLo int64        `json:"off_lo,omitempty"`
+	OffHi int64        `json:"off_hi,omitempty"`
+	// Heavy is the cell-partitioned side of a share unit (0 = A, 1 = B).
+	Heavy int `json:"heavy,omitempty"`
+}
+
+// Shared reports whether the unit is a heavy-tile share.
+func (u Unit) Shared() bool { return u.Tile != nil }
+
+// Retile records the planner's keyblock layout so remote workers rebuild
+// identical routing without re-sampling. EstLoads is the sampled
+// expected load per unit (source pairs, replication included), the
+// vector skew statistics and the bench report summarize.
+type Retile struct {
+	Units    []Unit  `json:"units"`
+	EstLoads []int64 `json:"est_loads,omitempty"`
+}
+
+// Plan is a fully resolved join execution plan.
+type Plan struct {
+	Q  *query.Query
+	Op ops.JoinOperator
+	// Space is the join keyspace K'^T: the intersection of both sides'
+	// tile ranges.
+	Space coords.Slab
+	// SideBoundary splits the combined split index space: indexes below
+	// it read side A, the rest side B.
+	SideBoundary int
+	// Units is the keyblock layout; the slice index is the keyblock id.
+	Units []Unit
+	// EstLoads is the sampled expected load per unit (nil when the plan
+	// was built without sampling).
+	EstLoads []int64
+
+	// shares maps a shared tile's K'-linear offset to its share unit
+	// ids, ascending by OffLo.
+	shares map[int64][]int
+	// rangeLo/rangeIdx index plain units for binary search by Lo.
+	rangeLo  []int64
+	rangeIdx []int
+}
+
+// Options configure join planning.
+type Options struct {
+	Reducers int
+	// MaxSkew bounds a keyblock's tolerated expected load (partition+'s
+	// MaxSkew semantics, applied to sampled pairs instead of tile
+	// counts). Zero means partition.DefaultMaxSkew.
+	MaxSkew int64
+	// NoRetile keeps the base partition+ layout verbatim — the naive
+	// baseline the bench compares against. Loads are still sampled when
+	// readers are supplied, so the skew of the naive layout is reported.
+	NoRetile bool
+}
+
+// maxSampledTiles bounds the per-tile load vector; join keyspaces beyond
+// it skip sampling (and therefore re-tiling) rather than materialize an
+// unbounded vector.
+const maxSampledTiles = 1 << 20
+
+// Build plans a join over the two sides' splits. When both readers are
+// non-nil, per-tile loads are sampled from the data and hot keyblocks
+// re-tiled; otherwise the base partition+ layout is kept.
+func Build(q *query.Query, opts Options, readerA, readerB Reader, splitsA, splitsB []coords.Slab) (*Plan, error) {
+	if q == nil || !q.Join {
+		return nil, fmt.Errorf("join: not a join query")
+	}
+	op, err := q.JoinOp()
+	if err != nil {
+		return nil, err
+	}
+	space, err := q.IntermediateSpace()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Reducers < 1 {
+		return nil, fmt.Errorf("join: need at least one reducer, got %d", opts.Reducers)
+	}
+	maxSkew := opts.MaxSkew
+	if maxSkew <= 0 {
+		maxSkew = partition.DefaultMaxSkew
+	}
+	pp, err := partition.NewPartitionPlus(space, opts.Reducers, maxSkew)
+	if err != nil {
+		return nil, err
+	}
+
+	var loads, loadsA, loadsB []int64
+	if readerA != nil && readerB != nil && space.Size() <= maxSampledTiles {
+		loadsA = make([]int64, space.Size())
+		loadsB = make([]int64, space.Size())
+		if err := sampleSide(q, space, q.Input, readerA, splitsA, loadsA); err != nil {
+			return nil, fmt.Errorf("join: sampling side A: %w", err)
+		}
+		if err := sampleSide(q, space, q.Input2, readerB, splitsB, loadsB); err != nil {
+			return nil, fmt.Errorf("join: sampling side B: %w", err)
+		}
+		loads = make([]int64, space.Size())
+		for i := range loads {
+			loads[i] = loadsA[i] + loadsB[i]
+		}
+	}
+
+	var units []Unit
+	if loads == nil || opts.NoRetile {
+		units = make([]Unit, len(pp.Blocks))
+		for i, b := range pp.Blocks {
+			units[i] = Unit{Lo: b.Lo, Hi: b.Hi}
+		}
+	} else {
+		units = retile(q, pp.Blocks, loads, loadsA, loadsB, opts.Reducers, maxSkew, op.NeedsSamples())
+	}
+	rt := Retile{Units: units}
+	if loads != nil {
+		rt.EstLoads = estLoads(q, units, loads, loadsA, loadsB)
+	}
+	return Rebuild(q, len(splitsA), rt)
+}
+
+// Rebuild reconstructs a plan from recorded re-tiling decisions —
+// clustered workers call this with the Retile shipped in the job plan
+// and never re-sample.
+func Rebuild(q *query.Query, sideBoundary int, rt Retile) (*Plan, error) {
+	if q == nil || !q.Join {
+		return nil, fmt.Errorf("join: not a join query")
+	}
+	op, err := q.JoinOp()
+	if err != nil {
+		return nil, err
+	}
+	space, err := q.IntermediateSpace()
+	if err != nil {
+		return nil, err
+	}
+	if len(rt.Units) == 0 {
+		return nil, fmt.Errorf("join: plan has no keyblock units")
+	}
+	p := &Plan{
+		Q:            q,
+		Op:           op,
+		Space:        space,
+		SideBoundary: sideBoundary,
+		Units:        rt.Units,
+		EstLoads:     rt.EstLoads,
+		shares:       make(map[int64][]int),
+	}
+	for i, u := range p.Units {
+		if u.Shared() {
+			k, err := space.Linearize(u.Tile)
+			if err != nil {
+				return nil, fmt.Errorf("join: share tile %v outside keyspace: %w", u.Tile, err)
+			}
+			p.shares[k] = append(p.shares[k], i)
+		} else {
+			p.rangeLo = append(p.rangeLo, u.Lo)
+			p.rangeIdx = append(p.rangeIdx, i)
+		}
+	}
+	for _, ids := range p.shares {
+		sort.Slice(ids, func(a, b int) bool { return p.Units[ids[a]].OffLo < p.Units[ids[b]].OffLo })
+	}
+	return p, nil
+}
+
+// Retiling returns the serializable re-tiling record for the plan.
+func (p *Plan) Retiling() Retile { return Retile{Units: p.Units, EstLoads: p.EstLoads} }
+
+// NumKeyblocks returns the keyblock count.
+func (p *Plan) NumKeyblocks() int { return len(p.Units) }
+
+// SpillRank is the coordinate rank of spill keys: the keyspace rank plus
+// the trailing side bit.
+func (p *Plan) SpillRank() int { return p.Space.Rank() + 1 }
+
+// Side returns which input the combined split index reads (0 = A).
+func (p *Plan) Side(split int) int {
+	if split < p.SideBoundary {
+		return 0
+	}
+	return 1
+}
+
+// SideInput returns the given side's input slab.
+func (p *Plan) SideInput(side int) coords.Slab {
+	if side == 0 {
+		return p.Q.Input
+	}
+	return p.Q.Input2
+}
+
+// rangeUnit resolves the plain unit owning K'-linear offset k; callers
+// guarantee k is not a carved (shared) tile.
+func (p *Plan) rangeUnit(k int64) int {
+	i := sort.Search(len(p.rangeLo), func(i int) bool { return p.rangeLo[i] > k }) - 1
+	if i < 0 {
+		return p.rangeIdx[0]
+	}
+	return p.rangeIdx[i]
+}
+
+// shareByOffset resolves the share unit owning cell offset off of the
+// shared tile with linear key k.
+func (p *Plan) shareByOffset(k, off int64) int {
+	ids := p.shares[k]
+	for _, id := range ids {
+		if off >= p.Units[id].OffLo && off < p.Units[id].OffHi {
+			return id
+		}
+	}
+	return ids[len(ids)-1]
+}
+
+// Partitioner adapts the plan to the partition.Partitioner interface for
+// generic consumers (task ordering, diagnostics). Shared tiles resolve
+// to their first share; the join map path routes per cell and never goes
+// through this adapter.
+func (p *Plan) Partitioner() partition.Partitioner { return planPartitioner{p} }
+
+type planPartitioner struct{ p *Plan }
+
+func (pp planPartitioner) Name() string      { return "join-retile" }
+func (pp planPartitioner) NumKeyblocks() int { return len(pp.p.Units) }
+func (pp planPartitioner) Partition(kp coords.Coord) (int, error) {
+	k, err := pp.p.Space.Linearize(kp)
+	if err != nil {
+		return 0, err
+	}
+	if ids, ok := pp.p.shares[k]; ok {
+		return ids[0], nil
+	}
+	return pp.p.rangeUnit(k), nil
+}
+
+// Keyblocks renders the units as partition.Keyblock ranges for plan
+// introspection; share units collapse to their tile's single-key range.
+func (p *Plan) Keyblocks() []partition.Keyblock {
+	out := make([]partition.Keyblock, len(p.Units))
+	for i, u := range p.Units {
+		kb := partition.Keyblock{Index: i, Lo: u.Lo, Hi: u.Hi}
+		if u.Shared() {
+			k, err := p.Space.Linearize(u.Tile)
+			if err == nil {
+				kb.Lo, kb.Hi = k, k+1
+			}
+		}
+		out[i] = kb
+	}
+	return out
+}
+
+// BuildGraph derives the dependency graph: for every split of both
+// sides, the geometric contribution to each keyblock (replication
+// included), then I_ℓ as the union across sides. The same counting runs
+// on workers to annotate spills, so the §3.2.1 tally holds exactly.
+func BuildGraph(p *Plan, splitsA, splitsB []coords.Slab) (*depgraph.Graph, error) {
+	b := depgraph.NewBuilder(len(splitsA)+len(splitsB), len(p.Units))
+	add := func(base, side int, splits []coords.Slab) error {
+		for i, split := range splits {
+			live, ok := split.Intersect(p.SideInput(side))
+			if !ok {
+				continue
+			}
+			counts, err := RouteCounts(p, side, live)
+			if err != nil {
+				return fmt.Errorf("join: split %d: %w", base+i, err)
+			}
+			for kb, n := range counts {
+				b.Add(base+i, kb, n)
+			}
+		}
+		return nil
+	}
+	if err := add(0, 0, splitsA); err != nil {
+		return nil, err
+	}
+	if err := add(len(splitsA), 1, splitsB); err != nil {
+		return nil, err
+	}
+	return b.Graph(), nil
+}
+
+// RouteCounts computes the geometric per-keyblock source-pair count of
+// one side's live region: how many cells route to each unit, counting a
+// replicated light-side cell once per share. It is a pure function of
+// the plan and the region — the spill annotation and the plan-time
+// expectation agree by construction, independent of data content.
+func RouteCounts(p *Plan, side int, live coords.Slab) (map[int]int64, error) {
+	counts := make(map[int]int64)
+	tiles, err := p.Q.Extraction.TileRange(live)
+	if err != nil {
+		return counts, nil // live region entirely inside stride gaps
+	}
+	var iterErr error
+	tiles.Each(func(kp coords.Coord) bool {
+		if !p.Space.Contains(kp) {
+			return true
+		}
+		tile, err := p.Q.Extraction.Tile(kp)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		overlap, ok := tile.Intersect(live)
+		if !ok {
+			return true
+		}
+		k, err := p.Space.Linearize(kp)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		ids, shared := p.shares[k]
+		switch {
+		case !shared:
+			counts[p.rangeUnit(k)] += overlap.Size()
+		case side == p.Units[ids[0]].Heavy:
+			overlap.EachReuse(func(c coords.Coord) bool {
+				off, err := tile.Linearize(c)
+				if err != nil {
+					iterErr = err
+					return false
+				}
+				counts[p.shareByOffset(k, off)]++
+				return true
+			})
+		default:
+			for _, id := range ids {
+				counts[id] += overlap.Size()
+			}
+		}
+		return iterErr == nil
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return counts, nil
+}

@@ -31,6 +31,7 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/depgraph"
 	"sidr/internal/exec"
+	"sidr/internal/join"
 	"sidr/internal/kv"
 	"sidr/internal/ops"
 	"sidr/internal/partition"
@@ -136,6 +137,14 @@ type Config struct {
 	Reader RecordReader
 	Part   partition.Partitioner
 
+	// Join, when set, runs the job as a structural join: Splits is the
+	// combined two-sided split list (side derived from the index against
+	// the join plan's SideBoundary), Reader serves side A and Reader2
+	// side B, and Map/Reduce bodies dispatch to internal/join. The task
+	// graph, barriers, shuffle and count validation work unchanged.
+	Join    *join.Plan
+	Reader2 RecordReader
+
 	// Ctx, when set, cancels the job: Map record loops, pending task
 	// dispatch and Reduce execution all abort promptly once it is done,
 	// and Run returns ctx.Err(). Nil means no cancellation.
@@ -219,6 +228,7 @@ type Config struct {
 var (
 	ErrNoQuery       = errors.New("mapreduce: config needs a query")
 	ErrNoReader      = errors.New("mapreduce: config needs a record reader")
+	ErrNoReader2     = errors.New("mapreduce: join config needs a second record reader")
 	ErrNoPartitioner = errors.New("mapreduce: config needs a partitioner")
 	ErrNeedsGraph    = errors.New("mapreduce: dependency barrier and count validation need a dependency graph")
 	ErrCountMismatch = errors.New("mapreduce: kv-count annotation mismatch")
@@ -284,9 +294,15 @@ func Run(cfg Config) (*Result, error) {
 	if (cfg.Barrier == DependencyBarrier || cfg.ValidateCounts || cfg.RecoverByRecompute) && cfg.Graph == nil {
 		return nil, ErrNeedsGraph
 	}
-	op, err := cfg.Query.Op()
-	if err != nil {
-		return nil, err
+	var op ops.Operator
+	if cfg.Join == nil {
+		var err error
+		op, err = cfg.Query.Op()
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.Reader2 == nil {
+		return nil, ErrNoReader2
 	}
 	space, err := cfg.Query.IntermediateSpace()
 	if err != nil {

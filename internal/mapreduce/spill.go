@@ -13,6 +13,9 @@ import (
 // partitions produce no file.
 func (j *job) spill(mapID int, outs []mapOutput) error {
 	rank := j.space.Rank()
+	if j.cfg.Join != nil {
+		rank = j.cfg.Join.SpillRank() // join keys carry a trailing side bit
+	}
 	for l := range outs {
 		if len(outs[l].pairs) == 0 && outs[l].sourceCount == 0 {
 			continue

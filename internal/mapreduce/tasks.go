@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sidr/internal/coords"
+	"sidr/internal/join"
 	"sidr/internal/kv"
 	"sidr/internal/ops"
 	"sidr/internal/partition"
@@ -172,8 +173,25 @@ type MapOut struct {
 }
 
 // execMap is the side-effect-free body of a Map task, shared by normal
-// execution and failure-recovery re-execution.
+// execution and failure-recovery re-execution. Join jobs route through
+// the join Map body with the side derived from the split index.
 func (j *job) execMap(i int) ([]mapOutput, int64, error) {
+	if jp := j.cfg.Join; jp != nil {
+		side := jp.Side(i)
+		reader := j.cfg.Reader
+		if side == 1 {
+			reader = j.cfg.Reader2
+		}
+		outs, records, err := join.ExecMap(jp, side, reader, j.cfg.Splits[i].Slab, j.cfg.Ctx)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mapreduce: join map task %d: %w", i, err)
+		}
+		converted := make([]mapOutput, len(outs))
+		for l, o := range outs {
+			converted[l] = mapOutput{pairs: o.Pairs, sourceCount: o.SourceCount}
+		}
+		return converted, records, nil
+	}
 	in := MapInput{
 		Query:             j.cfg.Query,
 		Op:                j.op,
@@ -488,6 +506,16 @@ func (j *job) execReduce(l int) (ReduceOutput, error) {
 	merged := kv.MergeSorted(streams)
 	out := ReduceOutput{Keyblock: l, Keys: make([]coords.Coord, 0, len(merged)), Values: make([][]float64, 0, len(merged))}
 	var produced int64
+	if jp := j.cfg.Join; jp != nil {
+		out.Keys, out.Values = join.Reduce(jp, l, merged)
+		for _, vals := range out.Values {
+			produced += int64(len(vals))
+		}
+		j.mu.Lock()
+		j.counters.OutputValues += produced
+		j.mu.Unlock()
+		return out, nil
+	}
 	isFilter := j.op.Kind() == ops.Filter
 	params := j.cfg.Query.Params()
 	for _, p := range merged {

@@ -9,6 +9,14 @@
 //
 // The bracket holds "corner : shape". The extraction shape follows `es`;
 // `stride`, `param` and `keep-partial` are optional.
+//
+// A structural join reads two variables — typically from two registered
+// datasets — and combines co-keyed tiles of a shared extraction shape:
+//
+//	join jsum a[0,0 : 512,512] es {16,16} with b[0,0 : 512,512] es {16,16}
+//
+// Both sides must declare the same extraction (shape and stride); the
+// join keyspace is the intersection of the two sides' tile ranges.
 package query
 
 import (
@@ -45,11 +53,25 @@ type Query struct {
 	// KeepPartial keeps trailing partial tiles instead of discarding
 	// them (the paper discards the 365th day in its example).
 	KeepPartial bool
+	// Join marks a two-input structural join; Operator then names a join
+	// operator (ops.LookupJoin) and the fields below describe side B.
+	Join bool
+	// Variable2 names side B's variable (join queries only).
+	Variable2 string
+	// Input2 is side B's coordinate subset (join queries only).
+	Input2 coords.Slab
+	// Extraction2 is side B's declared extraction; Validate requires it
+	// to equal Extraction so both sides tile into one shared keyspace.
+	Extraction2 coords.Extraction
 }
 
 // Validate checks the query against itself and, if varShape is non-nil,
-// against the variable's declared shape.
+// against the (side A) variable's declared shape. Join queries validate
+// side B's slab against its variable with ValidateSecond.
 func (q *Query) Validate(varShape coords.Shape) error {
+	if q.Join {
+		return q.validateJoin(varShape)
+	}
 	if q.Variable == "" {
 		return fmt.Errorf("query: missing variable name")
 	}
@@ -88,9 +110,97 @@ func (q *Query) Validate(varShape coords.Shape) error {
 	return nil
 }
 
+// validateJoin checks a two-input join query; varShape, if non-nil,
+// constrains side A only.
+func (q *Query) validateJoin(varShape coords.Shape) error {
+	if q.Variable == "" || q.Variable2 == "" {
+		return fmt.Errorf("query: join needs a variable on both sides")
+	}
+	if _, err := ops.LookupJoin(q.Operator); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if q.Param != 0 || q.HasParam2 {
+		return fmt.Errorf("query: join operators take no parameters")
+	}
+	if q.KeepPartial {
+		return fmt.Errorf("query: keep-partial is not supported in join queries")
+	}
+	for side, in := range map[string]coords.Slab{"A": q.Input, "B": q.Input2} {
+		if err := in.Shape.Validate(); err != nil {
+			return fmt.Errorf("query: side %s input slab: %w", side, err)
+		}
+		for i, c := range in.Corner {
+			if c < 0 {
+				return fmt.Errorf("query: side %s: negative input corner in dim %d", side, i)
+			}
+		}
+	}
+	if q.Input.Rank() != q.Input2.Rank() {
+		return fmt.Errorf("query: side ranks differ: %d vs %d", q.Input.Rank(), q.Input2.Rank())
+	}
+	if q.Input.Rank() != q.Extraction.Rank() {
+		return fmt.Errorf("query: input rank %d != extraction rank %d", q.Input.Rank(), q.Extraction.Rank())
+	}
+	if !shapeEqual(q.Extraction.Shape, q.Extraction2.Shape) || !shapeEqual(q.Extraction.EffectiveStride(), q.Extraction2.EffectiveStride()) {
+		return fmt.Errorf("query: join sides declare different extractions (%v vs %v)", q.Extraction, q.Extraction2)
+	}
+	if _, err := q.IntermediateSpace(); err != nil {
+		return err
+	}
+	if varShape != nil {
+		if err := slabWithin(q.Input, varShape); err != nil {
+			return fmt.Errorf("query: side A: %w", err)
+		}
+	}
+	return nil
+}
+
+// ValidateSecond checks side B's slab against its variable's declared
+// shape; single-input queries have no side B and always pass.
+func (q *Query) ValidateSecond(varShape coords.Shape) error {
+	if !q.Join || varShape == nil {
+		return nil
+	}
+	if err := slabWithin(q.Input2, varShape); err != nil {
+		return fmt.Errorf("query: side B: %w", err)
+	}
+	return nil
+}
+
+func slabWithin(in coords.Slab, varShape coords.Shape) error {
+	if varShape.Rank() != in.Rank() {
+		return fmt.Errorf("input rank %d != variable rank %d", in.Rank(), varShape.Rank())
+	}
+	full := coords.Slab{Corner: make(coords.Coord, varShape.Rank()), Shape: varShape}
+	if !full.ContainsSlab(in) {
+		return fmt.Errorf("input %v exceeds variable shape %v", in, varShape)
+	}
+	return nil
+}
+
+func shapeEqual(a, b coords.Shape) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Op resolves the query's operator.
 func (q *Query) Op() (ops.Operator, error) {
 	return ops.Lookup(q.Operator)
+}
+
+// JoinOp resolves a join query's operator.
+func (q *Query) JoinOp() (ops.JoinOperator, error) {
+	if !q.Join {
+		return nil, fmt.Errorf("query: %q is not a join query", q.Operator)
+	}
+	return ops.LookupJoin(q.Operator)
 }
 
 // Params returns the operator parameters in positional order, ready to
@@ -104,14 +214,37 @@ func (q *Query) Params() []float64 {
 
 // IntermediateSpace returns the query's intermediate keyspace K'^T as a
 // slab in K' (SIDR §3, Area 3). The slab's corner is the tile index of
-// the input corner; its shape is the tiled extent of the input.
+// the input corner; its shape is the tiled extent of the input. For a
+// join it is the intersection of the two sides' tile ranges — the join
+// keyspace.
 func (q *Query) IntermediateSpace() (coords.Slab, error) {
-	return q.Extraction.TileRange(q.Input)
+	if !q.Join {
+		return q.Extraction.TileRange(q.Input)
+	}
+	ta, err := q.Extraction.TileRange(q.Input)
+	if err != nil {
+		return coords.Slab{}, err
+	}
+	tb, err := q.Extraction.TileRange(q.Input2)
+	if err != nil {
+		return coords.Slab{}, err
+	}
+	inter, ok := ta.Intersect(tb)
+	if !ok {
+		return coords.Slab{}, fmt.Errorf("query: join sides share no tiles (%v vs %v)", ta, tb)
+	}
+	return inter, nil
 }
 
 // String renders the query in the package's text syntax.
 func (q *Query) String() string {
 	var b strings.Builder
+	if q.Join {
+		fmt.Fprintf(&b, "join %s %s with %s", q.Operator,
+			renderSide(q.Variable, q.Input, q.Extraction),
+			renderSide(q.Variable2, q.Input2, q.Extraction2))
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%s %s[%s : %s] es %s",
 		q.Operator, q.Variable,
 		joinInts(q.Input.Corner), joinInts(coords.Coord(q.Input.Shape)),
@@ -126,6 +259,17 @@ func (q *Query) String() string {
 	}
 	if q.KeepPartial {
 		b.WriteString(" keep-partial")
+	}
+	return b.String()
+}
+
+func renderSide(variable string, in coords.Slab, es coords.Extraction) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s : %s] es %s", variable,
+		joinInts(in.Corner), joinInts(coords.Coord(in.Shape)),
+		"{"+joinInts(coords.Coord(es.Shape))+"}")
+	if es.Stride != nil {
+		fmt.Fprintf(&b, " stride {%s}", joinInts(coords.Coord(es.Stride)))
 	}
 	return b.String()
 }
@@ -147,30 +291,14 @@ func Parse(s string) (*Query, error) {
 	if len(toks) < 3 {
 		return nil, fmt.Errorf("query: too few tokens in %q", s)
 	}
+	if toks[0] == "join" {
+		return parseJoin(toks)
+	}
 	q := &Query{Operator: toks[0]}
 	// Second token: var[corner : shape]
-	varTok := toks[1]
-	open := strings.IndexByte(varTok, '[')
-	if open <= 0 || !strings.HasSuffix(varTok, "]") {
-		return nil, fmt.Errorf("query: expected var[corner : shape], got %q", varTok)
-	}
-	q.Variable = varTok[:open]
-	inner := varTok[open+1 : len(varTok)-1]
-	halves := strings.Split(inner, ":")
-	if len(halves) != 2 {
-		return nil, fmt.Errorf("query: expected corner : shape inside brackets, got %q", inner)
-	}
-	corner, err := coords.ParseCoord(halves[0])
+	q.Variable, q.Input, err = parseVarSlab(toks[1])
 	if err != nil {
 		return nil, err
-	}
-	shape, err := coords.ParseShape(halves[1])
-	if err != nil {
-		return nil, err
-	}
-	q.Input, err = coords.NewSlab(corner, shape)
-	if err != nil {
-		return nil, fmt.Errorf("query: input slab: %w", err)
 	}
 
 	var esShape, esStride coords.Shape
@@ -229,6 +357,103 @@ func Parse(s string) (*Query, error) {
 	}
 	q.Extraction, err = coords.NewExtraction(esShape, esStride)
 	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(nil); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parseVarSlab parses a "var[corner : shape]" token.
+func parseVarSlab(tok string) (string, coords.Slab, error) {
+	open := strings.IndexByte(tok, '[')
+	if open <= 0 || !strings.HasSuffix(tok, "]") {
+		return "", coords.Slab{}, fmt.Errorf("query: expected var[corner : shape], got %q", tok)
+	}
+	inner := tok[open+1 : len(tok)-1]
+	halves := strings.Split(inner, ":")
+	if len(halves) != 2 {
+		return "", coords.Slab{}, fmt.Errorf("query: expected corner : shape inside brackets, got %q", inner)
+	}
+	corner, err := coords.ParseCoord(halves[0])
+	if err != nil {
+		return "", coords.Slab{}, err
+	}
+	shape, err := coords.ParseShape(halves[1])
+	if err != nil {
+		return "", coords.Slab{}, err
+	}
+	slab, err := coords.NewSlab(corner, shape)
+	if err != nil {
+		return "", coords.Slab{}, fmt.Errorf("query: input slab: %w", err)
+	}
+	return tok[:open], slab, nil
+}
+
+// parseSide parses one join side: var[corner : shape] es {..} [stride {..}].
+func parseSide(toks []string) (string, coords.Slab, coords.Extraction, error) {
+	var es coords.Extraction
+	if len(toks) == 0 {
+		return "", coords.Slab{}, es, fmt.Errorf("query: join side is empty")
+	}
+	variable, slab, err := parseVarSlab(toks[0])
+	if err != nil {
+		return "", coords.Slab{}, es, err
+	}
+	var esShape, esStride coords.Shape
+	for i := 1; i < len(toks); {
+		switch toks[i] {
+		case "es":
+			if i+1 >= len(toks) {
+				return "", coords.Slab{}, es, fmt.Errorf("query: es needs a shape")
+			}
+			if esShape, err = coords.ParseShape(toks[i+1]); err != nil {
+				return "", coords.Slab{}, es, err
+			}
+			i += 2
+		case "stride":
+			if i+1 >= len(toks) {
+				return "", coords.Slab{}, es, fmt.Errorf("query: stride needs a shape")
+			}
+			if esStride, err = coords.ParseShape(toks[i+1]); err != nil {
+				return "", coords.Slab{}, es, err
+			}
+			i += 2
+		default:
+			return "", coords.Slab{}, es, fmt.Errorf("query: unexpected token %q in join side", toks[i])
+		}
+	}
+	if esShape == nil {
+		return "", coords.Slab{}, es, fmt.Errorf("query: missing extraction shape (es {...})")
+	}
+	if es, err = coords.NewExtraction(esShape, esStride); err != nil {
+		return "", coords.Slab{}, es, err
+	}
+	return variable, slab, es, nil
+}
+
+// parseJoin parses "join <op> A[c : s] es {..} with B[c : s] es {..}".
+func parseJoin(toks []string) (*Query, error) {
+	if len(toks) < 7 {
+		return nil, fmt.Errorf("query: too few tokens in join query")
+	}
+	with := -1
+	for i, t := range toks {
+		if t == "with" {
+			with = i
+			break
+		}
+	}
+	if with < 0 {
+		return nil, fmt.Errorf("query: join query missing 'with'")
+	}
+	q := &Query{Join: true, Operator: toks[1]}
+	var err error
+	if q.Variable, q.Input, q.Extraction, err = parseSide(toks[2:with]); err != nil {
+		return nil, err
+	}
+	if q.Variable2, q.Input2, q.Extraction2, err = parseSide(toks[with+1:]); err != nil {
 		return nil, err
 	}
 	if err := q.Validate(nil); err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -248,6 +249,165 @@ func TestClusterEndToEndThroughDaemon(t *testing.T) {
 	}
 	if done.Result.Connections <= 0 {
 		t.Fatal("cluster result reports no shuffle connections")
+	}
+}
+
+// TestClusterJoinEndToEndThroughDaemon runs a two-dataset structural
+// join through the whole daemon stack — HTTP submission with dataset2,
+// coordinator dispatch to two worker processes, dual-sided shuffle,
+// skew-adaptive re-tiling sampled from a zipf-skewed side B — and
+// demands the terminal result be byte-identical (Float64bits) to the
+// in-process join over the same generated data. It also pins the
+// serving-tier behaviours: the snapshot carries dataset2 and a skew
+// summary, and an identical resubmission hits the result cache.
+func TestClusterJoinEndToEndThroughDaemon(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout: time.Hour,
+		RetryBase:        time.Millisecond,
+		RetryMax:         20 * time.Millisecond,
+		Metrics:          metrics.New(),
+	})
+	startServerWorkers(t, coord, 2)
+	registry := NewRegistry()
+	if err := registry.AddGenerated("left", cluster.DatasetSpec{
+		Kind: "synthetic", Generator: "integers", Shape: []int64{48, 32}, Seed: 11,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := registry.AddGenerated("right", cluster.DatasetSpec{
+		Kind: "synthetic", Generator: "zipf", Shape: []int64{48, 32}, Seed: 23, Skew: 1.3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := newFixtureCfg(t, registry, jobs.Config{Cluster: coord})
+
+	joinReq := jobs.Request{
+		Dataset:  "left",
+		Dataset2: "right",
+		Query:    "join javg a[0,0 : 48,32] es {8,8} with b[0,0 : 48,32] es {8,8}",
+		Engine:   "sidr",
+		Reducers: 4,
+		MaxSkew:  16,
+		Cluster:  true,
+	}
+	resp := postQuery(t, f.ts.URL, joinReq)
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Dataset2 != "right" {
+		t.Fatalf("snapshot dataset2 = %q, want \"right\"", snap.Dataset2)
+	}
+
+	stream, err := http.Get(f.ts.URL + "/v1/jobs/" + snap.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var done *wire.StreamEvent
+	for scanner.Scan() {
+		var ev wire.StreamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == wire.EventDone {
+			done = &ev
+			break
+		}
+		if ev.Type != wire.EventPartial {
+			t.Fatalf("unexpected stream event %+v", ev)
+		}
+	}
+	if done == nil || done.Result == nil {
+		t.Fatal("stream ended without a done event carrying the result")
+	}
+
+	// The in-process engine over the exact same generated datasets.
+	genA, genB := datagen.Integers(11), datagen.Zipf(23, 1.3)
+	dsA, err := sidr.Synthetic([]int64{48, 32}, func(k []int64) float64 { return genA(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB, err := sidr.Synthetic([]int64{48, 32}, func(k []int64) float64 { return genB(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sidr.ParseQuery(joinReq.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sidr.RunJoin(dsA, dsB, q, sidr.RunOptions{
+		Engine: sidr.SIDR, Reducers: joinReq.Reducers, MaxSkew: joinReq.MaxSkew,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Result.Keys) != len(direct.Keys) || len(direct.Keys) == 0 {
+		t.Fatalf("cluster join has %d rows, in-process %d", len(done.Result.Keys), len(direct.Keys))
+	}
+	for i := range direct.Keys {
+		if fmt.Sprint(done.Result.Keys[i]) != fmt.Sprint(direct.Keys[i]) {
+			t.Fatalf("row %d key: cluster %v, in-process %v", i, done.Result.Keys[i], direct.Keys[i])
+		}
+		for v := range direct.Values[i] {
+			got, want := math.Float64bits(done.Result.Values[i][v]), math.Float64bits(direct.Values[i][v])
+			if got != want {
+				t.Fatalf("row %d value %d: cluster %v (bits %x), in-process %v (bits %x)",
+					i, v, done.Result.Values[i][v], got, direct.Values[i][v], want)
+			}
+		}
+	}
+
+	// The finished job's snapshot carries the sampled skew summary.
+	jresp, err := http.Get(f.ts.URL + "/v1/jobs/" + snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		jobs.Snapshot
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if view.Skew == nil || view.Skew.Keyblocks <= 0 {
+		t.Fatalf("finished clustered join has no skew summary: %+v", view.Skew)
+	}
+
+	// An identical resubmission is served from the result cache — the key
+	// pins both dataset versions.
+	resp2 := postQuery(t, f.ts.URL, joinReq)
+	var snap2 jobs.Snapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !snap2.ResultHit && time.Now().Before(deadline) {
+		jr, err := http.Get(f.ts.URL + "/v1/jobs/" + snap2.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap2 = jobs.Snapshot{}
+		if err := json.NewDecoder(jr.Body).Decode(&snap2); err != nil {
+			t.Fatal(err)
+		}
+		jr.Body.Close()
+		if snap2.State == "done" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !snap2.ResultHit {
+		t.Fatal("identical clustered join resubmission missed the result cache")
 	}
 }
 

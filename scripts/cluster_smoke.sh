@@ -30,9 +30,11 @@ trap cleanup EXIT
 echo "== build"
 (cd "$ROOT" && go build -o "$BIN" ./cmd/sidrd ./cmd/sidr-worker ./cmd/datagen)
 
-echo "== dataset (quickstart shape)"
+echo "== datasets (quickstart shape + join inputs)"
 "$BIN/datagen" -out "$DATA/temperature.ncf" -var temperature \
   -shape 365,50,40 -kind temperature -seed 1
+"$BIN/datagen" -out "$DATA/left.ncf" -var a -shape 64,48 -kind integers -seed 11
+"$BIN/datagen" -out "$DATA/right.ncf" -var b -shape 64,48 -kind zipf -skew 1.4 -seed 23
 
 echo "== launch sidrd (clustered) + 3 workers"
 "$BIN/sidrd" -addr "127.0.0.1:${PORT}" -data "$DATA" -cluster \
@@ -134,6 +136,43 @@ sx=$(curl -fsS "$BASE/metrics" | grep -E '^sidrd_sidx_' || true)
 echo "$sx" | sed 's/^/   /'
 echo "$sx" | grep -q 'sidrd_sidx_hits_total [1-9]' || { echo "FAIL: index never consulted"; exit 1; }
 echo "$sx" | grep -q 'sidrd_sidx_pruned_splits_total [1-9]' || { echo "FAIL: index never pruned a split"; exit 1; }
+
+echo "== structural join: two datasets, zipf-skewed side B, clustered vs in-process"
+curl -fsS "$BASE/v1/datasets" | python3 -c '
+import json, sys
+names = {ds["name"] for ds in json.load(sys.stdin)}
+missing = {"left", "right"} - names
+if missing:
+    sys.exit("join datasets not registered: %s" % sorted(missing))'
+JOIN_QUERY='join javg a[0,0 : 64,48] es {8,8} with b[0,0 : 64,48] es {8,8}'
+submit_join() { # submit_join <cluster-bool> -> prints job id
+  curl -fsS "$BASE/v1/query" -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"left\",\"dataset2\":\"right\",\"query\":\"$JOIN_QUERY\",\"engine\":\"sidr\",\"reducers\":4,\"max_skew\":16,\"cluster\":$1}" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'
+}
+JCJOB=$(submit_join true)
+result_of "$JCJOB" >"$WORK/join_cluster.json"
+JLJOB=$(submit_join false)
+result_of "$JLJOB" >"$WORK/join_local.json"
+if ! cmp -s "$WORK/join_cluster.json" "$WORK/join_local.json"; then
+  echo "FAIL: clustered join differs from in-process join"
+  diff "$WORK/join_cluster.json" "$WORK/join_local.json" | head -5
+  exit 1
+fi
+echo "   join results identical ($(python3 -c "import json;print(json.load(open('$WORK/join_cluster.json'))['rows'])") rows)"
+curl -fsS "$BASE/v1/jobs/$JCJOB" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+if v.get("dataset2") != "right":
+    sys.exit("job view dataset2 = %r" % v.get("dataset2"))
+s = v.get("skew")
+if not s or s.get("keyblocks", 0) <= 0:
+    sys.exit("job view has no skew summary: %r" % s)
+print("   skew: %d keyblocks, max/mean %.3f, gini %.3f" %
+      (s["keyblocks"], s["max_over_mean"], s["gini"]))'
+js=$(curl -fsS "$BASE/metrics" | grep -E '^sidrd_job_skew_' || true)
+echo "$js" | sed 's/^/   /'
+echo "$js" | grep -q 'sidrd_job_skew_keyblocks [1-9]' || { echo "FAIL: join skew gauges unset"; exit 1; }
 
 echo "== chaos: SIGKILL one worker mid-job"
 KJOB=$(submit true)

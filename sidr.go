@@ -30,6 +30,7 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/core"
 	"sidr/internal/exec"
+	"sidr/internal/join"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
 	"sidr/internal/query"
@@ -160,6 +161,13 @@ func (q *Query) String() string { return q.q.String() }
 // Variable returns the dataset variable the query reads.
 func (q *Query) Variable() string { return q.q.Variable }
 
+// IsJoin reports whether this is a two-input structural join query.
+func (q *Query) IsJoin() bool { return q.q.Join }
+
+// Variable2 returns the join's side-B variable (empty for single-input
+// queries).
+func (q *Query) Variable2() string { return q.q.Variable2 }
+
 // PartialResult is one keyblock's committed output, delivered as soon as
 // its data dependencies are met (SIDR's early correct results).
 type PartialResult struct {
@@ -191,6 +199,10 @@ type Result struct {
 	// TasksDispatched counts the Map and Reduce tasks the executor
 	// dispatched for this run.
 	TasksDispatched int64
+	// KeyblockLoads is the plan's per-keyblock expected intermediate
+	// load: sampled estimates for join plans, geometric expected counts
+	// otherwise. Skew statistics (internal/skew) derive from it.
+	KeyblockLoads []int64
 }
 
 // RunOptions tunes execution.
@@ -232,6 +244,10 @@ type RunOptions struct {
 	// OnPartial receives each keyblock's output as soon as it commits.
 	// Callbacks may arrive concurrently.
 	OnPartial func(PartialResult)
+	// NoJoinRetile disables skew-adaptive keyblock re-tiling for join
+	// queries, keeping the base partition+ layout (the naive baseline;
+	// join queries only).
+	NoJoinRetile bool
 }
 
 // Prepared is a derived execution plan bound to a dataset shape. Plans
@@ -323,6 +339,7 @@ func (p *Prepared) Run(ctx context.Context, ds *Dataset, opts RunOptions) (*Resu
 	res.Elapsed = time.Since(start)
 	res.Connections = mrRes.Counters.Connections
 	res.TasksDispatched = mrRes.Counters.TasksDispatched
+	res.KeyblockLoads = append([]int64(nil), p.plan.Graph.ExpectedCount...)
 
 	// Rebuild partials in commit order from the event stream and attach
 	// outputs, then flatten into the sorted global result.
@@ -374,6 +391,118 @@ func RunContext(ctx context.Context, ds *Dataset, q *Query, opts RunOptions) (*R
 		return nil, err
 	}
 	return p.Run(ctx, ds, opts)
+}
+
+// RunJoin executes a two-input structural join query (parsed from the
+// `join <op> A[...] es {..} with B[...] es {..}` grammar) over the two
+// datasets. See RunJoinContext.
+func RunJoin(a, b *Dataset, q *Query, opts RunOptions) (*Result, error) {
+	return RunJoinContext(context.Background(), a, b, q, opts)
+}
+
+// JoinSplitPoints returns the default split granularity for a join
+// query: the larger side split into ~8 pieces. The daemon's cluster
+// path uses the same rule so both engines derive identical split sets.
+func JoinSplitPoints(q *Query) int64 {
+	n := q.q.Input.Size()
+	if s := q.q.Input2.Size(); s > n {
+		n = s
+	}
+	return n/8 + 1
+}
+
+// RunJoinContext plans and executes a join: both sides' per-keyblock
+// expected load is sampled at plan time, hot keyblocks are re-tiled
+// (unless opts.NoJoinRetile), and the job runs on the in-process engine
+// with the chosen engine's barrier and shuffle semantics. Partials carry
+// raw per-keyblock reduce output — for a heavy tile carved into shares
+// these are 4-wide moment rows, folded into final values during result
+// assembly — while Keys/Values always hold the assembled final rows.
+func RunJoinContext(ctx context.Context, a, b *Dataset, q *Query, opts RunOptions) (*Result, error) {
+	if a == nil || b == nil || q == nil {
+		return nil, fmt.Errorf("sidr: nil dataset or query")
+	}
+	if !q.q.Join {
+		return nil, fmt.Errorf("sidr: RunJoin needs a join query")
+	}
+	if err := q.q.Validate(a.shape); err != nil {
+		return nil, err
+	}
+	if err := q.q.ValidateSecond(b.shape); err != nil {
+		return nil, err
+	}
+	if opts.Reducers <= 0 {
+		opts.Reducers = 4
+	}
+	if opts.SplitPoints <= 0 {
+		opts.SplitPoints = JoinSplitPoints(q)
+	}
+	plan, err := core.NewPlan(q.q, opts.Engine, core.Options{
+		Reducers:     opts.Reducers,
+		SplitPoints:  opts.SplitPoints,
+		MaxSkew:      opts.MaxSkew,
+		Priority:     opts.Priority,
+		JoinSamplerA: a.reader(),
+		JoinSamplerB: b.reader(),
+		NoJoinRetile: opts.NoJoinRetile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishJoin(ctx, plan, a, b, opts)
+}
+
+// finishJoin runs a derived join plan and assembles the final result.
+func finishJoin(ctx context.Context, plan *core.Plan, a, b *Dataset, opts RunOptions) (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	mrRes, err := plan.RunLocalJoin(a.reader(), b.reader(), func(cfg *mapreduce.Config) {
+		cfg.Ctx = ctx
+		cfg.Workers = opts.Workers
+		cfg.Exec = opts.Exec
+		cfg.Weight = opts.Weight
+		if opts.OnPartial != nil {
+			cfg.OnReduceOutput = func(out mapreduce.ReduceOutput) {
+				opts.OnPartial(toPartial(out))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Connections = mrRes.Counters.Connections
+	res.TasksDispatched = mrRes.Counters.TasksDispatched
+	res.KeyblockLoads = append([]int64(nil), plan.Join.EstLoads...)
+
+	firstSet := false
+	for _, e := range mrRes.Events {
+		if e.Kind != mapreduce.ReduceEnd {
+			continue
+		}
+		pr := toPartial(mrRes.Outputs[e.Detail])
+		pr.At = e.At
+		res.Partials = append(res.Partials, pr)
+		if !firstSet {
+			res.FirstResult = e.At.Sub(mrRes.Started)
+			firstSet = true
+		}
+	}
+	var rows []join.Row
+	for _, out := range mrRes.Outputs {
+		for i, k := range out.Keys {
+			rows = append(rows, join.Row{KB: out.Keyblock, Key: k, Values: out.Values[i]})
+		}
+	}
+	assembled, err := join.Assemble(plan.Join, rows)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range assembled {
+		res.Keys = append(res.Keys, append([]int64(nil), r.Key...))
+		res.Values = append(res.Values, r.Values)
+	}
+	return res, nil
 }
 
 func toPartial(out mapreduce.ReduceOutput) PartialResult {
