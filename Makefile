@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet serve bench bench-prune bench-shuffle bench-serve bench-join fuzz smoke smoke-serve clean
+.PHONY: build test race vet serve bench bench-prune bench-shuffle bench-serve bench-join bench-churn fuzz smoke smoke-serve clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ JOIN_OUT ?= BENCH_PR9.json
 JOIN_SCALE ?= 1.0
 bench-join:
 	$(GO) run ./cmd/sidrbench -exp join -joinscale $(JOIN_SCALE) -json $(JOIN_OUT)
+
+# bench-churn runs the elastic-membership churn experiment (post-Map
+# worker death: replica re-fetch vs split re-execution, plus the
+# dispatch locality ratio) and emits the cross-PR perf snapshot.
+CHURN_OUT ?= BENCH_PR10.json
+bench-churn:
+	$(GO) run ./cmd/sidrbench -json $(CHURN_OUT)
 
 # fuzz exercises the untrusted-bytes decoders briefly (CI runs the same
 # targets; crashers land in testdata/fuzz).

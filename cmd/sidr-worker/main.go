@@ -12,7 +12,15 @@
 //
 // The worker heartbeats every -heartbeat; miss the coordinator's
 // deadline and it is evicted, its spills declared lost, and its Map
-// tasks re-executed elsewhere. SIGINT/SIGTERM shut it down gracefully.
+// tasks re-executed elsewhere.
+//
+// SIGTERM drains instead of dying: the worker stops accepting Map
+// dispatches but keeps serving its spills until every dependent reduce
+// has fetched them or the coordinator has replicated them away, then
+// exits cleanly (bounded by -drain-timeout; a second signal forces
+// immediate shutdown). SIGINT shuts down immediately. The coordinator
+// can also initiate a drain via its /v1/drain endpoint — the worker
+// learns of it through the heartbeat response and runs the same path.
 package main
 
 import (
@@ -38,22 +46,24 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:0", "listen address")
 		coordinator = flag.String("coordinator", "", "coordinator base URL (e.g. http://127.0.0.1:7171)")
 		name        = flag.String("name", "", "worker identity (default: worker-<port>)")
+		node        = flag.String("node", "", "locality identity: the HDFS namespace node this worker is co-located with (default: none)")
 		spillDir    = flag.String("spill-dir", "", "spill directory (default: a temp dir)")
 		advertise   = flag.String("advertise", "", "base URL the coordinator dials back (default: http://<addr>)")
 		heartbeat   = flag.Duration("heartbeat", time.Second, "heartbeat period")
+		drainTO     = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for spill hand-off on SIGTERM drain")
 		dialTO      = flag.Duration("dial-timeout", 0, "coordinator dial/TLS timeout (0 = 2s)")
 		headerTO    = flag.Duration("header-timeout", 0, "coordinator response-header timeout (0 = 5s)")
 		chaos       = flag.String("chaos", "", "fault-injection spec, e.g. \"seed=42,kill-after-maps=5,hang=0.05,match=/v1/shuffle/,flip=0.01\" (see internal/faultinject)")
 		compress    = flag.Bool("spill-compress", false, "DEFLATE spill blocks (kv codec v3): Map-side CPU for smaller shuffle transfers")
 	)
 	flag.Parse()
-	if err := run(*addr, *coordinator, *name, *spillDir, *advertise, *heartbeat, *dialTO, *headerTO, *chaos, *compress); err != nil {
+	if err := run(*addr, *coordinator, *name, *node, *spillDir, *advertise, *heartbeat, *drainTO, *dialTO, *headerTO, *chaos, *compress); err != nil {
 		fmt.Fprintf(os.Stderr, "sidr-worker: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO, headerTO time.Duration, chaos string, compress bool) error {
+func run(addr, coordinator, name, node, spillDir, advertise string, heartbeat, drainTO, dialTO, headerTO time.Duration, chaos string, compress bool) error {
 	if coordinator == "" {
 		return fmt.Errorf("-coordinator is required")
 	}
@@ -93,6 +103,7 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO,
 	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Name:           name,
+		Node:           node,
 		SpillDir:       spillDir,
 		AdvertiseURL:   advertise,
 		CoordinatorURL: coordinator,
@@ -108,9 +119,13 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO,
 	}
 	defer w.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go w.Start(ctx)
+	startCtx, stopStart := context.WithCancel(context.Background())
+	defer stopStart()
+	go w.Start(startCtx)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 
 	var handler http.Handler = w
 	if inj != nil {
@@ -125,10 +140,32 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO,
 		errCh <- httpSrv.Serve(ln)
 	}()
 
+	drain := false
 	select {
 	case err := <-errCh:
 		return err
-	case <-ctx.Done():
+	case sig := <-sigCh:
+		drain = sig == syscall.SIGTERM
+	case <-w.DrainSignal():
+		// Coordinator-initiated drain, learned via the heartbeat response.
+		drain = true
+	}
+	if drain {
+		log.Printf("sidr-worker: draining (timeout %s; signal again to force shutdown)", drainTO)
+		stopStart() // Drain runs its own heartbeat loop
+		dctx, dcancel := context.WithTimeout(context.Background(), drainTO)
+		go func() {
+			select {
+			case <-sigCh:
+				log.Printf("sidr-worker: second signal; abandoning drain")
+				dcancel()
+			case <-dctx.Done():
+			}
+		}()
+		if err := w.Drain(dctx); err != nil {
+			log.Printf("sidr-worker: drain incomplete: %v", err)
+		}
+		dcancel()
 	}
 	log.Printf("sidr-worker: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -136,6 +173,8 @@ func run(addr, coordinator, name, spillDir, advertise string, heartbeat, dialTO,
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("sidr-worker: http shutdown: %v", err)
 	}
+	// Nothing can be mid-write now: reclaim any temp files immediately.
+	w.SweepTemps(0)
 	log.Printf("sidr-worker: bye")
 	return nil
 }

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"sidr/internal/cluster"
+	"sidr/internal/exec"
+	"sidr/internal/hdfs"
+	"sidr/internal/metrics"
+)
+
+// churnRun is one clustered run of the churn experiment: the fixed-seed
+// query with one worker killed outright after the whole Map phase has
+// committed (and, when replication is on, after every spill has a
+// verified replica). The shuffle is gated shut until the kill, so every
+// reduce dependency on the dead worker exercises the recovery
+// discipline under test: replica re-fetch vs split re-execution.
+type churnRun struct {
+	Label                 string  `json:"label"`
+	SpillReplicas         int     `json:"spill_replicas"`
+	Rows                  int     `json:"rows"`
+	TotalMS               float64 `json:"total_ms"`
+	KillAtMS              float64 `json:"kill_at_ms"`
+	RecoveryMS            float64 `json:"recovery_ms"`
+	Reexecuted            int64   `json:"reexecuted"`
+	ReplicaPushes         int64   `json:"replica_pushes"`
+	ReplicaBytes          int64   `json:"replica_bytes"`
+	ReplicaFetchFallbacks int64   `json:"replica_fetch_fallbacks"`
+	ShuffleBytes          int64   `json:"shuffle_bytes"`
+	DispatchLocal         int64   `json:"dispatch_local"`
+	DispatchRemote        int64   `json:"dispatch_remote"`
+}
+
+func (r churnRun) Format() string {
+	return fmt.Sprintf("%s: recovery=%.2fms total=%.2fms reexecuted=%d fallbacks=%d replica_bytes=%d local/remote=%d/%d",
+		r.Label, r.RecoveryMS, r.TotalMS, r.Reexecuted, r.ReplicaFetchFallbacks,
+		r.ReplicaBytes, r.DispatchLocal, r.DispatchRemote)
+}
+
+// churnResult pairs the two recovery disciplines and summarises the
+// locality of the replicated run's Map dispatch.
+type churnResult struct {
+	Runs          []churnRun `json:"runs"`
+	LocalityRatio float64    `json:"locality_ratio"`
+}
+
+// churnBench runs one clustered job across real worker HTTP servers on
+// loopback with spill replication set to `replicas` (-1 disables),
+// killing worker 0 (server closed, spill dir deleted) once recovery is
+// fully set up, then opening the shuffle.
+func churnBench(seed int64, replicas int, label string) (churnRun, error) {
+	const (
+		workers = 3
+		splits  = 60 // 120 rows / 2 per split at SplitPoints 1500
+	)
+	reg := metrics.New()
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout: 30 * time.Second,
+		RetryBase:        time.Millisecond,
+		RetryMax:         20 * time.Millisecond,
+		Seed:             seed,
+		SpillReplicas:    replicas,
+		Metrics:          reg,
+	})
+	defer coord.Close()
+
+	names := make([]string, workers)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-w%d", i)
+	}
+	// 9 × 16KB blocks, 2× replicated across the 3 worker nodes: every
+	// split carries location hints and most splits have a node-local
+	// worker, so the dispatch locality ratio is meaningful.
+	ns, err := hdfs.NewNamespace(names, hdfs.Config{BlockSize: 16 << 10, Replication: 2})
+	if err != nil {
+		return churnRun{}, err
+	}
+	shape := []int64{120, 24, 24}
+	if err := ns.AddFile("bench", shape[0]*shape[1]*shape[2]*8); err != nil {
+		return churnRun{}, err
+	}
+
+	gate := make(chan struct{})
+	victimDead := make(chan struct{}) // unblocks the victim's gated handlers so its server can close
+	type benchWorker struct {
+		srv *httptest.Server
+		dir string
+	}
+	ws := make([]*benchWorker, 0, workers)
+	defer func() {
+		for _, w := range ws {
+			if w.srv != nil {
+				w.srv.Close()
+			}
+			os.RemoveAll(w.dir)
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		dir, err := os.MkdirTemp("", "sidrbench-churn-*")
+		if err != nil {
+			return churnRun{}, err
+		}
+		w, err := cluster.NewWorker(cluster.WorkerConfig{Name: names[i], SpillDir: dir})
+		if err != nil {
+			os.RemoveAll(dir)
+			return churnRun{}, err
+		}
+		victim := i == 0
+		var h http.Handler = w
+		srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/shuffle") {
+				if victim {
+					select {
+					case <-victimDead:
+						http.Error(rw, "killed", http.StatusServiceUnavailable)
+						return
+					case <-gate:
+					}
+					select {
+					case <-victimDead:
+						http.Error(rw, "killed", http.StatusServiceUnavailable)
+						return
+					default:
+					}
+				} else {
+					select {
+					case <-gate:
+					case <-r.Context().Done():
+						return
+					}
+				}
+			}
+			h.ServeHTTP(rw, r)
+		}))
+		ws = append(ws, &benchWorker{srv: srv, dir: dir})
+		if err := coord.RegisterNode(names[i], srv.URL, names[i]); err != nil {
+			return churnRun{}, err
+		}
+	}
+
+	ex := exec.New(4)
+	defer ex.Close()
+
+	type outcome struct {
+		res *cluster.JobResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		res, err := coord.Run(ctx, cluster.JobSpec{
+			Plan: cluster.JobPlan{
+				Query:       "avg temp[0,0,0 : 120,24,24] es {1,4,4}",
+				Engine:      "sidr",
+				Reducers:    4,
+				SplitPoints: 1500,
+			},
+			Dataset: cluster.DatasetSpec{
+				Kind: "synthetic", Generator: "temperature",
+				Seed: seed, Shape: shape,
+			},
+			Namespace: ns,
+			File:      "bench",
+			Exec:      ex,
+		})
+		done <- outcome{res, err}
+	}()
+
+	// Kill only once recovery is fully set up — every Map committed and,
+	// when replicating, every spill copied — so the two runs differ only
+	// in the recovery discipline, not in dispatch-phase races.
+	ready := func() bool {
+		var maps int64
+		for _, wi := range coord.Workers() {
+			maps += wi.MapsDone
+		}
+		if maps < splits {
+			return false
+		}
+		if replicas > 0 {
+			return reg.Counter("sidrd_cluster_replica_pushes_total").Value() >= splits
+		}
+		return true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !ready() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	killAt := time.Since(start)
+	close(victimDead)
+	ws[0].srv.CloseClientConnections()
+	ws[0].srv.Close()
+	ws[0].srv = nil
+	os.RemoveAll(ws[0].dir)
+	close(gate)
+
+	out := <-done
+	if out.err != nil {
+		return churnRun{}, out.err
+	}
+	total := time.Since(start)
+	rows := 0
+	for _, o := range out.res.Outputs {
+		rows += len(o.Keys)
+	}
+	c := out.res.Counters
+	return churnRun{
+		Label:                 label,
+		SpillReplicas:         replicas,
+		Rows:                  rows,
+		TotalMS:               float64(total) / float64(time.Millisecond),
+		KillAtMS:              float64(killAt) / float64(time.Millisecond),
+		RecoveryMS:            float64(total-killAt) / float64(time.Millisecond),
+		Reexecuted:            c.Reexecuted,
+		ReplicaPushes:         c.ReplicaPushes,
+		ReplicaBytes:          c.ReplicaBytes,
+		ReplicaFetchFallbacks: c.ReplicaFetchFallbacks,
+		ShuffleBytes:          c.ShuffleBytes,
+		DispatchLocal:         c.DispatchLocal,
+		DispatchRemote:        c.DispatchRemote,
+	}, nil
+}
+
+// churnExperiment runs the fixed-seed query under both recovery
+// disciplines: death without replicas (re-execute the lost splits) and
+// death with replicas (re-fetch from the copies).
+func churnExperiment(seed int64) (churnResult, error) {
+	var out churnResult
+	noRep, err := churnBench(seed, -1, "death-no-replica")
+	if err != nil {
+		return out, fmt.Errorf("churn run (no replica): %w", err)
+	}
+	withRep, err := churnBench(seed, 1, "death-with-replica")
+	if err != nil {
+		return out, fmt.Errorf("churn run (replica): %w", err)
+	}
+	out.Runs = []churnRun{noRep, withRep}
+	if t := withRep.DispatchLocal + withRep.DispatchRemote; t > 0 {
+		out.LocalityRatio = float64(withRep.DispatchLocal) / float64(t)
+	}
+	return out, nil
+}

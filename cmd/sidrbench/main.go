@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|shuffle|failures|chaos|prune|serve|join]
+//	sidrbench [-exp all|fig9|fig10|fig11|fig12|fig13|table2|table3|partmicro|shufflemicro|shuffle|failures|chaos|churn|prune|serve|join]
 //	          [-seed N] [-runs N] [-curves] [-dir DIR]
 //	sidrbench -json BENCH_PR7.json
 //	sidrbench -exp join -joinscale 0.5 -json BENCH_PR9.json
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, prune, serve, join)")
+		exp      = flag.String("exp", "all", "experiment to run (all, fig9, fig10, fig11, fig12, fig13, table2, table3, partmicro, shufflemicro, shuffle, failures, chaos, churn, prune, serve, join)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		runs     = flag.Int("runs", 10, "repetitions for averaged experiments (fig12, table2, partmicro)")
 		curves   = flag.Bool("curves", false, "dump full completion curves, not just summaries")
@@ -221,6 +221,18 @@ func main() {
 		}
 		return nil
 	})
+	run("churn", func() error {
+		fmt.Println("churn experiment: post-Map worker death, replica re-fetch vs split re-execution (real workers, loopback)")
+		r, err := churnExperiment(*seed)
+		if err != nil {
+			return err
+		}
+		for _, cr := range r.Runs {
+			fmt.Println("  " + cr.Format())
+		}
+		fmt.Printf("  dispatch locality ratio: %.2f\n", r.LocalityRatio)
+		return nil
+	})
 	run("prune", func() error {
 		fmt.Println("structural-index pruning: selective filter, indexed vs unindexed (real engine)")
 		r, err := pruneExperiment(*runs)
@@ -263,9 +275,11 @@ type benchCurve struct {
 // added the chaos experiment (fault-recovery latency on real workers);
 // sidrbench/4 added the structural-index pruning experiment;
 // sidrbench/5 added the batched-vs-per-spill shuffle head-to-head;
-// sidrbench/6 adds the serving-tier experiment (result cache, query
+// sidrbench/6 added the serving-tier experiment (result cache, query
 // collapsing, per-path latency percentiles under 1000 streaming
-// clients).
+// clients); sidrbench/7 added the structural-join skew experiment;
+// sidrbench/8 adds the churn experiment (post-Map worker death:
+// replica re-fetch vs split re-execution, plus dispatch locality).
 type benchReport struct {
 	Schema string       `json:"schema"`
 	Seed   int64        `json:"seed"`
@@ -287,6 +301,7 @@ type benchReport struct {
 	ShuffleMicro shuffleMicroResult `json:"shuffle_micro"`
 	Shuffle      shuffleHeadToHead  `json:"shuffle"`
 	Chaos        []chaosResult      `json:"chaos"`
+	Churn        churnResult        `json:"churn"`
 	Prune        pruneResult        `json:"prune"`
 	Serve        serveResult        `json:"serve"`
 	Join         joinResult         `json:"join"`
@@ -310,7 +325,7 @@ func toBenchCurves(rs []experiments.CurveResult) []benchCurve {
 // to one experiment's section (-exp join -json ... in CI); "all" fills
 // every section.
 func writeBenchJSON(path, exp string, seed int64, microPairs, shufflePairs, shuffleFetches int, shuffleRows int64, serveClients, serveReqs, serveUniques int, joinScale float64) error {
-	rep := benchReport{Schema: "sidrbench/7", Seed: seed}
+	rep := benchReport{Schema: "sidrbench/8", Seed: seed}
 	cfg := experiments.TestbedConfig(seed)
 	want := func(name string) bool { return exp == "all" || exp == name }
 
@@ -381,6 +396,12 @@ func writeBenchJSON(path, exp string, seed int64, microPairs, shufflePairs, shuf
 
 	if want("chaos") {
 		if rep.Chaos, err = chaosExperiment(seed); err != nil {
+			return err
+		}
+	}
+
+	if want("churn") {
+		if rep.Churn, err = churnExperiment(seed); err != nil {
 			return err
 		}
 	}

@@ -41,11 +41,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sidr/internal/cluster"
 	"sidr/internal/faultinject"
+	"sidr/internal/hdfs"
 	"sidr/internal/jobs"
 	"sidr/internal/metrics"
 	"sidr/internal/server"
@@ -62,6 +64,8 @@ func main() {
 		retain    = flag.Int("retain-jobs", 256, "finished jobs kept for status/stream lookups before eviction (-1 keeps all)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 		clusterOn = flag.Bool("cluster", false, "embed the cluster coordinator: accept sidr-worker registrations and route {\"cluster\":true} jobs through the distributed runtime")
+		replicas  = flag.Int("spill-replicas", 1, "replicate each committed Map attempt's spill pack to this many other workers so worker loss costs a re-fetch, not a re-execution; 0 disables (with -cluster)")
+		nodes     = flag.String("nodes", "", "comma-separated HDFS namespace node names: datasets get simulated block placements across them and Map dispatch prefers split-local workers (match via sidr-worker -node) (with -cluster)")
 		hbTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "evict workers that miss heartbeats for this long (with -cluster)")
 		specOn    = flag.Bool("speculation", false, "launch backup attempts for straggling Map dispatches (with -cluster)")
 		batchOn   = flag.Bool("batch-shuffle", true, "fetch each reduce's spill subset with one batched request per worker; false forces per-spill fetches (with -cluster)")
@@ -84,15 +88,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sidrd: -tenant-default: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *hbTimeout, *specOn, *batchOn, *chaos, *rcBytes, tenants, tdef); err != nil {
+	if err := run(*addr, *dataDir, *maxJobs, *execWork, *queue, *planCache, *retain, *drain, *clusterOn, *replicas, *nodes, *hbTimeout, *specOn, *batchOn, *chaos, *rcBytes, tenants, tdef); err != nil {
 		fmt.Fprintf(os.Stderr, "sidrd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, hbTimeout time.Duration, specOn, batchOn bool, chaos string, rcBytes int64, tenants map[string]jobs.TenantPolicy, tenantDefault jobs.TenantPolicy) error {
+func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain int, drain time.Duration, clusterOn bool, replicas int, nodes string, hbTimeout time.Duration, specOn, batchOn bool, chaos string, rcBytes int64, tenants map[string]jobs.TenantPolicy, tenantDefault jobs.TenantPolicy) error {
 	reg := metrics.New()
 	registry := server.NewRegistry()
+	var ns *hdfs.Namespace
+	if nodes != "" {
+		var names []string
+		for _, n := range strings.Split(nodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		var err error
+		ns, err = hdfs.NewNamespace(names, hdfs.Config{})
+		if err != nil {
+			return fmt.Errorf("-nodes: %w", err)
+		}
+		registry.SetNamespace(ns)
+		log.Printf("sidrd: simulated HDFS namespace over %d node(s); Map dispatch prefers split-local workers", len(names))
+	}
 	if dataDir != "" {
 		n, err := registry.ScanDir(dataDir)
 		if err != nil {
@@ -105,8 +125,12 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 
 	var coord *cluster.Coordinator
 	if clusterOn {
+		if replicas == 0 {
+			replicas = -1 // flag 0 = off; config 0 would mean "default 1"
+		}
 		ccfg := cluster.CoordinatorConfig{
 			HeartbeatTimeout:  hbTimeout,
+			SpillReplicas:     replicas,
 			Metrics:           reg,
 			Logf:              log.Printf,
 			Speculation:       specOn,
@@ -140,6 +164,7 @@ func run(addr, dataDir string, maxJobs, execWorkers, queue, planCache, retain in
 		TenantDefault:    tenantDefault,
 		Datasets:         registry,
 		Cluster:          coord,
+		Namespace:        ns,
 		Metrics:          reg,
 	})
 	if err != nil {

@@ -235,7 +235,7 @@ func TestQuarantineHysteresis(t *testing.T) {
 	// While a healthy worker exists, dispatches never land on the
 	// quarantined one — even when the healthy worker is busier.
 	for i := 0; i < 3; i++ {
-		name, _, err := c.pickWorker(nil, nil)
+		name, _, _, err := c.pickWorker(nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,7 +245,7 @@ func TestQuarantineHysteresis(t *testing.T) {
 	}
 	// With every healthy worker excluded, the quarantined one is still
 	// preferred over nothing.
-	name, _, err := c.pickWorker(nil, map[string]bool{"good": true})
+	name, _, _, err := c.pickWorker(nil, map[string]bool{"good": true})
 	if err != nil || name != "flaky" {
 		t.Fatalf("fallback pick = %q, %v; want quarantined worker", name, err)
 	}

@@ -397,14 +397,14 @@ func TestHeartbeatEviction(t *testing.T) {
 	if n := c.AliveWorkers(); n != 1 {
 		t.Fatalf("alive = %d after register, want 1", n)
 	}
-	if !c.Heartbeat("w0") {
+	if ok, _ := c.Heartbeat("w0"); !ok {
 		t.Fatal("heartbeat for live worker rejected")
 	}
 	time.Sleep(120 * time.Millisecond)
 	if n := c.AliveWorkers(); n != 0 {
 		t.Fatalf("alive = %d after deadline, want 0", n)
 	}
-	if c.Heartbeat("w0") {
+	if ok, _ := c.Heartbeat("w0"); ok {
 		t.Fatal("heartbeat for evicted worker accepted; it must re-register")
 	}
 	ws := c.Workers()
@@ -428,7 +428,7 @@ func TestLocalityAwarePlacement(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	name, _, err := c.pickWorker([]string{"host-b"}, nil)
+	name, _, _, err := c.pickWorker([]string{"host-b"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,8 +438,8 @@ func TestLocalityAwarePlacement(t *testing.T) {
 	c.releaseWorker(name, false)
 
 	// Without hints, least-loaded wins.
-	n1, _, _ := c.pickWorker(nil, nil)
-	n2, _, _ := c.pickWorker(nil, nil)
+	n1, _, _, _ := c.pickWorker(nil, nil)
+	n2, _, _, _ := c.pickWorker(nil, nil)
 	if n1 == n2 {
 		t.Fatalf("consecutive placements both chose %q despite load", n1)
 	}

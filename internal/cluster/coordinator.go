@@ -42,6 +42,12 @@ type CoordinatorConfig struct {
 	// MaxTaskAttempts bounds how many attempts one Map task may consume
 	// across dispatch retries and loss-driven re-executions (default 5).
 	MaxTaskAttempts int
+	// SpillReplicas is how many additional workers each committed Map
+	// attempt's pack file is pushed to, asynchronously, so a worker
+	// death or drain costs a replica re-fetch instead of a split
+	// re-execution. 0 means the default of 1; negative disables
+	// replication.
+	SpillReplicas int
 	// Metrics receives the sidrd_cluster_* / sidrd_shuffle_* instruments
 	// (default: a private registry).
 	Metrics *metrics.Registry
@@ -116,6 +122,9 @@ type Coordinator struct {
 	mu      sync.Mutex
 	workers map[string]*workerState
 	jobSeq  int64
+	// active indexes in-flight clustered jobs by ID so drain watchers
+	// can find the attempts a draining worker still hosts.
+	active map[string]*clusterJob
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -138,6 +147,12 @@ type Coordinator struct {
 	mSpillsCorrupt  *metrics.Counter
 	mQuarantines    *metrics.Counter
 	mReinstates     *metrics.Counter
+	mDrainingG      *metrics.Gauge
+	mReplicaPushes  *metrics.Counter
+	mReplicaBytes   *metrics.Counter
+	mReplicaFallbks *metrics.Counter
+	mDispatchLocal  *metrics.Counter
+	mDispatchRemote *metrics.Counter
 
 	// onMapResult is a test hook observing accepted Map results.
 	onMapResult func(jobID string, split int, worker string)
@@ -149,12 +164,19 @@ type Coordinator struct {
 type workerState struct {
 	name        string
 	url         string
+	node        string // locality identity; split host lists match it
 	lastSeen    time.Time
 	evicted     bool
 	running     int
 	mapsDone    int64
 	failScore   float64
 	quarantined bool
+	// draining workers accept no new dispatches but keep serving spills;
+	// drain is membership state, never health evidence, so a draining
+	// worker's fail score stays untouched. drained marks a drain that
+	// completed — the worker was released cleanly, not lost.
+	draining bool
+	drained  bool
 }
 
 // NewCoordinator builds a coordinator.
@@ -173,6 +195,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	}
 	if cfg.MaxTaskAttempts <= 0 {
 		cfg.MaxTaskAttempts = 5
+	}
+	switch {
+	case cfg.SpillReplicas == 0:
+		cfg.SpillReplicas = 1
+	case cfg.SpillReplicas < 0:
+		cfg.SpillReplicas = 0
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
@@ -206,6 +234,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		workers:    make(map[string]*workerState),
+		active:     make(map[string]*clusterJob),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 
 		mWorkersAlive:   cfg.Metrics.Gauge("sidrd_cluster_workers_alive"),
@@ -227,6 +256,13 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		mSpillsCorrupt: cfg.Metrics.Counter("sidrd_cluster_spills_corrupt_total"),
 		mQuarantines:   cfg.Metrics.Counter("sidrd_cluster_quarantines_total"),
 		mReinstates:    cfg.Metrics.Counter("sidrd_cluster_reinstates_total"),
+
+		mDrainingG:      cfg.Metrics.Gauge("sidrd_cluster_workers_draining"),
+		mReplicaPushes:  cfg.Metrics.Counter("sidrd_cluster_replica_pushes_total"),
+		mReplicaBytes:   cfg.Metrics.Counter("sidrd_cluster_replica_bytes_total"),
+		mReplicaFallbks: cfg.Metrics.Counter("sidrd_cluster_replica_fetch_fallbacks_total"),
+		mDispatchLocal:  cfg.Metrics.Counter("sidrd_cluster_dispatch_local_total"),
+		mDispatchRemote: cfg.Metrics.Counter("sidrd_cluster_dispatch_remote_total"),
 	}
 	if userClient != nil {
 		c.shuffleClient = userClient
@@ -294,7 +330,11 @@ func (c *Coordinator) probeQuarantined(ctx context.Context) {
 }
 
 // noteOutcome feeds one dispatch/fetch/probe outcome into a worker's
-// EWMA fail score and applies the quarantine hysteresis.
+// EWMA fail score and applies the quarantine hysteresis. Draining
+// workers are exempt: a drain is orderly membership change, and the
+// turbulence it causes (refused dispatches, fetches racing the exit)
+// must never quarantine the worker or poison its score for a future
+// re-registration.
 func (c *Coordinator) noteOutcome(name string, failed bool) {
 	if name == "" {
 		return
@@ -302,7 +342,7 @@ func (c *Coordinator) noteOutcome(name string, failed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.workers[name]
-	if w == nil {
+	if w == nil || w.draining {
 		return
 	}
 	x := 0.0
@@ -335,8 +375,17 @@ func (c *Coordinator) quarantineGaugeLocked() {
 	c.mQuarantinedG.Set(n)
 }
 
-// Register adds (or revives) a worker.
+// Register adds (or revives) a worker with no locality identity.
 func (c *Coordinator) Register(name, url string) error {
+	return c.RegisterNode(name, url, "")
+}
+
+// RegisterNode adds (or revives) a worker, recording the namespace node
+// it claims co-location with. Registration may happen mid-job: the next
+// pickWorker sees the new worker immediately. Re-registering a drained
+// or evicted name revives it with a clean membership state (health
+// score survives by design).
+func (c *Coordinator) RegisterNode(name, url, node string) error {
 	if name == "" || url == "" {
 		return fmt.Errorf("cluster: register needs name and url")
 	}
@@ -348,25 +397,40 @@ func (c *Coordinator) Register(name, url string) error {
 		c.workers[name] = w
 	}
 	w.url = strings.TrimSuffix(url, "/")
+	if node != "" {
+		w.node = node
+	}
 	w.lastSeen = time.Now()
 	w.evicted = false
+	w.draining = false
+	w.drained = false
 	c.pruneLocked(time.Now())
-	c.logf("worker %q registered at %s", name, w.url)
+	c.logf("worker %q registered at %s (node %q)", name, w.url, w.node)
 	return nil
 }
 
-// Heartbeat refreshes a worker's deadline; false means the worker is
-// unknown (it should re-register).
-func (c *Coordinator) Heartbeat(name string) bool {
+// Heartbeat refreshes a worker's deadline. ok=false means the worker
+// should stop heartbeating under this registration: with draining=true
+// it was drained and released (exit, don't rejoin), otherwise it is
+// unknown and should re-register. draining with ok=true tells the
+// worker the coordinator wants it to drain.
+func (c *Coordinator) Heartbeat(name string) (ok, draining bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.workers[name]
 	if w == nil || w.evicted {
-		return false
+		// A coordinator-initiated drain of an idle worker can complete
+		// before the worker's next heartbeat ever carries the draining
+		// flag. Answer "drained, exit" — a plain unknown here would make
+		// the worker re-register and silently undo the drain.
+		if w != nil && w.drained {
+			return false, true
+		}
+		return false, false
 	}
 	w.lastSeen = time.Now()
 	c.pruneLocked(time.Now())
-	return true
+	return true, w.draining
 }
 
 // Workers lists the worker table, alive first then by name.
@@ -380,12 +444,15 @@ func (c *Coordinator) Workers() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			Name:        w.name,
 			URL:         w.url,
+			Node:        w.node,
 			Alive:       !w.evicted,
 			Running:     w.running,
 			MapsDone:    w.mapsDone,
 			LastSeenS:   now.Sub(w.lastSeen).Seconds(),
 			FailScore:   w.failScore,
 			Quarantined: w.quarantined,
+			Draining:    w.draining,
+			Drained:     w.drained,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -426,6 +493,19 @@ func (c *Coordinator) pruneLocked(now time.Time) {
 	}
 	c.mWorkersAlive.Set(alive)
 	c.quarantineGaugeLocked()
+	c.drainGaugeLocked()
+}
+
+// drainGaugeLocked refreshes the draining-workers gauge. Caller holds
+// c.mu.
+func (c *Coordinator) drainGaugeLocked() {
+	n := int64(0)
+	for _, w := range c.workers {
+		if w.draining && !w.evicted {
+			n++
+		}
+	}
+	c.mDrainingG.Set(n)
 }
 
 // markDead evicts a worker on direct evidence (connection failure,
@@ -444,28 +524,32 @@ func (c *Coordinator) markDead(name string) {
 }
 
 // pickWorker chooses a live worker for a Map task, preferring the
-// split's block-location hosts (locality-aware placement) and breaking
-// ties by least running tasks. not lists worker names to avoid (prior
-// failed attempts of the same dispatch, or a speculation primary's
-// host). Quarantined workers are a last resort before excluded ones:
-// healthy∧allowed, then quarantined∧allowed, then any live worker.
-func (c *Coordinator) pickWorker(hosts []string, not map[string]bool) (name, url string, err error) {
+// split's block-location hosts — node-local beats any remote worker,
+// then least running tasks, then name. not lists worker names to avoid
+// (prior failed attempts of the same dispatch, or a speculation
+// primary's host). Quarantined workers are a last resort before
+// excluded ones: healthy∧allowed, then quarantined∧allowed, then any
+// live worker. Draining workers are never picked in any tier: drain
+// means no new work, full stop. local reports whether the pick matched
+// a host hint; the dispatch_{local,remote} metrics advance only for
+// splits that carry hints at all.
+func (c *Coordinator) pickWorker(hosts []string, not map[string]bool) (name, url string, local bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pruneLocked(time.Now())
 	isLocal := func(w *workerState) bool {
 		for _, h := range hosts {
-			if h == w.name {
+			if h == w.node || h == w.name {
 				return true
 			}
 		}
 		return false
 	}
-	pick := func(allow func(*workerState) bool) *workerState {
+	pick := func(allow func(*workerState) bool) (*workerState, bool) {
 		var best *workerState
 		bestLocal := false
 		for _, w := range c.workers {
-			if w.evicted || !allow(w) {
+			if w.evicted || w.draining || !allow(w) {
 				continue
 			}
 			local := isLocal(w)
@@ -477,20 +561,27 @@ func (c *Coordinator) pickWorker(hosts []string, not map[string]bool) (name, url
 				best, bestLocal = w, local
 			}
 		}
-		return best
+		return best, bestLocal
 	}
-	best := pick(func(w *workerState) bool { return !w.quarantined && !not[w.name] })
+	best, bestLocal := pick(func(w *workerState) bool { return !w.quarantined && !not[w.name] })
 	if best == nil {
-		best = pick(func(w *workerState) bool { return !not[w.name] })
-	}
-	if best == nil {
-		best = pick(func(w *workerState) bool { return true })
+		best, bestLocal = pick(func(w *workerState) bool { return !not[w.name] })
 	}
 	if best == nil {
-		return "", "", ErrNoWorkers
+		best, bestLocal = pick(func(w *workerState) bool { return true })
+	}
+	if best == nil {
+		return "", "", false, ErrNoWorkers
 	}
 	best.running++
-	return best.name, best.url, nil
+	if len(hosts) > 0 {
+		if bestLocal {
+			c.mDispatchLocal.Inc()
+		} else {
+			c.mDispatchRemote.Inc()
+		}
+	}
+	return best.name, best.url, bestLocal, nil
 }
 
 // workerURL resolves a worker name to its last-registered base URL.
@@ -549,7 +640,7 @@ func (c *Coordinator) logf(format string, args ...any) {
 
 // Mount registers the coordinator's HTTP endpoints on mux:
 // POST /v1/cluster/register, POST /v1/cluster/heartbeat,
-// GET /v1/cluster/workers.
+// GET /v1/cluster/workers, POST /v1/drain.
 func (c *Coordinator) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/cluster/register", func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -561,7 +652,7 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := c.Register(req.Name, req.URL); err != nil {
+		if err := c.RegisterNode(req.Name, req.URL, req.Node); err != nil {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -577,8 +668,30 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if !c.Heartbeat(req.Name) {
-			http.Error(rw, "unknown worker; re-register", http.StatusNotFound)
+		ok, draining := c.Heartbeat(req.Name)
+		if !ok {
+			if draining {
+				http.Error(rw, "drained; exit", http.StatusGone)
+			} else {
+				http.Error(rw, "unknown worker; re-register", http.StatusNotFound)
+			}
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(HeartbeatResponse{Draining: draining})
+	})
+	mux.HandleFunc("/v1/drain", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req DrainRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Drain(req.Name); err != nil {
+			http.Error(rw, err.Error(), http.StatusNotFound)
 			return
 		}
 		rw.WriteHeader(http.StatusOK)
@@ -669,6 +782,20 @@ type Counters struct {
 	// CorruptSpills counts shuffle fetches rejected by the spill payload
 	// checksum; each one re-executed its source split.
 	CorruptSpills int64
+	// ReplicaPushes counts pack replicas successfully installed on
+	// another worker; ReplicaBytes their byte volume.
+	ReplicaPushes int64
+	ReplicaBytes  int64
+	// ReplicaFetchFallbacks counts reduce dependencies served from a
+	// replica because the hosting worker died or drained — each one is a
+	// re-execution that didn't happen.
+	ReplicaFetchFallbacks int64
+	// DispatchLocal and DispatchRemote count Map dispatches of splits
+	// that carried block-location hints, split by whether the pick
+	// matched one (node-local placement) or fell back to a remote
+	// worker.
+	DispatchLocal  int64
+	DispatchRemote int64
 }
 
 // JobResult is a completed clustered job.
@@ -728,6 +855,12 @@ type mapTask struct {
 	// Map time. Batched shuffle fetches validate every received frame
 	// against it; a spill with no recorded meta is fetched per-spill.
 	outputs map[int]KeyblockMeta
+
+	// replicas lists the workers holding a verified copy of the winning
+	// attempt's pack, usable as fetch sources interchangeably with the
+	// primary. replInFlight dedupes concurrent push scheduling.
+	replicas     []replicaLoc
+	replInFlight bool
 
 	next        int                        // next attempt ID to allocate (see allocAttempt)
 	started     time.Time                  // when the current primary dispatch began running
@@ -816,6 +949,16 @@ func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error)
 	if resolved {
 		return j.result(), nil
 	}
+
+	// Index the job for drain watchers (they scan hosted attempts).
+	c.mu.Lock()
+	c.active[spec.ID] = j
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.active, spec.ID)
+		c.mu.Unlock()
+	}()
 
 	// Cancellation watchdog.
 	go func() {
@@ -1106,7 +1249,7 @@ func (j *clusterJob) dispatchAttempt(i, attempt int, tried map[string]bool, spec
 		if j.ctx.Err() != nil {
 			return
 		}
-		name, url, err := c.pickWorker(hosts, tried)
+		name, url, local, err := c.pickWorker(hosts, tried)
 		if err != nil {
 			if speculative {
 				// No worker to run the backup on: withdraw it quietly and
@@ -1116,6 +1259,15 @@ func (j *clusterJob) dispatchAttempt(i, attempt int, tried map[string]bool, spec
 			}
 			j.fail(fmt.Errorf("map task %d: %w", i, err))
 			return
+		}
+		if len(hosts) > 0 {
+			j.mu.Lock()
+			if local {
+				j.counters.DispatchLocal++
+			} else {
+				j.counters.DispatchRemote++
+			}
+			j.mu.Unlock()
 		}
 
 		// Register the in-flight dispatch: per-attempt context (so the
@@ -1324,6 +1476,9 @@ func (j *clusterJob) recordMapResult(i, attempt int, worker, url string, start t
 			c.releaseAttempt(c.workerURL(loserWorker), j.spec.ID, i, loserAttempt)
 		}
 	}
+	// Replicate the freshly committed pack before anything can lose it;
+	// async, so the reduce pipeline never waits on replication.
+	j.scheduleReplicas(i)
 	if j.c.onMapResult != nil {
 		j.c.onMapResult(j.spec.ID, i, worker)
 	}
@@ -1360,6 +1515,13 @@ type reduceDep struct {
 	url     string
 	meta    KeyblockMeta
 	hasMeta bool
+	// primary is the worker that originally hosted the attempt; worker/
+	// url may be rewritten to a replica when the primary is gone, and a
+	// fetch that lands anywhere but primary counts a replica fallback.
+	// alts are the attempt's verified replica copies, byte-identical to
+	// the primary's pack, so meta stays valid across the switch.
+	primary string
+	alts    []replicaLoc
 }
 
 // runReduce fetches keyblock l's I_ℓ spills point-to-point from their
@@ -1386,11 +1548,29 @@ func (j *clusterJob) runReduce(l int) {
 			j.mu.Unlock()
 			return
 		}
-		d := reduceDep{split: s, attempt: m.attempt, worker: m.worker, url: m.url}
+		d := reduceDep{split: s, attempt: m.attempt, worker: m.worker, url: m.url, primary: m.worker}
 		d.meta, d.hasMeta = m.outputs[l]
+		d.alts = append([]replicaLoc(nil), m.replicas...)
 		deps = append(deps, d)
 	}
 	j.mu.Unlock()
+
+	// Route around known-dead primaries up front: a dep whose hosting
+	// worker is already gone but has a live replica fetches from the
+	// replica directly (batched path included) instead of burning the
+	// retry budget against a dead socket first.
+	for i := range deps {
+		d := &deps[i]
+		if len(d.alts) == 0 || j.c.liveWorker(d.worker) {
+			continue
+		}
+		for _, alt := range d.alts {
+			if j.c.liveWorker(alt.worker) {
+				d.worker, d.url = alt.worker, alt.url
+				break
+			}
+		}
+	}
 
 	// Batched path first: one streamed request per hosting worker
 	// carrying that worker's whole slice of I_ℓ. Any batch that fails —
@@ -1415,14 +1595,16 @@ func (j *clusterJob) runReduce(l int) {
 	streams := make([][]kv.Pair, 0, len(deps))
 	var tally int64
 	bytes := batchBytes
-	for i, d := range deps {
+	for i := range deps {
+		d := &deps[i]
 		if got[i] {
 			j.c.noteOutcome(d.worker, false)
+			j.noteFallback(d)
 			streams = append(streams, fetched[i])
 			tally += srcs[i]
 			continue
 		}
-		pairs, src, n, err := j.fetchSpill(d.url, d.split, d.attempt, l)
+		pairs, src, n, err := j.fetchDep(d, l)
 		if err != nil {
 			if j.ctx.Err() != nil {
 				return
@@ -1461,6 +1643,7 @@ func (j *clusterJob) runReduce(l int) {
 			return
 		}
 		j.c.noteOutcome(d.worker, false)
+		j.noteFallback(d)
 		streams = append(streams, pairs)
 		tally += src
 		bytes += n
@@ -1780,11 +1963,37 @@ func (j *clusterJob) rearm(l int, lost map[int]int, corrupt bool) {
 		}
 		switch {
 		case m.done && (forced || deadWorker(m.worker)):
+			// Lost primary, but not a forced invalidation (corrupt or
+			// unserved bytes poison the attempt everywhere): a verified
+			// replica on a live worker carries the identical pack, so
+			// promote it to primary instead of re-executing the split.
+			if !forced {
+				promoted := false
+				for ri, alt := range m.replicas {
+					if deadWorker(alt.worker) {
+						continue
+					}
+					c.logf("map %s/%d: worker %q gone; promoting replica on %q (attempt %d kept)",
+						j.spec.ID, s, m.worker, alt.worker, m.attempt)
+					m.worker, m.url = alt.worker, alt.url
+					m.replicas = append(m.replicas[:ri:ri], m.replicas[ri+1:]...)
+					// The promotion IS the replica fallback: the re-run
+					// reduce sees the replica as primary and counts nothing.
+					c.mReplicaFallbks.Inc()
+					j.counters.ReplicaFetchFallbacks++
+					promoted = true
+					break
+				}
+				if promoted {
+					continue
+				}
+			}
 			// The spill died with its worker (or its bytes are poison):
 			// invalidate the attempt and re-execute.
 			m.attempt = m.allocAttempt()
 			m.done = false
 			m.worker, m.url = "", ""
+			m.replicas = nil
 			m.started = time.Time{}
 			if forced && corrupt {
 				m.corrupt++

@@ -195,11 +195,50 @@ type RegisterRequest struct {
 	Name string `json:"name"`
 	// URL is the base URL the coordinator dials the worker at.
 	URL string `json:"url"`
+	// Node is the worker's locality identity: the HDFS-namespace node it
+	// claims co-location with. Split host lists match against it (and,
+	// as a fallback, against Name). Empty means placement-blind.
+	Node string `json:"node,omitempty"`
 }
 
 // HeartbeatRequest keeps a registered worker alive.
 type HeartbeatRequest struct {
 	Name string `json:"name"`
+}
+
+// HeartbeatResponse is the coordinator's reply to a heartbeat. Draining
+// tells the worker the coordinator has put it into the draining state
+// (an operator hit POST /v1/drain naming it); the worker should stop
+// accepting Map dispatches and begin its own drain flow. A drained and
+// released worker gets a 404 instead — that is its signal to exit.
+type HeartbeatResponse struct {
+	Draining bool `json:"draining,omitempty"`
+}
+
+// DrainRequest asks the coordinator to move one worker into the
+// draining state: no new dispatches, in-flight attempts finish, spills
+// keep being served until every hosted attempt has been fetched or
+// replicated away, then the worker is released (deregistered without
+// the death penalty — drain never contributes to health scoring).
+type DrainRequest struct {
+	Name string `json:"name"`
+}
+
+// ReplicateRequest asks a worker to pull one committed pack file from
+// another worker and install it in its own spill store, so the spills
+// inside survive the source worker's death or drain. The target fetches
+// PackPath from SourceURL, verifies every keyblock stream's kv v3
+// checksums, and only then registers the pack.
+type ReplicateRequest struct {
+	JobID     string `json:"job_id"`
+	Split     int    `json:"split"`
+	Attempt   int    `json:"attempt"`
+	SourceURL string `json:"source_url"`
+}
+
+// ReplicateResponse reports a completed replica install.
+type ReplicateResponse struct {
+	Bytes int64 `json:"bytes"`
 }
 
 // ReleaseRequest asks a worker to drop one job's cached plan/dataset
@@ -219,6 +258,7 @@ type ReleaseRequest struct {
 type WorkerInfo struct {
 	Name      string  `json:"name"`
 	URL       string  `json:"url"`
+	Node      string  `json:"node,omitempty"`
 	Alive     bool    `json:"alive"`
 	Running   int     `json:"running"`
 	MapsDone  int64   `json:"maps_done"`
@@ -229,12 +269,25 @@ type WorkerInfo struct {
 	// Quarantined workers receive no new dispatches (their spills are
 	// still served) until health probes decay the score back down.
 	Quarantined bool `json:"quarantined,omitempty"`
+	// Draining workers finish in-flight work and serve spills but accept
+	// no new dispatches; Drained means the drain completed and the
+	// worker was released.
+	Draining bool `json:"draining,omitempty"`
+	Drained  bool `json:"drained,omitempty"`
 }
 
 // ShufflePath returns the worker-relative URL of one spill:
 // /v1/shuffle/{job}/{split}/{attempt}/{keyblock}.
 func ShufflePath(jobID string, split, attempt, keyblock int) string {
 	return fmt.Sprintf("/v1/shuffle/%s/%d/%d/%d", jobID, split, attempt, keyblock)
+}
+
+// PackPath returns the worker-relative URL of one committed pack file:
+// /v1/pack/{job}/{split}/{attempt}. A replica target streams the whole
+// pack from here, so replication moves one file per attempt instead of
+// one request per keyblock.
+func PackPath(jobID string, split, attempt int) string {
+	return fmt.Sprintf("/v1/pack/%s/%d/%d", jobID, split, attempt)
 }
 
 // BatchShufflePath is the batched shuffle endpoint: one POST fetches a

@@ -32,6 +32,10 @@ type WorkerConfig struct {
 	// splits are matched against it, so naming workers after the hosts
 	// of an hdfs.Namespace gives locality-aware Map placement.
 	Name string
+	// Node is the worker's locality identity: the hdfs.Namespace node it
+	// is co-located with. Split host lists are matched against Node
+	// first, then Name. Empty means placement-blind.
+	Node string
 	// SpillDir is where Map attempt spills are materialised and served
 	// from. Required.
 	SpillDir string
@@ -78,6 +82,13 @@ type Worker struct {
 	store    *spillstore.Store
 	mapsDone atomic.Int64
 	running  atomic.Int64
+
+	// draining refuses new Map dispatches (503) while spills keep being
+	// served. drainCh closes (once) when the coordinator asks this
+	// worker to drain via the heartbeat response.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
 
 	mu   sync.Mutex
 	jobs map[string]*workerJob
@@ -132,7 +143,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{cfg: cfg, client: cfg.Client, store: store, jobs: make(map[string]*workerJob)}
+	w := &Worker{cfg: cfg, client: cfg.Client, store: store,
+		drainCh: make(chan struct{}), jobs: make(map[string]*workerJob)}
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc("/v1/map", w.handleMap)
 	// The exact-path batch pattern outranks the per-spill subtree on the
@@ -140,6 +152,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.mux.HandleFunc(BatchShufflePath, w.handleShuffleBatch)
 	w.mux.HandleFunc("/v1/shuffle/", w.handleShuffle)
 	w.mux.HandleFunc("/v1/release", w.handleRelease)
+	w.mux.HandleFunc("/v1/replicate", w.handleReplicate)
+	w.mux.HandleFunc("/v1/pack/", w.handlePack)
 	w.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
@@ -179,7 +193,9 @@ func (w *Worker) Close() error {
 
 // Start registers with the coordinator and heartbeats until ctx is
 // done. It retries registration until it succeeds, and re-registers
-// when the coordinator forgets the worker (e.g. after a restart).
+// when the coordinator forgets the worker (e.g. after a restart) —
+// unless the worker is draining, in which case being forgotten means
+// the drain completed and the loop exits instead of rejoining.
 func (w *Worker) Start(ctx context.Context) {
 	if w.cfg.CoordinatorURL == "" {
 		return
@@ -191,6 +207,9 @@ func (w *Worker) Start(ctx context.Context) {
 		if !registered {
 			registered = w.register(ctx)
 		} else if !w.heartbeat(ctx) {
+			if w.draining.Load() || w.drainSignaled() {
+				return // released (or told to drain): the coordinator let us go
+			}
 			registered = false
 			continue // re-register immediately
 		}
@@ -203,7 +222,7 @@ func (w *Worker) Start(ctx context.Context) {
 }
 
 func (w *Worker) register(ctx context.Context) bool {
-	body, _ := json.Marshal(RegisterRequest{Name: w.cfg.Name, URL: w.cfg.AdvertiseURL})
+	body, _ := json.Marshal(RegisterRequest{Name: w.cfg.Name, URL: w.cfg.AdvertiseURL, Node: w.cfg.Node})
 	ok := w.post(ctx, "/v1/cluster/register", body)
 	if ok {
 		w.logf("registered with %s as %q", w.cfg.CoordinatorURL, w.cfg.Name)
@@ -211,10 +230,101 @@ func (w *Worker) register(ctx context.Context) bool {
 	return ok
 }
 
-// heartbeat returns false when the worker should re-register.
+// heartbeat returns false when the worker should re-register (or, if
+// draining, exit). A heartbeat response carrying the draining flag
+// signals a coordinator-initiated drain.
 func (w *Worker) heartbeat(ctx context.Context) bool {
 	body, _ := json.Marshal(HeartbeatRequest{Name: w.cfg.Name})
-	return w.post(ctx, "/v1/cluster/heartbeat", body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(w.cfg.CoordinatorURL, "/")+"/v1/cluster/heartbeat", strings.NewReader(string(body)))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusGone {
+		// Drained and released by the coordinator — possibly before we
+		// ever saw a draining heartbeat (idle-worker drain completes in
+		// one watcher tick). Exit the drain path; never re-register.
+		w.signalDrain()
+		return false
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var hb HeartbeatResponse
+	if json.NewDecoder(resp.Body).Decode(&hb) == nil && hb.Draining {
+		w.signalDrain()
+	}
+	return true
+}
+
+// drainSignaled reports whether a drain has been signaled (by SIGTERM,
+// Drain, or a coordinator heartbeat) without blocking.
+func (w *Worker) drainSignaled() bool {
+	select {
+	case <-w.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// signalDrain closes the drain channel exactly once.
+func (w *Worker) signalDrain() {
+	w.drainOnce.Do(func() { close(w.drainCh) })
+}
+
+// DrainSignal is closed when the coordinator asks this worker to drain
+// (via the heartbeat response). The process main should then run Drain.
+func (w *Worker) DrainSignal() <-chan struct{} { return w.drainCh }
+
+// Draining reports whether the worker is refusing new Map dispatches.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// SweepTemps removes orphaned spill temp files older than olderThan.
+func (w *Worker) SweepTemps(olderThan time.Duration) int { return w.store.SweepTemps(olderThan) }
+
+// Drain performs the worker side of a graceful exit: stop accepting Map
+// dispatches, tell the coordinator to drain this worker (idempotent if
+// the drain was coordinator-initiated), sweep orphaned temp files, then
+// keep heartbeating — and serving spills — until the coordinator
+// releases us (heartbeat 404) or ctx expires. The HTTP server must stay
+// up throughout; shut it down only after Drain returns.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.draining.Store(true)
+	w.signalDrain()
+	if w.cfg.CoordinatorURL == "" {
+		return nil
+	}
+	body, _ := json.Marshal(DrainRequest{Name: w.cfg.Name})
+	if !w.post(ctx, "/v1/drain", body) {
+		return fmt.Errorf("cluster: drain request to %s failed", w.cfg.CoordinatorURL)
+	}
+	w.logf("draining: waiting for spills to be fetched or replicated away")
+	w.store.SweepTemps(time.Minute)
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		if !w.heartbeat(ctx) {
+			// Released (or the coordinator vanished — either way there is
+			// nothing left to hand off to).
+			w.logf("drained: released by coordinator")
+			return nil
+		}
+	}
 }
 
 func (w *Worker) post(ctx context.Context, path string, body []byte) bool {
@@ -421,6 +531,11 @@ func (w *Worker) handleMap(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if w.draining.Load() {
+		// Draining: no new work, but existing spills stay fetchable.
+		http.Error(rw, "worker is draining", http.StatusServiceUnavailable)
+		return
+	}
 	var req MapRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(rw, "bad map request: "+err.Error(), http.StatusBadRequest)
@@ -596,6 +711,99 @@ func (w *Worker) handleShuffle(rw http.ResponseWriter, r *http.Request) {
 	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	http.ServeContent(rw, r, "", mtime, src)
+}
+
+// handlePack streams one attempt's entire pack file:
+// GET /v1/pack/{job}/{split}/{attempt}. The replica install path pulls
+// this — one transfer per attempt instead of one per keyblock — and the
+// pack's own directory + CRC trailer make the copy self-validating.
+func (w *Worker) handlePack(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/pack/"), "/")
+	if len(parts) != 3 || !validJobID(parts[0]) {
+		http.Error(rw, "want /v1/pack/{job}/{split}/{attempt}", http.StatusBadRequest)
+		return
+	}
+	nums := make([]int, 2)
+	for i, s := range parts[1:] {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(rw, "bad pack path component "+s, http.StatusBadRequest)
+			return
+		}
+		nums[i] = n
+	}
+	src, mtime, err := w.store.OpenPack(parts[0], nums[0], nums[1])
+	if err != nil {
+		http.Error(rw, "no such pack", http.StatusNotFound)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(rw, r, "", mtime, src)
+}
+
+// handleReplicate installs a replica of another worker's attempt pack:
+// POST /v1/replicate {job_id, split, attempt, source_url}. The worker
+// pulls the pack from the source, installs it through the store's
+// structural validation (directory + CRC trailer), then re-verifies
+// every keyblock through the kv v3 checksum path before acknowledging —
+// a replica the coordinator counts on must be provably servable.
+func (w *Worker) handleReplicate(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ReplicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad replicate request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !validJobID(req.JobID) || req.Split < 0 || req.Attempt < 0 || req.SourceURL == "" {
+		http.Error(rw, "bad replicate request", http.StatusBadRequest)
+		return
+	}
+	url := strings.TrimSuffix(req.SourceURL, "/") + PackPath(req.JobID, req.Split, req.Attempt)
+	get, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		http.Error(rw, "bad source url: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := w.client.Do(get)
+	if err != nil {
+		http.Error(rw, "pull pack: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		http.Error(rw, fmt.Sprintf("source returned %d", resp.StatusCode), http.StatusBadGateway)
+		return
+	}
+	n, kbs, err := w.store.Install(req.JobID, req.Split, req.Attempt, resp.Body)
+	if err != nil {
+		http.Error(rw, "install pack: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	for _, kb := range kbs {
+		sr, _, err := w.store.Open(req.JobID, req.Split, req.Attempt, kb)
+		if err == nil {
+			_, _, err = kv.ReadSpill(sr)
+		}
+		if err != nil {
+			w.store.ReleaseAttempt(req.JobID, req.Split, req.Attempt)
+			http.Error(rw, fmt.Sprintf("replica verify kb %d: %v", kb, err), http.StatusBadGateway)
+			return
+		}
+	}
+	w.logf("installed replica %s/%d attempt %d (%d bytes, %d keyblocks) from %s",
+		req.JobID, req.Split, req.Attempt, n, len(kbs), req.SourceURL)
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(ReplicateResponse{Bytes: n})
 }
 
 // handleShuffleBatch streams a Reduce task's whole spill subset from

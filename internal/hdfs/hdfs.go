@@ -151,6 +151,25 @@ func (ns *Namespace) AddFile(name string, size int64) error {
 	return nil
 }
 
+// AddOrReplaceFile registers a logical file, dropping any existing
+// placement under the same name first. Replacement re-rolls block
+// placements — callers that re-register a dataset get fresh locality,
+// exactly as rewriting a file in HDFS would.
+func (ns *Namespace) AddOrReplaceFile(name string, size int64) error {
+	if err := ns.Remove(name); err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	return ns.AddFile(name, size)
+}
+
+// Has reports whether a file is registered.
+func (ns *Namespace) Has(name string) bool {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	_, ok := ns.files[name]
+	return ok
+}
+
 // FileSize returns the registered size of a file.
 func (ns *Namespace) FileSize(name string) (int64, error) {
 	ns.mu.RLock()

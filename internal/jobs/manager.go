@@ -16,6 +16,7 @@ import (
 	"sidr/internal/coords"
 	"sidr/internal/core"
 	"sidr/internal/exec"
+	"sidr/internal/hdfs"
 	"sidr/internal/join"
 	"sidr/internal/metrics"
 	"sidr/internal/ops"
@@ -113,6 +114,11 @@ type Config struct {
 	// Metrics receives job and plan-cache instrumentation (default: a
 	// private registry).
 	Metrics *metrics.Registry
+	// Namespace, when set alongside Cluster, attaches HDFS block
+	// placements to cluster jobs whose dataset is registered in it, so
+	// the coordinator can prefer split-local workers. Locality hints
+	// never change split geometry or results — only placement.
+	Namespace *hdfs.Namespace
 }
 
 // VersionProvider is an optional DatasetProvider extension: it returns
@@ -756,13 +762,21 @@ func (m *Manager) executeCluster(j *Job) (*sidr.Result, error) {
 		first  time.Duration
 	)
 	res := &sidr.Result{}
+	// Attach block locality when the dataset is mirrored in the
+	// namespace; joins skip locality (two files, interleaved splits).
+	var ns *hdfs.Namespace
+	if m.cfg.Namespace != nil && m.cfg.Namespace.Has(j.Req.Dataset) {
+		ns = m.cfg.Namespace
+	}
 	cres, err := coord.Run(j.ctx, cluster.JobSpec{
-		ID:      j.ID,
-		Plan:    cluster.JobPlan{Query: q.String(), Engine: j.Req.Engine, Reducers: reducers, SplitPoints: splitPoints, MaxSkew: j.Req.MaxSkew, Pruned: prunedList},
-		Dataset: dspec,
-		Exec:    m.exec,
-		Workers: j.Req.Workers,
-		Weight:  m.tenantWeight(j.Req.Tenant),
+		ID:        j.ID,
+		Plan:      cluster.JobPlan{Query: q.String(), Engine: j.Req.Engine, Reducers: reducers, SplitPoints: splitPoints, MaxSkew: j.Req.MaxSkew, Pruned: prunedList},
+		Dataset:   dspec,
+		Namespace: ns,
+		File:      j.Req.Dataset,
+		Exec:      m.exec,
+		Workers:   j.Req.Workers,
+		Weight:    m.tenantWeight(j.Req.Tenant),
 		OnPartial: func(rr cluster.ReduceResult) {
 			pr := toPartialResult(rr)
 			partMu.Lock()

@@ -11,6 +11,7 @@ import (
 	"sidr"
 	"sidr/internal/cluster"
 	"sidr/internal/coords"
+	"sidr/internal/hdfs"
 	"sidr/internal/mapreduce"
 	"sidr/internal/ncfile"
 	"sidr/internal/sidx"
@@ -56,6 +57,9 @@ type Registry struct {
 	gens         map[string]uint64
 	onInvalidate func(name string)
 	closing      bool
+	// ns, when set, mirrors every registered dataset as a logical HDFS
+	// file so cluster jobs get block-location locality hints.
+	ns *hdfs.Namespace
 }
 
 // NewRegistry returns an empty registry.
@@ -72,6 +76,56 @@ func (r *Registry) SetOnInvalidate(fn func(name string)) {
 	r.mu.Lock()
 	r.onInvalidate = fn
 	r.mu.Unlock()
+}
+
+// SetNamespace attaches a simulated HDFS namespace. Every dataset —
+// already registered or added later — is mirrored into it as a logical
+// file sized to its largest variable (row-major float64 layout), giving
+// cluster jobs block-location locality hints. The namespace itself is
+// handed on to the job manager via Namespace.
+func (r *Registry) SetNamespace(ns *hdfs.Namespace) {
+	r.mu.Lock()
+	r.ns = ns
+	sizes := make(map[string]int64, len(r.sources))
+	for name, src := range r.sources {
+		sizes[name] = datasetBytes(src)
+	}
+	r.mu.Unlock()
+	if ns == nil {
+		return
+	}
+	for name, size := range sizes {
+		_ = ns.AddOrReplaceFile(name, size)
+	}
+}
+
+// Namespace returns the attached block namespace (nil if none).
+func (r *Registry) Namespace() *hdfs.Namespace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ns
+}
+
+// datasetBytes sizes a dataset's logical HDFS file: its largest
+// variable's element count at 8 bytes per point — the same row-major
+// layout GenerateSplits assumes when mapping splits to block ranges.
+func datasetBytes(src *source) int64 {
+	var max int64
+	for _, v := range src.info.Variables {
+		if n := coords.NewShape(v.Shape...).Size() * 8; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// nsMirrorLocked registers one dataset in the attached namespace.
+// Caller holds r.mu; the namespace has its own lock and never calls
+// back into the registry.
+func (r *Registry) nsMirrorLocked(name string, src *source) {
+	if r.ns != nil {
+		_ = r.ns.AddOrReplaceFile(name, datasetBytes(src))
+	}
 }
 
 // AddFile registers an ncfile container under the given name, reading
@@ -136,7 +190,9 @@ func (r *Registry) AddFile(name, path string) error {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
 	r.gens[name]++
-	r.sources[name] = &source{info: info, path: path, idx: idx}
+	src := &source{info: info, path: path, idx: idx}
+	r.sources[name] = src
+	r.nsMirrorLocked(name, src)
 	return nil
 }
 
@@ -195,7 +251,9 @@ func (r *Registry) AddSynthetic(name string, shape []int64, fn func(k []int64) f
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
 	r.gens[name]++
-	r.sources[name] = &source{info: info, shape: append([]int64(nil), shape...), fn: fn}
+	src := &source{info: info, shape: append([]int64(nil), shape...), fn: fn}
+	r.sources[name] = src
+	r.nsMirrorLocked(name, src)
 	return nil
 }
 
@@ -230,13 +288,15 @@ func (r *Registry) AddGenerated(name string, spec cluster.DatasetSpec) error {
 		return fmt.Errorf("server: dataset %q already registered", name)
 	}
 	r.gens[name]++
-	r.sources[name] = &source{
+	src := &source{
 		info:  info,
 		shape: append([]int64(nil), spec.Shape...),
 		fn:    func(k []int64) float64 { return fn(coords.Coord(k)) },
 		spec:  &specCopy,
 		idx:   idx,
 	}
+	r.sources[name] = src
+	r.nsMirrorLocked(name, src)
 	return nil
 }
 
@@ -307,6 +367,9 @@ func (r *Registry) Remove(name string) bool {
 		return false
 	}
 	delete(r.sources, name)
+	if r.ns != nil {
+		_ = r.ns.Remove(name)
+	}
 	prefix := name + "\x00"
 	for key, h := range r.open {
 		if !strings.HasPrefix(key, prefix) {
